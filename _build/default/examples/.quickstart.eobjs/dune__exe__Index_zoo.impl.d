@@ -1,0 +1,1 @@
+examples/index_zoo.ml: Baselines Cbitmap Format Indexing Iosim List Secidx Workload

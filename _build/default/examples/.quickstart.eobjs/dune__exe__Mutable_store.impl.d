@@ -1,0 +1,1 @@
+examples/mutable_store.ml: Array Cbitmap Format Hashing Indexing Iosim List Secidx String

@@ -1,0 +1,1 @@
+examples/mutable_store.mli:

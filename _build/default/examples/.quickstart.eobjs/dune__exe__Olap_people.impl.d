@@ -1,0 +1,1 @@
+examples/olap_people.ml: Array Cbitmap Format Hashing Iosim Ridint

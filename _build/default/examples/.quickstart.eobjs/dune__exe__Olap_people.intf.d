@@ -1,0 +1,1 @@
+examples/olap_people.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Cbitmap Format Indexing Iosim Secidx Workload

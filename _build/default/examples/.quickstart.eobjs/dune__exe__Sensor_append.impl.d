@@ -1,0 +1,1 @@
+examples/sensor_append.ml: Array Format Hashing Indexing Iosim Secidx

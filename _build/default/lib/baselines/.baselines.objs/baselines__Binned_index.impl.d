@@ -1,0 +1,1 @@
+lib/baselines/binned_index.ml: Array Cbitmap Indexing List Printf

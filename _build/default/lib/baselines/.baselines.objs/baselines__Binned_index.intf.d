@@ -1,0 +1,1 @@
+lib/baselines/binned_index.mli: Cbitmap Indexing Iosim

@@ -1,0 +1,1 @@
+lib/baselines/bitmap_index.ml: Array Bitio Cbitmap Indexing Iosim

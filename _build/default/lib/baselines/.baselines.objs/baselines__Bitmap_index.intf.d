@@ -1,0 +1,1 @@
+lib/baselines/bitmap_index.mli: Indexing Iosim

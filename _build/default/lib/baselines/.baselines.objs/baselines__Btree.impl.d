@@ -1,0 +1,1 @@
+lib/baselines/btree.ml: Array Bitio Cbitmap Indexing Iosim

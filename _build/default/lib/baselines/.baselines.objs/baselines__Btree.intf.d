@@ -1,0 +1,1 @@
+lib/baselines/btree.mli: Indexing Iosim

@@ -1,0 +1,1 @@
+lib/baselines/btree_dynamic.ml: Array Bitio Cbitmap Indexing Iosim

@@ -1,0 +1,1 @@
+lib/baselines/btree_dynamic.mli: Indexing Iosim

@@ -1,0 +1,1 @@
+lib/baselines/cbitmap_index.mli: Cbitmap Indexing Iosim

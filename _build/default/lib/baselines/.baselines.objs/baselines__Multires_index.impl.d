@@ -1,0 +1,1 @@
+lib/baselines/multires_index.ml: Array Cbitmap Indexing List Printf

@@ -1,0 +1,1 @@
+lib/baselines/multires_index.mli: Cbitmap Indexing Iosim

@@ -1,0 +1,1 @@
+lib/baselines/range_encoded.ml: Array Bitio Cbitmap Indexing Iosim List

@@ -1,0 +1,1 @@
+lib/baselines/range_encoded.mli: Indexing Iosim

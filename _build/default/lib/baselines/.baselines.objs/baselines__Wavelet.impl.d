@@ -1,0 +1,1 @@
+lib/baselines/wavelet.ml: Array Bitio Cbitmap Indexing Iosim List

@@ -1,0 +1,1 @@
+lib/baselines/wavelet.mli: Indexing Iosim

@@ -1,0 +1,65 @@
+type t = {
+  chars : Indexing.Stream_table.t;
+  bins : Indexing.Stream_table.t;
+  w : int;
+  n : int;
+  sigma : int;
+}
+
+let build ?code device ~sigma ~w x =
+  if w < 1 then invalid_arg "Binned_index.build";
+  let postings = Indexing.Common.positions_by_char ~sigma x in
+  let nbins = (sigma + w - 1) / w in
+  let bins =
+    Array.init nbins (fun b ->
+        let lo = b * w and hi = min sigma ((b + 1) * w) - 1 in
+        Cbitmap.Posting.union_many
+          (List.init (hi - lo + 1) (fun k -> postings.(lo + k))))
+  in
+  {
+    chars = Indexing.Stream_table.build ?code device postings;
+    bins = Indexing.Stream_table.build ?code device bins;
+    w;
+    n = Array.length x;
+    sigma;
+  }
+
+let query t ~lo ~hi =
+  if lo < 0 || hi >= t.sigma || lo > hi then invalid_arg "Binned_index.query";
+  let w = t.w in
+  (* Bins fully contained in [lo..hi]. *)
+  let first_full = (lo + w - 1) / w in
+  let last_full = ((hi + 1) / w) - 1 in
+  let streams =
+    if first_full > last_full then
+      (* No full bin: the whole range comes from per-char bitmaps. *)
+      Indexing.Stream_table.streams t.chars ~lo ~hi
+    else begin
+      let left =
+        if lo < first_full * w then
+          Indexing.Stream_table.streams t.chars ~lo ~hi:((first_full * w) - 1)
+        else []
+      in
+      let middle = Indexing.Stream_table.streams t.bins ~lo:first_full ~hi:last_full in
+      let right =
+        if hi >= (last_full + 1) * w then
+          Indexing.Stream_table.streams t.chars ~lo:((last_full + 1) * w) ~hi
+        else []
+      in
+      left @ middle @ right
+    end
+  in
+  Indexing.Answer.Direct (Cbitmap.Merge.union_to_posting streams)
+
+let size_bits t = Indexing.Stream_table.size_bits t.chars + Indexing.Stream_table.size_bits t.bins
+
+let instance ?code device ~sigma ~w x =
+  let t = build ?code device ~sigma ~w x in
+  {
+    Indexing.Instance.name = Printf.sprintf "binned-w%d" w;
+    device;
+    n = t.n;
+    sigma;
+    size_bits = size_bits t;
+    query = (fun ~lo ~hi -> query t ~lo ~hi);
+  }

@@ -1,0 +1,32 @@
+(** Two-level binned bitmap index (§1.2, "binning"): the alphabet is
+    divided into bins of [w] consecutive characters; a compressed
+    bitmap is stored for every bin (all occurrences of its characters)
+    in addition to the per-character compressed bitmaps.  A range
+    query uses whole-bin bitmaps for the interior of the range and
+    per-character bitmaps at the two fringes, so fewer than
+    [ℓ/w + 2w] bitmaps are merged.
+
+    Space is roughly twice the per-character index; query time
+    improves for wide ranges — the two-level point on the paper's
+    time/space trade-off curve. *)
+
+type t
+
+val build :
+  ?code:Cbitmap.Gap_codec.code ->
+  Iosim.Device.t ->
+  sigma:int ->
+  w:int ->
+  int array ->
+  t
+
+val query : t -> lo:int -> hi:int -> Indexing.Answer.t
+val size_bits : t -> int
+
+val instance :
+  ?code:Cbitmap.Gap_codec.code ->
+  Iosim.Device.t ->
+  sigma:int ->
+  w:int ->
+  int array ->
+  Indexing.Instance.t

@@ -1,0 +1,70 @@
+type t = {
+  device : Iosim.Device.t;
+  n : int;
+  sigma : int;
+  rows : Iosim.Device.region array; (* one n-bit row per character *)
+}
+
+let build device ~sigma x =
+  let n = Array.length x in
+  let postings = Indexing.Common.positions_by_char ~sigma x in
+  let rows =
+    Array.map
+      (fun posting ->
+        let buf = Bitio.Bitbuf.create ~capacity:n () in
+        let arr = Cbitmap.Posting.to_array posting in
+        let j = ref 0 in
+        for i = 0 to n - 1 do
+          let set = !j < Array.length arr && arr.(!j) = i in
+          if set then incr j;
+          Bitio.Bitbuf.write_bit buf set
+        done;
+        Iosim.Device.store ~align_block:true device buf)
+      postings
+  in
+  { device; n; sigma; rows }
+
+(* Read a row through the device, or-ing set positions into [acc]. *)
+let scan_row t region acc =
+  let r = Iosim.Device.cursor t.device ~pos:region.Iosim.Device.off in
+  let i = ref 0 in
+  while !i < t.n do
+    let w = min 32 (t.n - !i) in
+    let bits = r.Bitio.Reader.read_bits w in
+    if bits <> 0 then
+      for k = 0 to w - 1 do
+        if bits land (1 lsl (w - 1 - k)) <> 0 then acc.(!i + k) <- true
+      done;
+    i := !i + w
+  done
+
+let query t ~lo ~hi =
+  if lo < 0 || hi >= t.sigma || lo > hi then invalid_arg "Bitmap_index.query";
+  let acc = Array.make t.n false in
+  for c = lo to hi do
+    scan_row t t.rows.(c) acc
+  done;
+  let out = ref [] in
+  for i = t.n - 1 downto 0 do
+    if acc.(i) then out := i :: !out
+  done;
+  Indexing.Answer.Direct
+    (Cbitmap.Posting.of_sorted_array (Array.of_list !out))
+
+let size_bits t =
+  (* Rows are block-aligned; charge the padded size. *)
+  let bb = Iosim.Device.block_bits t.device in
+  Array.fold_left
+    (fun acc (r : Iosim.Device.region) -> acc + ((r.len + bb - 1) / bb * bb))
+    0 t.rows
+
+let instance device ~sigma x =
+  let t = build device ~sigma x in
+  {
+    Indexing.Instance.name = "bitmap-uncompressed";
+    device;
+    n = t.n;
+    sigma;
+    size_bits = size_bits t;
+    query = (fun ~lo ~hi -> query t ~lo ~hi);
+  }

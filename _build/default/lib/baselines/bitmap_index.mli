@@ -1,0 +1,12 @@
+(** Uncompressed (equality-encoded) bitmap index: one explicit [n]-bit
+    bitmap per character, the classical optimal solution for constant
+    [σ] (§1.2).  A range query of width [ℓ] reads [ℓ·n] bits no matter
+    how sparse the rows are — the space and query extreme the paper's
+    structure strictly improves on for large alphabets. *)
+
+type t
+
+val build : Iosim.Device.t -> sigma:int -> int array -> t
+val query : t -> lo:int -> hi:int -> Indexing.Answer.t
+val size_bits : t -> int
+val instance : Iosim.Device.t -> sigma:int -> int array -> Indexing.Instance.t

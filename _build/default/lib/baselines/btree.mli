@@ -1,0 +1,26 @@
+(** External-memory B+tree secondary index — the "B-tree extreme" of
+    the paper's unified view (§1.3): it stores the explicit list of
+    (character, position) pairs, so a range query costs
+    [O(lg_b n + z·lg n / B)] I/Os: optimal tree navigation, but every
+    reported position costs [Θ(lg n)] bits of reading where the
+    compressed answer needs only [lg(n/z) + O(1)].
+
+    The tree is bulk-loaded and static (the dynamic structures of §4
+    are implemented in the [secidx] library); every node occupies one
+    device block. *)
+
+type t
+
+val build : Iosim.Device.t -> sigma:int -> int array -> t
+
+(** Height in levels (1 = the root is a leaf). *)
+val height : t -> int
+
+(** Number of nodes (= blocks). *)
+val node_count : t -> int
+
+val query : t -> lo:int -> hi:int -> Indexing.Answer.t
+
+val size_bits : t -> int
+
+val instance : Iosim.Device.t -> sigma:int -> int array -> Indexing.Instance.t

@@ -1,0 +1,28 @@
+(** Insertable external-memory B+tree secondary index.
+
+    The dynamic counterpart of {!Btree}: (character, position) keys in
+    one-block nodes, leaves chained with next pointers, top-down
+    descent and bottom-up splits, everything read and written through
+    the device so every update costs its true [O(lg_b n)] block
+    read-modify-writes.  This is the classical comparison point for
+    §4: B-trees update cheaply but their queries keep paying
+    [Θ(lg n)] bits per reported position. *)
+
+type t
+
+(** An empty index. *)
+val create : Iosim.Device.t -> sigma:int -> n_hint:int -> t
+
+(** Build by inserting a whole column. *)
+val build : Iosim.Device.t -> sigma:int -> int array -> t
+
+(** Number of stored keys. *)
+val cardinal : t -> int
+
+(** Tree height (1 = the root is a leaf). *)
+val height : t -> int
+
+val insert : t -> char_:int -> pos:int -> unit
+val query : t -> lo:int -> hi:int -> Indexing.Answer.t
+val size_bits : t -> int
+val instance : Iosim.Device.t -> sigma:int -> int array -> Indexing.Instance.t

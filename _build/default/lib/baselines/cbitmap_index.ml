@@ -1,0 +1,23 @@
+type t = { table : Indexing.Stream_table.t; n : int; sigma : int }
+
+let build ?code device ~sigma x =
+  let postings = Indexing.Common.positions_by_char ~sigma x in
+  { table = Indexing.Stream_table.build ?code device postings; n = Array.length x; sigma }
+
+let query t ~lo ~hi =
+  if lo < 0 || hi >= t.sigma || lo > hi then invalid_arg "Cbitmap_index.query";
+  Indexing.Answer.Direct (Indexing.Stream_table.read_union t.table ~lo ~hi)
+
+let point_query t c = Indexing.Stream_table.read_one t.table c
+let size_bits t = Indexing.Stream_table.size_bits t.table
+
+let instance ?code device ~sigma x =
+  let t = build ?code device ~sigma x in
+  {
+    Indexing.Instance.name = "bitmap-compressed";
+    device;
+    n = t.n;
+    sigma;
+    size_bits = size_bits t;
+    query = (fun ~lo ~hi -> query t ~lo ~hi);
+  }

@@ -1,0 +1,28 @@
+(** Per-character compressed bitmap index (§1.2): each character's
+    position set is run-length/gap compressed with gamma codes; a
+    range query reads and merges the bitmaps of every character in the
+    range.
+
+    Space is within a constant factor of optimal, but a width-[ℓ]
+    query over near-uniform data reads [Θ((nℓ/σ)·lg σ)] bits where the
+    output needs only [Θ((nℓ/σ)·lg(σ/ℓ))] — the factor
+    [Ω(lg σ / lg(σ/ℓ))] gap the paper's introduction computes. *)
+
+type t
+
+val build :
+  ?code:Cbitmap.Gap_codec.code -> Iosim.Device.t -> sigma:int -> int array -> t
+
+val query : t -> lo:int -> hi:int -> Indexing.Answer.t
+
+(** Read one character's bitmap (a point query). *)
+val point_query : t -> int -> Cbitmap.Posting.t
+
+val size_bits : t -> int
+
+val instance :
+  ?code:Cbitmap.Gap_codec.code ->
+  Iosim.Device.t ->
+  sigma:int ->
+  int array ->
+  Indexing.Instance.t

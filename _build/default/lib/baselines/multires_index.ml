@@ -1,0 +1,91 @@
+type t = {
+  tables : Indexing.Stream_table.t array; (* tables.(k): bins of width w^k *)
+  widths : int array; (* widths.(k) = w^k *)
+  w : int;
+  n : int;
+  sigma : int;
+}
+
+let build_with_widths ?code device ~sigma ~widths x =
+  let postings = Indexing.Common.positions_by_char ~sigma x in
+  let tables =
+    Array.map
+      (fun width ->
+        if width = 1 then Indexing.Stream_table.build ?code device postings
+        else begin
+          let nbins = (sigma + width - 1) / width in
+          let bins =
+            Array.init nbins (fun b ->
+                let lo = b * width and hi = min sigma ((b + 1) * width) - 1 in
+                Cbitmap.Posting.union_many
+                  (List.init (hi - lo + 1) (fun k -> postings.(lo + k))))
+          in
+          Indexing.Stream_table.build ?code device bins
+        end)
+      widths
+  in
+  { tables; widths; w = 0; n = Array.length x; sigma }
+
+let build ?code device ~sigma ~w x =
+  if w < 2 then invalid_arg "Multires_index.build: w >= 2";
+  let rec geom acc width =
+    if width >= sigma then List.rev acc else geom ((width * w) :: acc) (width * w)
+  in
+  let widths = Array.of_list (1 :: geom [] 1) in
+  let t = build_with_widths ?code device ~sigma ~widths x in
+  { t with w }
+
+let build_widths ?code device ~sigma ~widths x =
+  (match widths with
+  | 1 :: _ -> ()
+  | _ -> invalid_arg "Multires_index.build_widths: widths must start at 1");
+  List.iteri
+    (fun i w ->
+      if i > 0 && w <= List.nth widths (i - 1) then
+        invalid_arg "Multires_index.build_widths: widths must increase")
+    widths;
+  build_with_widths ?code device ~sigma ~widths:(Array.of_list widths) x
+
+let levels t = Array.length t.tables
+
+(* Greedy left-to-right canonical cover: from position [lo], take the
+   widest aligned bin that starts at [lo] and fits within [hi]. *)
+let cover t ~lo ~hi =
+  let rec go lo acc =
+    if lo > hi then List.rev acc
+    else begin
+      let best = ref 0 in
+      Array.iteri
+        (fun k width ->
+          if lo mod width = 0 && lo + width - 1 <= hi then best := k)
+        t.widths;
+      let k = !best in
+      let width = t.widths.(k) in
+      go (lo + width) ((k, lo / width) :: acc)
+    end
+  in
+  go lo []
+
+let query t ~lo ~hi =
+  if lo < 0 || hi >= t.sigma || lo > hi then invalid_arg "Multires_index.query";
+  let pieces = cover t ~lo ~hi in
+  let streams =
+    List.map (fun (k, b) -> Indexing.Stream_table.streams t.tables.(k) ~lo:b ~hi:b)
+      pieces
+  in
+  Indexing.Answer.Direct
+    (Cbitmap.Merge.union_to_posting (List.concat streams))
+
+let size_bits t =
+  Array.fold_left (fun acc tab -> acc + Indexing.Stream_table.size_bits tab) 0 t.tables
+
+let instance ?code device ~sigma ~w x =
+  let t = build ?code device ~sigma ~w x in
+  {
+    Indexing.Instance.name = Printf.sprintf "multires-w%d" w;
+    device;
+    n = t.n;
+    sigma;
+    size_bits = size_bits t;
+    query = (fun ~lo ~hi -> query t ~lo ~hi);
+  }

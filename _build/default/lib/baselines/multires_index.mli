@@ -1,0 +1,50 @@
+(** Multi-resolution bitmap index of Sinha–Winslett [16] (§1.2):
+    binning applied recursively with levels of bin width
+    [1, w, w², ...].  A range is covered greedily by maximal aligned
+    bins, so at most [2(w-1)] bitmaps are merged per level.
+
+    Worst-case space is [Θ(n·lg²σ / lg w)] bits when every level's
+    bitmaps are optimally compressed, and queries can read a factor
+    [O(lg w)] more data than the output — the time/space trade-off the
+    paper's structure eliminates. *)
+
+type t
+
+val build :
+  ?code:Cbitmap.Gap_codec.code ->
+  Iosim.Device.t ->
+  sigma:int ->
+  w:int ->
+  int array ->
+  t
+
+(** Number of levels (including the per-character level 0). *)
+val levels : t -> int
+
+val query : t -> lo:int -> hi:int -> Indexing.Answer.t
+
+(** The greedy cover used by [query], as (level, bin index) pairs —
+    exposed for tests of the decomposition. *)
+val cover : t -> lo:int -> hi:int -> (int * int) list
+
+val size_bits : t -> int
+
+val instance :
+  ?code:Cbitmap.Gap_codec.code ->
+  Iosim.Device.t ->
+  sigma:int ->
+  w:int ->
+  int array ->
+  Indexing.Instance.t
+
+(** The generalized scheme of [16] (mentioned in §1.2): explicit,
+    possibly non-geometric bin widths per level.  [widths] must start
+    with 1 (the per-character level) and be strictly increasing; each
+    width should divide into the next for the greedy cover to align. *)
+val build_widths :
+  ?code:Cbitmap.Gap_codec.code ->
+  Iosim.Device.t ->
+  sigma:int ->
+  widths:int list ->
+  int array ->
+  t

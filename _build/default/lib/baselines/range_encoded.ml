@@ -1,0 +1,60 @@
+type t = {
+  device : Iosim.Device.t;
+  n : int;
+  sigma : int;
+  rows : Iosim.Device.region array; (* rows.(a): bitmap of { i | x_i <= a } *)
+}
+
+let build device ~sigma x =
+  let n = Array.length x in
+  let rows =
+    Array.init sigma (fun a ->
+        let buf = Bitio.Bitbuf.create ~capacity:n () in
+        Array.iter (fun c -> Bitio.Bitbuf.write_bit buf (c <= a)) x;
+        Iosim.Device.store ~align_block:true device buf)
+  in
+  { device; n; sigma; rows }
+
+let query t ~lo ~hi =
+  if lo < 0 || hi >= t.sigma || lo > hi then invalid_arg "Range_encoded.query";
+  (* Read row hi and (if lo > 0) row lo-1 in lockstep; emit positions
+     set in the former but not the latter. *)
+  let r_hi = Iosim.Device.cursor t.device ~pos:t.rows.(hi).Iosim.Device.off in
+  let r_lo =
+    if lo = 0 then None
+    else
+      Some
+        (Iosim.Device.cursor t.device ~pos:t.rows.(lo - 1).Iosim.Device.off)
+  in
+  let out = ref [] in
+  let i = ref 0 in
+  while !i < t.n do
+    let w = min 32 (t.n - !i) in
+    let a = r_hi.Bitio.Reader.read_bits w in
+    let b = match r_lo with None -> 0 | Some r -> r.Bitio.Reader.read_bits w in
+    let d = a land lnot b in
+    if d <> 0 then
+      for k = 0 to w - 1 do
+        if d land (1 lsl (w - 1 - k)) <> 0 then out := (!i + k) :: !out
+      done;
+    i := !i + w
+  done;
+  Indexing.Answer.Direct
+    (Cbitmap.Posting.of_sorted_array (Array.of_list (List.rev !out)))
+
+let size_bits t =
+  let bb = Iosim.Device.block_bits t.device in
+  Array.fold_left
+    (fun acc (r : Iosim.Device.region) -> acc + ((r.len + bb - 1) / bb * bb))
+    0 t.rows
+
+let instance device ~sigma x =
+  let t = build device ~sigma x in
+  {
+    Indexing.Instance.name = "range-encoded";
+    device;
+    n = t.n;
+    sigma;
+    size_bits = size_bits t;
+    query = (fun ~lo ~hi -> query t ~lo ~hi);
+  }

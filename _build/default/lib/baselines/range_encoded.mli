@@ -1,0 +1,13 @@
+(** Range-encoded bitmap index of O'Neil–Quass [14] (§1.2): for every
+    character [a] an explicit [n]-bit bitmap of the positions whose
+    character is [<= a].  Any range query is answered from exactly two
+    rows ([B_hi and not B_{lo-1}]), reading [O(n/B)] blocks — the
+    fast-query extreme whose space, [σ·n] bits, the paper cites as
+    [n·σ^{1-o(1)}]. *)
+
+type t
+
+val build : Iosim.Device.t -> sigma:int -> int array -> t
+val query : t -> lo:int -> hi:int -> Indexing.Answer.t
+val size_bits : t -> int
+val instance : Iosim.Device.t -> sigma:int -> int array -> Indexing.Instance.t

@@ -1,0 +1,31 @@
+(** Wavelet tree baseline.
+
+    The modern in-memory succinct structure for exactly this problem
+    (rank/select dictionaries per level, [n·lg σ (1+o(1))] bits), and
+    the natural point of comparison the paper's line of work competes
+    with: a wavelet tree answers alphabet range queries with
+    [O(lg σ)] rank operations per *navigation* but needs [Θ(lg σ)]
+    {e random} accesses per reported position to map results back to
+    string order — each an I/O in the worst case, where the paper's
+    index streams the compressed answer sequentially.
+
+    Implemented as a binary tree of per-level bitvectors stored on the
+    device (every bit inspected during a query is a counted device
+    read), with in-memory rank directories doing the arithmetic. *)
+
+type t
+
+val build : Iosim.Device.t -> sigma:int -> int array -> t
+
+(** Number of levels, [lg σ2]. *)
+val levels : t -> int
+
+(** [access t i] is the character at position [i] (top-down walk). *)
+val access : t -> int -> int
+
+(** Alphabet range query: positions with character in [lo..hi]. *)
+val query : t -> lo:int -> hi:int -> Indexing.Answer.t
+
+val size_bits : t -> int
+
+val instance : Iosim.Device.t -> sigma:int -> int array -> Indexing.Instance.t

@@ -1,0 +1,1 @@
+lib/bitio/bitbuf.mli: Format

@@ -1,0 +1,1 @@
+lib/bitio/codes.ml: Array Bitbuf List Reader

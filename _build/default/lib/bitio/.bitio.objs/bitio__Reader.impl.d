@@ -1,0 +1,1 @@
+lib/bitio/reader.ml: Bitbuf Bytes Char

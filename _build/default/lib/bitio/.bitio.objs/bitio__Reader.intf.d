@@ -1,0 +1,1 @@
+lib/bitio/reader.mli: Bitbuf

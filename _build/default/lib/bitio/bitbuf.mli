@@ -1,0 +1,54 @@
+(** Growable in-memory bit buffer (writer side of the bit-I/O substrate).
+
+    Bits are addressed from 0; within a byte the most significant bit
+    comes first, so bit [i] of the stream lives in byte [i / 8] under
+    mask [0x80 lsr (i mod 8)].  All variable-length codes in
+    {!Bitio.Codes} write through this interface. *)
+
+type t
+
+(** [create ()] is an empty buffer.  [capacity] is an initial size hint
+    in bits. *)
+val create : ?capacity:int -> unit -> t
+
+(** Number of bits written so far. *)
+val length : t -> int
+
+(** Append a single bit. *)
+val write_bit : t -> bool -> unit
+
+(** [write_bits t ~width v] appends the [width] low bits of [v],
+    most-significant first.  Requires [0 <= width <= 62] and
+    [0 <= v < 2^width]. *)
+val write_bits : t -> width:int -> int -> unit
+
+(** Random read of an already-written bit.  Raises [Invalid_argument]
+    when out of range. *)
+val get_bit : t -> int -> bool
+
+(** [read_bits t ~pos ~width] reads [width] bits starting at [pos],
+    most-significant first. *)
+val read_bits : t -> pos:int -> width:int -> int
+
+(** [append dst src] appends all bits of [src] to [dst]. *)
+val append : t -> t -> unit
+
+(** Truncate to the empty buffer (capacity is kept). *)
+val reset : t -> unit
+
+(** Copy out the underlying bytes; the final partial byte is
+    zero-padded. *)
+val to_bytes : t -> bytes
+
+(** [blit_to_bytes t dst ~dst_bit] copies all bits of [t] into [dst]
+    starting at bit offset [dst_bit] of [dst]. *)
+val blit_to_bytes : t -> bytes -> dst_bit:int -> unit
+
+(** A buffer holding the bits of [b], starting with the most
+    significant of the [width] requested. *)
+val of_int : width:int -> int -> t
+
+(** Equality of contents (length and every bit). *)
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

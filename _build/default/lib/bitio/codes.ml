@@ -1,0 +1,106 @@
+let floor_log2 v =
+  if v < 1 then invalid_arg "Codes.floor_log2";
+  let rec go v acc = if v = 1 then acc else go (v lsr 1) (acc + 1) in
+  go v 0
+
+let ceil_log2 v =
+  if v < 1 then invalid_arg "Codes.ceil_log2";
+  if v = 1 then 0 else floor_log2 (v - 1) + 1
+
+let encode_unary buf v =
+  if v < 0 then invalid_arg "Codes.encode_unary";
+  for _ = 1 to v do
+    Bitbuf.write_bit buf true
+  done;
+  Bitbuf.write_bit buf false
+
+let decode_unary (r : Reader.t) =
+  let rec go acc = if Reader.read_bit r then go (acc + 1) else acc in
+  go 0
+
+let unary_size v = v + 1
+
+(* Gamma: floor(lg v) zero-bits, then v in binary (whose leading bit is
+   a one and acts as the terminator of the zero run). *)
+let encode_gamma buf v =
+  if v < 1 then invalid_arg "Codes.encode_gamma";
+  let k = floor_log2 v in
+  for _ = 1 to k do
+    Bitbuf.write_bit buf false
+  done;
+  Bitbuf.write_bits buf ~width:(k + 1) v
+
+let decode_gamma (r : Reader.t) =
+  let rec zeros acc = if Reader.read_bit r then acc else zeros (acc + 1) in
+  let k = zeros 0 in
+  if k = 0 then 1 else (1 lsl k) lor r.Reader.read_bits k
+
+let gamma_size v =
+  if v < 1 then invalid_arg "Codes.gamma_size";
+  (2 * floor_log2 v) + 1
+
+let encode_delta buf v =
+  if v < 1 then invalid_arg "Codes.encode_delta";
+  let k = floor_log2 v in
+  encode_gamma buf (k + 1);
+  if k > 0 then Bitbuf.write_bits buf ~width:k (v land ((1 lsl k) - 1))
+
+let decode_delta (r : Reader.t) =
+  let k = decode_gamma r - 1 in
+  if k = 0 then 1 else (1 lsl k) lor r.Reader.read_bits k
+
+let delta_size v =
+  let k = floor_log2 v in
+  gamma_size (k + 1) + k
+
+let encode_rice buf ~k v =
+  if v < 0 || k < 0 then invalid_arg "Codes.encode_rice";
+  encode_unary buf (v lsr k);
+  if k > 0 then Bitbuf.write_bits buf ~width:k (v land ((1 lsl k) - 1))
+
+let decode_rice (r : Reader.t) ~k =
+  let q = decode_unary r in
+  let rem = if k = 0 then 0 else r.Reader.read_bits k in
+  (q lsl k) lor rem
+
+let rice_size ~k v = (v lsr k) + 1 + k
+
+let encode_fixed buf ~width v = Bitbuf.write_bits buf ~width v
+let decode_fixed (r : Reader.t) ~width = r.Reader.read_bits width
+let fixed_size ~width _ = width
+
+(* Fibonacci numbers F.(0) = 1, F.(1) = 2, F.(2) = 3, 5, 8, ... *)
+let fibs =
+  let rec go a b acc = if b > max_int / 2 then List.rev acc else go b (a + b) (b :: acc) in
+  Array.of_list (go 1 1 [])
+
+let fibonacci_decomposition v =
+  (* Indices of the Zeckendorf terms, descending. *)
+  let rec largest i = if i + 1 < Array.length fibs && fibs.(i + 1) <= v then largest (i + 1) else i in
+  let rec go v i acc =
+    if v = 0 then acc
+    else if fibs.(i) <= v then go (v - fibs.(i)) (i - 1) (i :: acc)
+    else go v (i - 1) acc
+  in
+  if v < 1 then invalid_arg "Codes.fibonacci";
+  go v (largest 0) []
+
+let encode_fibonacci buf v =
+  let terms = fibonacci_decomposition v in
+  let top = List.fold_left max 0 terms in
+  for i = 0 to top do
+    Bitbuf.write_bit buf (List.mem i terms)
+  done;
+  Bitbuf.write_bit buf true
+
+let decode_fibonacci (r : Reader.t) =
+  let rec go i prev acc =
+    let bit = Reader.read_bit r in
+    if bit && prev then acc
+    else go (i + 1) bit (if bit then acc + fibs.(i) else acc)
+  in
+  go 0 false 0
+
+let fibonacci_size v =
+  let terms = fibonacci_decomposition v in
+  List.fold_left max 0 terms + 2

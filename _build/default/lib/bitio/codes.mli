@@ -1,0 +1,57 @@
+(** Variable-length integer codes.
+
+    The paper compresses bitmaps by gamma-coding run lengths / gaps
+    (Elias [12]); we also provide delta, unary, Golomb–Rice and
+    fixed-width codes for baselines and layout metadata.  Every code
+    comes as a triple: [encode_x buf v], [decode_x reader] and
+    [x_size v] (exact encoded length in bits), with
+    [decode (encode v) = v] and [x_size v = ] number of bits written
+    by [encode_x]. *)
+
+(** {1 Unary} — [v >= 0] encoded as [v] one-bits then a zero. *)
+
+val encode_unary : Bitbuf.t -> int -> unit
+val decode_unary : Reader.t -> int
+val unary_size : int -> int
+
+(** {1 Elias gamma} — [v >= 1]; [2*floor(lg v) + 1] bits. *)
+
+val encode_gamma : Bitbuf.t -> int -> unit
+val decode_gamma : Reader.t -> int
+val gamma_size : int -> int
+
+(** {1 Elias delta} — [v >= 1]; asymptotically
+    [lg v + 2 lg lg v + O(1)] bits. *)
+
+val encode_delta : Bitbuf.t -> int -> unit
+val decode_delta : Reader.t -> int
+val delta_size : int -> int
+
+(** {1 Golomb–Rice with parameter [k]} — [v >= 0]. *)
+
+val encode_rice : Bitbuf.t -> k:int -> int -> unit
+val decode_rice : Reader.t -> k:int -> int
+val rice_size : k:int -> int -> int
+
+(** {1 Fixed width} — [width] bits, [0 <= v < 2^width]. *)
+
+val encode_fixed : Bitbuf.t -> width:int -> int -> unit
+val decode_fixed : Reader.t -> width:int -> int
+val fixed_size : width:int -> int -> int
+
+(** {1 Helpers} *)
+
+(** [floor_log2 v] for [v >= 1]. *)
+val floor_log2 : int -> int
+
+(** [ceil_log2 v] for [v >= 1]; number of bits needed to distinguish
+    [v] values ([ceil_log2 1 = 0]). *)
+val ceil_log2 : int -> int
+
+(** {1 Fibonacci} — [v >= 1]; Zeckendorf representation terminated by
+    two consecutive one-bits.  Robust to bit errors and competitive
+    with delta for mid-sized gaps. *)
+
+val encode_fibonacci : Bitbuf.t -> int -> unit
+val decode_fibonacci : Reader.t -> int
+val fibonacci_size : int -> int

@@ -1,0 +1,27 @@
+(** Abstract sequential bit reader.
+
+    Decoders in {!Bitio.Codes} are written against this interface so
+    that the same code path decodes from an in-memory {!Bitio.Bitbuf}
+    (during construction and in tests) and from a simulated disk
+    region (during queries, where every block touched is counted by
+    the I/O model in [Iosim]). *)
+
+type t = {
+  read_bits : int -> int;
+      (** [read_bits w] consumes the next [w] bits (MSB first),
+          [0 <= w <= 62]. *)
+  bit_pos : unit -> int;  (** Current absolute bit position. *)
+  seek : int -> unit;  (** Jump to an absolute bit position. *)
+}
+
+(** Consume one bit. *)
+val read_bit : t -> bool
+
+(** Reader over a bit buffer, starting at bit [pos] (default 0). *)
+val of_bitbuf : ?pos:int -> Bitbuf.t -> t
+
+(** Reader over raw bytes (MSB-first bit order), starting at [pos]. *)
+val of_bytes : ?pos:int -> bytes -> t
+
+(** [skip t w] discards the next [w] bits ([w >= 0], may exceed 62). *)
+val skip : t -> int -> unit

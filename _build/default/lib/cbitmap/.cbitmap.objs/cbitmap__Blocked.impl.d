@@ -1,0 +1,1 @@
+lib/cbitmap/blocked.ml: Array Bitio Gap_codec List Posting

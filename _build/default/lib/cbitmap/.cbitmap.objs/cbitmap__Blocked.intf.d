@@ -1,0 +1,1 @@
+lib/cbitmap/blocked.mli: Bitio Gap_codec Posting

@@ -1,0 +1,1 @@
+lib/cbitmap/elias_fano.ml: Array Bitio List Posting Rank_select

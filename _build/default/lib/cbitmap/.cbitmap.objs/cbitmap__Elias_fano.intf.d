@@ -1,0 +1,1 @@
+lib/cbitmap/elias_fano.mli: Posting

@@ -1,0 +1,1 @@
+lib/cbitmap/entropy.ml: Array Gap_codec

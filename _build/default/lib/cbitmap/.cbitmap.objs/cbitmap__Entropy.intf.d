@@ -1,0 +1,1 @@
+lib/cbitmap/entropy.mli:

@@ -1,0 +1,1 @@
+lib/cbitmap/gap_codec.ml: Array Bitio Posting

@@ -1,0 +1,1 @@
+lib/cbitmap/gap_codec.mli: Bitio Posting

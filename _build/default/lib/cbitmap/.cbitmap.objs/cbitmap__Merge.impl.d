@@ -1,0 +1,1 @@
+lib/cbitmap/merge.ml: Array List Posting

@@ -1,0 +1,1 @@
+lib/cbitmap/merge.mli: Posting

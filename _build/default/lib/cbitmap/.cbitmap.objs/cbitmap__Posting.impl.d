@@ -1,0 +1,1 @@
+lib/cbitmap/posting.ml: Array Format List String

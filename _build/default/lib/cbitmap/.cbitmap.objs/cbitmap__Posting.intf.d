@@ -1,0 +1,1 @@
+lib/cbitmap/posting.mli: Format

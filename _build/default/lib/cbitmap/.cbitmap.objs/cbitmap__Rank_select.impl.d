@@ -1,0 +1,1 @@
+lib/cbitmap/rank_select.ml: Array Bitio Posting

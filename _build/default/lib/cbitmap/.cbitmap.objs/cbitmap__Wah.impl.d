@@ -1,0 +1,1 @@
+lib/cbitmap/wah.ml: Array Bitio List Posting

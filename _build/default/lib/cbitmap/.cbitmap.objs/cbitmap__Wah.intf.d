@@ -1,0 +1,1 @@
+lib/cbitmap/wah.mli: Bitio Posting

@@ -1,0 +1,94 @@
+type t = {
+  payload_bits : int;
+  blocks : Bitio.Bitbuf.t array;
+  firsts : int array;
+  counts : int array;
+}
+
+let encode ?(code = Gap_codec.Gamma) ~payload_bits posting =
+  if payload_bits <= 0 then invalid_arg "Blocked.encode";
+  let blocks = ref [] and firsts = ref [] and counts = ref [] in
+  let cur = ref (Bitio.Bitbuf.create ()) in
+  let cur_first = ref (-1) in
+  let cur_count = ref 0 in
+  let last = ref (-1) in
+  let flush () =
+    if !cur_count > 0 then begin
+      blocks := !cur :: !blocks;
+      firsts := !cur_first :: !firsts;
+      counts := !cur_count :: !counts;
+      cur := Bitio.Bitbuf.create ();
+      cur_first := -1;
+      cur_count := 0
+    end
+  in
+  Posting.iter
+    (fun p ->
+      (* Size if added to the current block: absolute if block empty. *)
+      let open_block = !cur_count > 0 in
+      let sz =
+        if open_block then Gap_codec.append_size ~code ~last:!last p
+        else Gap_codec.append_size ~code ~last:(-1) p
+      in
+      if open_block && Bitio.Bitbuf.length !cur + sz > payload_bits then
+        flush ();
+      let absolute = !cur_count = 0 in
+      let sz' =
+        if absolute then Gap_codec.append_size ~code ~last:(-1) p else sz
+      in
+      if sz' > payload_bits then
+        invalid_arg "Blocked.encode: payload_bits too small for a codeword";
+      if absolute then begin
+        Gap_codec.encode_append ~code ~last:(-1) !cur p;
+        cur_first := p
+      end
+      else Gap_codec.encode_append ~code ~last:!last !cur p;
+      incr cur_count;
+      last := p)
+    posting;
+  flush ();
+  {
+    payload_bits;
+    blocks = Array.of_list (List.rev !blocks);
+    firsts = Array.of_list (List.rev !firsts);
+    counts = Array.of_list (List.rev !counts);
+  }
+
+let block_count t = Array.length t.blocks
+
+let payload_bits_used t =
+  Array.fold_left (fun acc b -> acc + Bitio.Bitbuf.length b) 0 t.blocks
+
+let count t i = t.counts.(i)
+let first t i = t.firsts.(i)
+let block t i = t.blocks.(i)
+
+let decode_block ?code t i =
+  let r = Bitio.Reader.of_bitbuf t.blocks.(i) in
+  Gap_codec.decode ?code r ~count:t.counts.(i)
+
+let decode ?code t =
+  let parts = List.init (block_count t) (decode_block ?code t) in
+  match parts with
+  | [] -> Posting.empty
+  | _ ->
+      (* Blocks partition a sorted list, so concatenation suffices. *)
+      Posting.of_sorted_array
+        (Array.concat (List.map Posting.to_array parts))
+
+let seek_block t x =
+  let n = block_count t in
+  if n = 0 then None
+  else begin
+    (* Largest i with firsts.(i) <= x; if all firsts > x, block 0 is
+       still the only place a smaller position could precede. *)
+    let lo = ref 0 and hi = ref (n - 1) in
+    if t.firsts.(0) > x then Some 0
+    else begin
+      while !lo < !hi do
+        let mid = (!lo + !hi + 1) / 2 in
+        if t.firsts.(mid) <= x then lo := mid else hi := mid - 1
+      done;
+      Some !lo
+    end
+  end

@@ -1,0 +1,41 @@
+(** Blocked gap encoding (§4.2 of the paper).
+
+    A compressed bitmap is cut into blocks of at most [payload_bits]
+    bits such that the first codeword of every block is an absolute
+    position (not a gap) and no codeword straddles a block boundary.
+    This at most doubles the space ([payload_bits] should be roughly
+    [B/2] for device blocks of [B] bits) and makes each block
+    independently decodable, which is what the buffered bitmap index
+    of Theorem 6 needs for its leaves. *)
+
+type t
+
+(** [encode ~payload_bits posting].  Requires [payload_bits] large
+    enough for any single codeword (≥ [2 lg n + 1] bits is always
+    safe); raises [Invalid_argument] if a codeword does not fit. *)
+val encode : ?code:Gap_codec.code -> payload_bits:int -> Posting.t -> t
+
+val block_count : t -> int
+
+(** Total occupied payload bits (excludes per-block slack). *)
+val payload_bits_used : t -> int
+
+(** Number of positions stored in block [i]. *)
+val count : t -> int -> int
+
+(** Smallest position stored in block [i] (it is encoded absolutely). *)
+val first : t -> int -> int
+
+(** The encoded bits of block [i]. *)
+val block : t -> int -> Bitio.Bitbuf.t
+
+(** Decode a single block. *)
+val decode_block : ?code:Gap_codec.code -> t -> int -> Posting.t
+
+(** Decode everything. *)
+val decode : ?code:Gap_codec.code -> t -> Posting.t
+
+(** Index of the first block that can contain a position [>= x]
+    (i.e. the last block whose [first] is [<= x], since positions are
+    globally sorted), or [None] when empty. *)
+val seek_block : t -> int -> int option

@@ -1,0 +1,75 @@
+type t = {
+  u : int;
+  m : int;
+  low_bits : int;
+  lows : Bitio.Bitbuf.t; (* m fields of low_bits bits *)
+  highs : Rank_select.t; (* unary-coded high parts: m ones among m + u/2^l *)
+}
+
+let encode ~u posting =
+  if u <= 0 then invalid_arg "Elias_fano.encode: universe";
+  let m = Posting.cardinal posting in
+  let low_bits =
+    if m = 0 then 0
+    else max 0 (Bitio.Codes.ceil_log2 (max 1 (u / m)))
+  in
+  let lows = Bitio.Bitbuf.create ~capacity:(m * max 1 low_bits) () in
+  let high_positions = ref [] in
+  let idx = ref 0 in
+  Posting.iter
+    (fun v ->
+      if v >= u then invalid_arg "Elias_fano.encode: element >= universe";
+      if low_bits > 0 then
+        Bitio.Bitbuf.write_bits lows ~width:low_bits
+          (v land ((1 lsl low_bits) - 1));
+      let high = v lsr low_bits in
+      (* The k-th element's high part is stored as a one at position
+         high + k of the upper bitvector. *)
+      high_positions := (high + !idx) :: !high_positions;
+      incr idx)
+    posting;
+  let upper_len = (if m = 0 then 0 else m + (u lsr low_bits)) + 1 in
+  let highs =
+    Rank_select.of_posting ~n:upper_len
+      (Posting.of_sorted_array (Array.of_list (List.rev !high_positions)))
+  in
+  { u; m; low_bits; lows; highs }
+
+let cardinal t = t.m
+let universe t = t.u
+
+let get t k =
+  if k < 0 || k >= t.m then invalid_arg "Elias_fano.get";
+  let high = Rank_select.select1 t.highs k - k in
+  let low =
+    if t.low_bits = 0 then 0
+    else Bitio.Bitbuf.read_bits t.lows ~pos:(k * t.low_bits) ~width:t.low_bits
+  in
+  (high lsl t.low_bits) lor low
+
+let successor t x =
+  if t.m = 0 then None
+  else begin
+    (* Binary search on get (monotone). *)
+    let lo = ref 0 and hi = ref (t.m - 1) in
+    if get t !hi < x then None
+    else begin
+      while !lo < !hi do
+        let mid = (!lo + !hi) / 2 in
+        if get t mid >= x then hi := mid else lo := mid + 1
+      done;
+      Some (get t !lo)
+    end
+  end
+
+let mem t x = match successor t x with Some v -> v = x | None -> false
+
+let decode t =
+  Posting.of_sorted_array (Array.init t.m (get t))
+
+let size_bits t =
+  Bitio.Bitbuf.length t.lows + Rank_select.size_bits t.highs
+
+let bits_per_element t =
+  if t.m = 0 then 0.0
+  else 2.0 +. (log (float_of_int t.u /. float_of_int t.m) /. log 2.0)

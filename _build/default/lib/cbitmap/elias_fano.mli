@@ -1,0 +1,32 @@
+(** Elias–Fano encoding of monotone sequences.
+
+    The modern quasi-succinct posting-list representation: a sorted
+    set of [m] values below [u] in [m·(2 + lg(u/m)) + o(m)] bits with
+    O(1) access to the [k]-th element and O(lg) successor queries —
+    within 2 bits per element of the [lg (u choose m)] bound the paper
+    compresses to.  Provided as an alternative substrate to gap coding
+    (ablation E13): unlike gamma streams it supports random access
+    without decoding a prefix. *)
+
+type t
+
+(** [encode ~u posting]: all elements must be [< u]. *)
+val encode : u:int -> Posting.t -> t
+
+val cardinal : t -> int
+val universe : t -> int
+
+(** [get t k] is the [k]-th smallest element, O(1). *)
+val get : t -> int -> int
+
+(** Smallest element [>= x], or [None]. *)
+val successor : t -> int -> int option
+
+val mem : t -> int -> bool
+val decode : t -> Posting.t
+
+(** Total size in bits (lower bits + upper bits + select directory). *)
+val size_bits : t -> int
+
+(** The information-theoretic 2 + lg(u/m) bits/element reference. *)
+val bits_per_element : t -> float

@@ -1,0 +1,34 @@
+let counts ~sigma x =
+  let c = Array.make sigma 0 in
+  Array.iter
+    (fun v ->
+      if v < 0 || v >= sigma then invalid_arg "Entropy.counts";
+      c.(v) <- c.(v) + 1)
+    x;
+  c
+
+let h0 ~sigma x =
+  let n = Array.length x in
+  if n = 0 then 0.0
+  else begin
+    let c = counts ~sigma x in
+    let acc = ref 0.0 in
+    Array.iter
+      (fun z ->
+        if z > 0 then begin
+          let p = float_of_int z /. float_of_int n in
+          acc := !acc -. (p *. (log p /. log 2.0))
+        end)
+      c;
+    !acc
+  end
+
+let nh0_bits ~sigma x = float_of_int (Array.length x) *. h0 ~sigma x
+
+let sum_binomial_bits ~sigma x =
+  let n = Array.length x in
+  let c = counts ~sigma x in
+  Array.fold_left
+    (fun acc z ->
+      if z = 0 then acc else acc +. Gap_codec.binomial_entropy_bits ~n ~m:z)
+    0.0 c

@@ -1,0 +1,19 @@
+(** Empirical 0th-order entropy of a string over [Σ = {0..σ-1}].
+
+    The paper's Theorem 2 bounds the index size by [O(n·H0 + n +
+    σ·lg²n)] bits; the experiments compare measured sizes against
+    [n·H0] computed here. *)
+
+(** Per-character counts of a string given as an int array (characters
+    are [0..σ-1]). *)
+val counts : sigma:int -> int array -> int array
+
+(** [h0 ~sigma x] in bits per symbol. *)
+val h0 : sigma:int -> int array -> float
+
+(** [n * h0], the entropy lower bound for the whole string, in bits. *)
+val nh0_bits : sigma:int -> int array -> float
+
+(** Sum over characters of [lg (n choose z_a)] — the information
+    bound for storing each character's position set independently. *)
+val sum_binomial_bits : sigma:int -> int array -> float

@@ -1,0 +1,91 @@
+type code = Gamma | Delta | Rice of int | Fibonacci
+
+let encode_value code buf v =
+  match code with
+  | Gamma -> Bitio.Codes.encode_gamma buf v
+  | Delta -> Bitio.Codes.encode_delta buf v
+  | Rice k -> Bitio.Codes.encode_rice buf ~k v
+  | Fibonacci -> Bitio.Codes.encode_fibonacci buf v
+
+let decode_value code r =
+  match code with
+  | Gamma -> Bitio.Codes.decode_gamma r
+  | Delta -> Bitio.Codes.decode_delta r
+  | Rice k -> Bitio.Codes.decode_rice r ~k
+  | Fibonacci -> Bitio.Codes.decode_fibonacci r
+
+let value_size code v =
+  match code with
+  | Gamma -> Bitio.Codes.gamma_size v
+  | Delta -> Bitio.Codes.delta_size v
+  | Rice k -> Bitio.Codes.rice_size ~k v
+  | Fibonacci -> Bitio.Codes.fibonacci_size v
+
+let encode_shifted ?(code = Gamma) ~shift buf posting =
+  let last = ref (-1) in
+  Posting.iter
+    (fun p ->
+      let p = p + shift in
+      let gap = if !last < 0 then p + 1 else p - !last in
+      encode_value code buf gap;
+      last := p)
+    posting
+
+let encode ?code buf posting = encode_shifted ?code ~shift:0 buf posting
+
+let to_buf ?code posting =
+  let buf = Bitio.Bitbuf.create () in
+  encode ?code buf posting;
+  buf
+
+let encoded_size ?(code = Gamma) posting =
+  let last = ref (-1) in
+  Posting.fold
+    (fun acc p ->
+      let gap = if !last < 0 then p + 1 else p - !last in
+      last := p;
+      acc + value_size code gap)
+    0 posting
+
+let decode ?(code = Gamma) r ~count =
+  let out = Array.make count 0 in
+  let last = ref (-1) in
+  for i = 0 to count - 1 do
+    let gap = decode_value code r in
+    let p = if !last < 0 then gap - 1 else !last + gap in
+    out.(i) <- p;
+    last := p
+  done;
+  Posting.of_sorted_array out
+
+let stream_from ?(code = Gamma) r ~count ~last =
+  let remaining = ref count in
+  let last = ref last in
+  fun () ->
+    if !remaining <= 0 then None
+    else begin
+      decr remaining;
+      let gap = decode_value code r in
+      let p = if !last < 0 then gap - 1 else !last + gap in
+      last := p;
+      Some p
+    end
+
+let stream ?code r ~count = stream_from ?code r ~count ~last:(-1)
+
+let append_size ?(code = Gamma) ~last p =
+  let gap = if last < 0 then p + 1 else p - last in
+  value_size code gap
+
+let encode_append ?(code = Gamma) ~last buf p =
+  let gap = if last < 0 then p + 1 else p - last in
+  encode_value code buf gap
+
+let binomial_entropy_bits ~n ~m =
+  if m < 0 || m > n then invalid_arg "Gap_codec.binomial_entropy_bits";
+  let m = min m (n - m) in
+  let acc = ref 0.0 in
+  for i = 1 to m do
+    acc := !acc +. log (float_of_int (n - m + i) /. float_of_int i)
+  done;
+  !acc /. log 2.0

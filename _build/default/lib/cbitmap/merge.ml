@@ -1,0 +1,100 @@
+type stream = unit -> int option
+
+let of_array a =
+  let i = ref 0 in
+  fun () ->
+    if !i >= Array.length a then None
+    else begin
+      let v = a.(!i) in
+      incr i;
+      Some v
+    end
+
+let of_posting p = of_array (Posting.to_array p)
+
+(* Min-heap of (value, stream index). *)
+type heap = { mutable data : (int * int) array; mutable size : int }
+
+let heap_create cap = { data = Array.make (max 1 cap) (0, 0); size = 0 }
+
+let heap_swap h i j =
+  let tmp = h.data.(i) in
+  h.data.(i) <- h.data.(j);
+  h.data.(j) <- tmp
+
+let rec heap_up h i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if fst h.data.(i) < fst h.data.(parent) then begin
+      heap_swap h i parent;
+      heap_up h parent
+    end
+  end
+
+let rec heap_down h i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < h.size && fst h.data.(l) < fst h.data.(!smallest) then smallest := l;
+  if r < h.size && fst h.data.(r) < fst h.data.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    heap_swap h i !smallest;
+    heap_down h !smallest
+  end
+
+let heap_push h v =
+  if h.size = Array.length h.data then begin
+    let data = Array.make (2 * h.size) (0, 0) in
+    Array.blit h.data 0 data 0 h.size;
+    h.data <- data
+  end;
+  h.data.(h.size) <- v;
+  h.size <- h.size + 1;
+  heap_up h (h.size - 1)
+
+let heap_pop h =
+  let top = h.data.(0) in
+  h.size <- h.size - 1;
+  h.data.(0) <- h.data.(h.size);
+  heap_down h 0;
+  top
+
+let union streams =
+  let streams = Array.of_list streams in
+  let heap = heap_create (Array.length streams) in
+  Array.iteri
+    (fun i s -> match s () with Some v -> heap_push heap (v, i) | None -> ())
+    streams;
+  let last = ref (-1) in
+  let rec next () =
+    if heap.size = 0 then None
+    else begin
+      let v, i = heap_pop heap in
+      (match streams.(i) () with
+      | Some v' -> heap_push heap (v', i)
+      | None -> ());
+      if v = !last then next ()
+      else begin
+        last := v;
+        Some v
+      end
+    end
+  in
+  next
+
+let to_posting s =
+  let acc = ref [] in
+  let rec go () =
+    match s () with
+    | Some v ->
+        acc := v :: !acc;
+        go ()
+    | None -> ()
+  in
+  go ();
+  Posting.of_sorted_array (Array.of_list (List.rev !acc))
+
+let union_to_posting ss = to_posting (union ss)
+
+let length s =
+  let rec go acc = match s () with Some _ -> go (acc + 1) | None -> acc in
+  go 0

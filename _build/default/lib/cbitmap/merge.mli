@@ -1,0 +1,24 @@
+(** K-way merging of position streams.
+
+    Queries in every tree-structured index answer a range by taking
+    the union of the (compressed) bitmaps of the canonical nodes; this
+    module merges the pull-based decoders of {!Gap_codec.stream}
+    without materializing the inputs, so the I/O counters see exactly
+    one sequential pass over each input. *)
+
+type stream = unit -> int option
+
+val of_posting : Posting.t -> stream
+val of_array : int array -> stream
+
+(** Union merge: duplicates across streams are emitted once. *)
+val union : stream list -> stream
+
+(** Drain a stream into a posting list. *)
+val to_posting : stream -> Posting.t
+
+(** [union_to_posting ss] = [to_posting (union ss)]. *)
+val union_to_posting : stream list -> Posting.t
+
+(** Count elements without storing them. *)
+val length : stream -> int

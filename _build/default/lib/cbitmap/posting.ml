@@ -1,0 +1,245 @@
+type t = int array
+
+let empty = [||]
+
+let of_sorted_array a =
+  Array.iteri
+    (fun i v ->
+      if v < 0 then invalid_arg "Posting.of_sorted_array: negative";
+      if i > 0 && a.(i - 1) >= v then
+        invalid_arg "Posting.of_sorted_array: not strictly increasing")
+    a;
+  Array.copy a
+
+let of_list l =
+  let a = Array.of_list l in
+  Array.sort compare a;
+  let n = Array.length a in
+  if n = 0 then [||]
+  else begin
+    if a.(0) < 0 then invalid_arg "Posting.of_list: negative";
+    let out = Array.make n 0 in
+    let k = ref 0 in
+    Array.iter
+      (fun v ->
+        if !k = 0 || out.(!k - 1) <> v then begin
+          out.(!k) <- v;
+          incr k
+        end)
+      a;
+    Array.sub out 0 !k
+  end
+
+let of_bitstring s =
+  let acc = ref [] in
+  String.iteri (fun i c -> if c = '1' then acc := i :: !acc) s;
+  Array.of_list (List.rev !acc)
+
+let to_list = Array.to_list
+let to_array = Array.copy
+let cardinal = Array.length
+let is_empty t = Array.length t = 0
+let get t i = t.(i)
+
+(* Index of the first element >= x, or length if none. *)
+let lower_bound t x =
+  let lo = ref 0 and hi = ref (Array.length t) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if t.(mid) < x then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let mem t x =
+  let i = lower_bound t x in
+  i < Array.length t && t.(i) = x
+
+let rank t x = lower_bound t x
+
+let union a b =
+  let na = Array.length a and nb = Array.length b in
+  let out = Array.make (na + nb) 0 in
+  let i = ref 0 and j = ref 0 and k = ref 0 in
+  while !i < na || !j < nb do
+    let v =
+      if !i >= na then begin
+        let v = b.(!j) in
+        incr j;
+        v
+      end
+      else if !j >= nb then begin
+        let v = a.(!i) in
+        incr i;
+        v
+      end
+      else if a.(!i) < b.(!j) then begin
+        let v = a.(!i) in
+        incr i;
+        v
+      end
+      else if a.(!i) > b.(!j) then begin
+        let v = b.(!j) in
+        incr j;
+        v
+      end
+      else begin
+        let v = a.(!i) in
+        incr i;
+        incr j;
+        v
+      end
+    in
+    out.(!k) <- v;
+    incr k
+  done;
+  Array.sub out 0 !k
+
+let inter a b =
+  let na = Array.length a and nb = Array.length b in
+  let out = Array.make (min na nb) 0 in
+  let i = ref 0 and j = ref 0 and k = ref 0 in
+  while !i < na && !j < nb do
+    if a.(!i) < b.(!j) then incr i
+    else if a.(!i) > b.(!j) then incr j
+    else begin
+      out.(!k) <- a.(!i);
+      incr k;
+      incr i;
+      incr j
+    end
+  done;
+  Array.sub out 0 !k
+
+let diff a b =
+  let na = Array.length a and nb = Array.length b in
+  let out = Array.make na 0 in
+  let i = ref 0 and j = ref 0 and k = ref 0 in
+  while !i < na do
+    if !j >= nb || a.(!i) < b.(!j) then begin
+      out.(!k) <- a.(!i);
+      incr k;
+      incr i
+    end
+    else if a.(!i) > b.(!j) then incr j
+    else begin
+      incr i;
+      incr j
+    end
+  done;
+  Array.sub out 0 !k
+
+let complement ~n t =
+  let out = Array.make (n - Array.length t) 0 in
+  let k = ref 0 and j = ref 0 in
+  for v = 0 to n - 1 do
+    if !j < Array.length t && t.(!j) = v then incr j
+    else begin
+      out.(!k) <- v;
+      incr k
+    end
+  done;
+  if !k <> Array.length out then
+    invalid_arg "Posting.complement: elements outside [0;n)";
+  out
+
+(* Binary min-heap of (value, source index) used for k-way merge. *)
+module Heap = struct
+  type t = { mutable data : (int * int) array; mutable size : int }
+
+  let create cap = { data = Array.make (max 1 cap) (0, 0); size = 0 }
+
+  let swap h i j =
+    let tmp = h.data.(i) in
+    h.data.(i) <- h.data.(j);
+    h.data.(j) <- tmp
+
+  let rec up h i =
+    if i > 0 then begin
+      let parent = (i - 1) / 2 in
+      if fst h.data.(i) < fst h.data.(parent) then begin
+        swap h i parent;
+        up h parent
+      end
+    end
+
+  let rec down h i =
+    let l = (2 * i) + 1 and r = (2 * i) + 2 in
+    let smallest = ref i in
+    if l < h.size && fst h.data.(l) < fst h.data.(!smallest) then smallest := l;
+    if r < h.size && fst h.data.(r) < fst h.data.(!smallest) then smallest := r;
+    if !smallest <> i then begin
+      swap h i !smallest;
+      down h !smallest
+    end
+
+  let push h v =
+    if h.size = Array.length h.data then begin
+      let data = Array.make (2 * h.size) (0, 0) in
+      Array.blit h.data 0 data 0 h.size;
+      h.data <- data
+    end;
+    h.data.(h.size) <- v;
+    h.size <- h.size + 1;
+    up h (h.size - 1)
+
+  let pop h =
+    let top = h.data.(0) in
+    h.size <- h.size - 1;
+    h.data.(0) <- h.data.(h.size);
+    down h 0;
+    top
+
+  let is_empty h = h.size = 0
+end
+
+let union_many lists =
+  let lists = Array.of_list lists in
+  let k = Array.length lists in
+  if k = 0 then empty
+  else begin
+    let total = Array.fold_left (fun acc a -> acc + Array.length a) 0 lists in
+    let out = Array.make total 0 in
+    let heap = Heap.create k in
+    let idx = Array.make k 0 in
+    Array.iteri
+      (fun s a -> if Array.length a > 0 then Heap.push heap (a.(0), s))
+      lists;
+    let m = ref 0 in
+    while not (Heap.is_empty heap) do
+      let v, s = Heap.pop heap in
+      if !m = 0 || out.(!m - 1) <> v then begin
+        out.(!m) <- v;
+        incr m
+      end;
+      idx.(s) <- idx.(s) + 1;
+      if idx.(s) < Array.length lists.(s) then
+        Heap.push heap (lists.(s).(idx.(s)), s)
+    done;
+    Array.sub out 0 !m
+  end
+
+let iter = Array.iter
+let fold = Array.fold_left
+let equal a b = a = b
+
+let subset a b =
+  let nb = Array.length b in
+  let rec go i j =
+    if i >= Array.length a then true
+    else if j >= nb then false
+    else if a.(i) = b.(j) then go (i + 1) (j + 1)
+    else if a.(i) > b.(j) then go i (j + 1)
+    else false
+  in
+  go 0 0
+
+let filter_range ~lo ~hi t =
+  let i = lower_bound t lo and j = lower_bound t (hi + 1) in
+  Array.sub t i (j - i)
+
+let pp ppf t =
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+       Format.pp_print_int)
+    (Array.to_list t)

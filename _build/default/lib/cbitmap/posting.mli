@@ -1,0 +1,55 @@
+(** Sets of positions (RID lists), represented as sorted arrays of
+    distinct non-negative integers.
+
+    This is the uncompressed, in-memory view of a bitmap: the ground
+    truth that every index must reproduce, and the value produced by
+    decompressing query answers. *)
+
+type t
+
+val empty : t
+
+(** Sorts and removes duplicates. *)
+val of_list : int list -> t
+
+(** [of_sorted_array a] validates that [a] is strictly increasing and
+    non-negative; raises [Invalid_argument] otherwise.  The array is
+    copied. *)
+val of_sorted_array : int array -> t
+
+(** Positions of set bits of [s], where [s.[i] = '1']. *)
+val of_bitstring : string -> t
+
+val to_list : t -> int list
+val to_array : t -> int array
+val cardinal : t -> int
+val is_empty : t -> bool
+
+(** [get t i] is the [i]-th smallest element. *)
+val get : t -> int -> int
+
+(** Binary-search membership. *)
+val mem : t -> int -> bool
+
+(** [rank t x] is the number of elements strictly below [x]. *)
+val rank : t -> int -> int
+
+val union : t -> t -> t
+val inter : t -> t -> t
+val diff : t -> t -> t
+
+(** [complement ~n t] is [{0..n-1} \ t]. *)
+val complement : n:int -> t -> t
+
+(** Multi-way union (heap-based k-way merge). *)
+val union_many : t list -> t
+
+val iter : (int -> unit) -> t -> unit
+val fold : ('a -> int -> 'a) -> 'a -> t -> 'a
+val equal : t -> t -> bool
+val subset : t -> t -> bool
+
+(** Elements in [\[lo;hi\]] (inclusive). *)
+val filter_range : lo:int -> hi:int -> t -> t
+
+val pp : Format.formatter -> t -> unit

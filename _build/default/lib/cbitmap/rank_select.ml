@@ -1,0 +1,105 @@
+(* Words of 63 usable bits (OCaml ints), a rank directory with one
+   cumulative count per word, and a sparse sampling for select.  The
+   per-word directory costs n/63 * ~32 bits; good enough for a
+   simulator (the classical o(n) two-level directory changes constants
+   only). *)
+
+let word_bits = 63
+
+type t = {
+  n : int;
+  words : int array; (* bit i lives in words.(i / 63), bit (i mod 63) *)
+  rank_dir : int array; (* rank_dir.(w) = #ones in words 0..w-1 *)
+  total_ones : int;
+}
+
+let popcount x =
+  let rec go x acc = if x = 0 then acc else go (x land (x - 1)) (acc + 1) in
+  go x 0
+
+let build_dir words =
+  let dir = Array.make (Array.length words + 1) 0 in
+  Array.iteri (fun i w -> dir.(i + 1) <- dir.(i) + popcount w) words;
+  dir
+
+let of_posting ~n posting =
+  if n < 0 then invalid_arg "Rank_select.of_posting";
+  let words = Array.make ((n + word_bits - 1) / word_bits + 1) 0 in
+  Posting.iter
+    (fun i ->
+      if i >= n then invalid_arg "Rank_select.of_posting: position >= n";
+      words.(i / word_bits) <-
+        words.(i / word_bits) lor (1 lsl (i mod word_bits)))
+    posting;
+  let rank_dir = build_dir words in
+  { n; words; rank_dir; total_ones = rank_dir.(Array.length words) }
+
+let of_bitbuf buf =
+  let n = Bitio.Bitbuf.length buf in
+  let acc = ref [] in
+  for i = n - 1 downto 0 do
+    if Bitio.Bitbuf.get_bit buf i then acc := i :: !acc
+  done;
+  of_posting ~n (Posting.of_sorted_array (Array.of_list !acc))
+
+let length t = t.n
+let ones t = t.total_ones
+
+let get t i =
+  if i < 0 || i >= t.n then invalid_arg "Rank_select.get";
+  t.words.(i / word_bits) land (1 lsl (i mod word_bits)) <> 0
+
+let rank1 t i =
+  if i < 0 || i > t.n then invalid_arg "Rank_select.rank1";
+  let w = i / word_bits and r = i mod word_bits in
+  t.rank_dir.(w) + popcount (t.words.(w) land ((1 lsl r) - 1))
+
+let rank0 t i = i - rank1 t i
+
+(* Select via binary search on the rank directory, then a word scan. *)
+let select_generic t ~count_before ~total ~bit k =
+  if k < 0 || k >= total then raise Not_found;
+  (* Find the word containing the (k+1)-th target bit. *)
+  let lo = ref 0 and hi = ref (Array.length t.words - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    (* targets strictly before word mid+1 *)
+    if count_before (mid + 1) > k then hi := mid else lo := mid + 1
+  done;
+  let w = !lo in
+  let skip = ref (k - count_before w) in
+  let word = t.words.(w) in
+  let pos = ref (-1) in
+  (try
+     for b = 0 to word_bits - 1 do
+       let idx = (w * word_bits) + b in
+       if idx < t.n && (word land (1 lsl b) <> 0) = bit then begin
+         if !skip = 0 then begin
+           pos := idx;
+           raise Exit
+         end;
+         decr skip
+       end
+     done
+   with Exit -> ());
+  if !pos < 0 then raise Not_found;
+  !pos
+
+let select1 t k =
+  select_generic t
+    ~count_before:(fun w -> t.rank_dir.(w))
+    ~total:t.total_ones ~bit:true k
+
+let select0 t k =
+  select_generic t
+    ~count_before:(fun w -> min t.n (w * word_bits) - t.rank_dir.(w))
+    ~total:(t.n - t.total_ones) ~bit:false k
+
+let size_bits t = (Array.length t.words + Array.length t.rank_dir) * 63
+
+let to_posting t =
+  let acc = ref [] in
+  for i = t.n - 1 downto 0 do
+    if get t i then acc := i :: !acc
+  done;
+  Posting.of_sorted_array (Array.of_list !acc)

@@ -1,0 +1,42 @@
+(** Static bitvector with O(1) rank and O(lg n) select.
+
+    The succinct-dictionary building block the paper's line of work
+    sits on (bitmap indexes are exactly rank/select dictionaries).
+    Space: the raw bits plus a two-level rank directory of [o(n)]
+    bits.  Used by {!Elias_fano} for the upper-bits select, and
+    available as an alternative uncompressed row representation. *)
+
+type t
+
+(** Build from the positions of the set bits. *)
+val of_posting : n:int -> Posting.t -> t
+
+(** Build from an explicit bit buffer. *)
+val of_bitbuf : Bitio.Bitbuf.t -> t
+
+(** Bitvector length. *)
+val length : t -> int
+
+(** Number of ones. *)
+val ones : t -> int
+
+val get : t -> int -> bool
+
+(** [rank1 t i] = number of ones in positions [0..i-1]; [0 <= i <=
+    length]. *)
+val rank1 : t -> int -> int
+
+(** [rank0 t i] = number of zeros in positions [0..i-1]. *)
+val rank0 : t -> int -> int
+
+(** [select1 t k] = position of the [k]-th one (0-based); raises
+    [Not_found] when [k >= ones]. *)
+val select1 : t -> int -> int
+
+(** [select0 t k] = position of the [k]-th zero. *)
+val select0 : t -> int -> int
+
+(** Size of the structure in bits (payload + directories). *)
+val size_bits : t -> int
+
+val to_posting : t -> Posting.t

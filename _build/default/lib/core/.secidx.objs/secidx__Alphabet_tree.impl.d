@@ -1,0 +1,1 @@
+lib/core/alphabet_tree.ml: Array Bitio Cbitmap Fun Indexing Iosim List

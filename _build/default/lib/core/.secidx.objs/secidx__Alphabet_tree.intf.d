@@ -1,0 +1,1 @@
+lib/core/alphabet_tree.mli: Indexing Iosim

@@ -1,0 +1,1 @@
+lib/core/append_index.ml: Array Bitio Cbitmap Frozen Hashtbl Indexing Iosim List Wbb

@@ -1,0 +1,1 @@
+lib/core/append_index.mli: Cbitmap Indexing Iosim

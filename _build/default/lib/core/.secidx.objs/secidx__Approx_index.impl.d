@@ -1,0 +1,1 @@
+lib/core/approx_index.ml: Array Bitio Cbitmap Hashing Indexing List Option Static_index Wbb

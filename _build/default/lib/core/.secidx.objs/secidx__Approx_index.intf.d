@@ -1,0 +1,1 @@
+lib/core/approx_index.mli: Cbitmap Hashing Indexing Iosim Static_index

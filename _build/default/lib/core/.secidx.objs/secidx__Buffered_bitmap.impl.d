@@ -1,0 +1,1 @@
+lib/core/buffered_bitmap.ml: Array Bitio Cbitmap Hashtbl Indexing Iosim List Option

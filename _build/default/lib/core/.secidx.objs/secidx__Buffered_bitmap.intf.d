@@ -1,0 +1,1 @@
+lib/core/buffered_bitmap.mli: Cbitmap Indexing Iosim

@@ -1,0 +1,1 @@
+lib/core/delete_map.mli: Iosim

@@ -1,0 +1,1 @@
+lib/core/dynamic_index.ml: Array Bitio Buffered_bitmap Cbitmap Frozen Indexing Iosim List Wbb

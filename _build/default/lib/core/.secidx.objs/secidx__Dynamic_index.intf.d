@@ -1,0 +1,1 @@
+lib/core/dynamic_index.mli: Indexing Iosim

@@ -1,0 +1,1 @@
+lib/core/frozen.ml: Array List Wbb

@@ -1,0 +1,1 @@
+lib/core/frozen.mli: Wbb

@@ -1,0 +1,1 @@
+lib/core/static_index.ml: Array Bitio Cbitmap Fun Hashtbl Indexing Iosim List Option Queue Wbb

@@ -1,0 +1,1 @@
+lib/core/static_index.mli: Cbitmap Indexing Iosim Wbb

@@ -1,0 +1,1 @@
+lib/core/wbb.ml: Array Cbitmap Indexing List

@@ -1,0 +1,1 @@
+lib/core/wbb.mli: Cbitmap

@@ -1,0 +1,138 @@
+type t = {
+  device : Iosim.Device.t;
+  n : int;
+  sigma : int;
+  sigma2 : int; (* alphabet size rounded up to a power of two *)
+  levels : Indexing.Stream_table.t option array;
+  (* levels.(j), when materialized, holds the 2^j bitmaps of the nodes
+     at depth j.  The `All schedule (Theorem 1) materializes every
+     level; `Doubling implements footnote 3: depths 1, 2, 4, 8, ...
+     plus the leaves, reducing space to O(n lg sigma + sigma lg^2 n)
+     at the price of merging runs of descendants for skipped levels. *)
+  a_region : Iosim.Device.region;
+  pos_bits : int;
+  complement : bool;
+}
+
+let materialized_depths schedule nlevels =
+  match schedule with
+  | `All -> List.init nlevels Fun.id
+  | `Doubling ->
+      let rec go d acc = if d >= nlevels - 1 then acc else go (2 * d) (d :: acc) in
+      List.sort_uniq compare ((nlevels - 1) :: 0 :: go 1 [])
+
+let build ?(complement = true) ?(schedule = `All) device ~sigma x =
+  let n = Array.length x in
+  let rec pow2 v = if v >= sigma then v else pow2 (2 * v) in
+  let sigma2 = pow2 1 in
+  let nlevels = Bitio.Codes.floor_log2 sigma2 + 1 in
+  let postings = Indexing.Common.positions_by_char ~sigma x in
+  let posting_of_char c = if c < sigma then postings.(c) else Cbitmap.Posting.empty in
+  let mat = materialized_depths schedule nlevels in
+  (* Build levels bottom-up: level (nlevels-1) = single characters. *)
+  let tables = Array.make nlevels None in
+  let current = ref (Array.init sigma2 posting_of_char) in
+  for j = nlevels - 1 downto 0 do
+    if List.mem j mat then
+      tables.(j) <- Some (Indexing.Stream_table.build device !current);
+    if j > 0 then
+      current :=
+        Array.init (1 lsl (j - 1)) (fun b ->
+            Cbitmap.Posting.union (!current).(2 * b) (!current).((2 * b) + 1))
+  done;
+  let levels = tables in
+  (* Prefix cardinalities A.(i) = #{positions with character < i}. *)
+  let a = Indexing.Common.prefix_counts ~sigma x in
+  let pos_bits = Indexing.Common.bits_for (max 2 (n + 1)) in
+  let a_buf = Bitio.Bitbuf.create () in
+  Array.iter (fun v -> Bitio.Bitbuf.write_bits a_buf ~width:pos_bits v) a;
+  let a_region = Iosim.Device.store ~align_block:true device a_buf in
+  { device; n; sigma; sigma2; levels; a_region; pos_bits; complement }
+
+let levels t = Array.length t.levels
+
+let read_a t i =
+  Iosim.Device.read_bits t.device
+    ~pos:(t.a_region.Iosim.Device.off + (i * t.pos_bits))
+    ~width:t.pos_bits
+
+(* Dyadic canonical cover of [lo..hi] (inclusive) over sigma2 leaves:
+   (level j, node index) pairs, coarse pieces first possible. *)
+let cover t ~lo ~hi =
+  let nlevels = Array.length t.levels in
+  let rec go lo acc =
+    if lo > hi then List.rev acc
+    else begin
+      (* Widest aligned dyadic block starting at lo that fits. *)
+      let best = ref (nlevels - 1) in
+      (* width at level j is sigma2 / 2^j = 2^(nlevels-1-j) *)
+      for j = nlevels - 1 downto 0 do
+        let width = 1 lsl (nlevels - 1 - j) in
+        if lo mod width = 0 && lo + width - 1 <= hi then best := j
+      done;
+      let j = !best in
+      let width = 1 lsl (nlevels - 1 - j) in
+      go (lo + width) ((j, lo / width) :: acc)
+    end
+  in
+  go lo []
+
+(* Streams for one cover piece: either the node's own bitmap, or the
+   contiguous run of its descendants at the next materialized level
+   below (footnote 3). *)
+let piece_streams t (j, b) =
+  match t.levels.(j) with
+  | Some tab -> Indexing.Stream_table.streams tab ~lo:b ~hi:b
+  | None ->
+      let rec down m =
+        if m >= Array.length t.levels then
+          invalid_arg "Alphabet_tree: leaf level not materialized"
+        else
+          match t.levels.(m) with
+          | Some tab ->
+              let span = 1 lsl (m - j) in
+              Indexing.Stream_table.streams tab ~lo:(b * span)
+                ~hi:(((b + 1) * span) - 1)
+          | None -> down (m + 1)
+      in
+      down (j + 1)
+
+let query_range t ~lo ~hi =
+  if lo > hi then Cbitmap.Posting.empty
+  else begin
+    let pieces = cover t ~lo ~hi in
+    let streams = List.concat_map (piece_streams t) pieces in
+    Cbitmap.Merge.union_to_posting streams
+  end
+
+let query t ~lo ~hi =
+  if lo < 0 || hi >= t.sigma || lo > hi then invalid_arg "Alphabet_tree.query";
+  let z = read_a t (hi + 1) - read_a t lo in
+  if z = 0 then Indexing.Answer.Direct Cbitmap.Posting.empty
+  else if t.complement && 2 * z > t.n then begin
+    let left = query_range t ~lo:0 ~hi:(lo - 1) in
+    let right = query_range t ~lo:(hi + 1) ~hi:(t.sigma2 - 1) in
+    Indexing.Answer.Complement (Cbitmap.Posting.union left right)
+  end
+  else Indexing.Answer.Direct (query_range t ~lo ~hi)
+
+let size_bits t =
+  Array.fold_left
+    (fun acc -> function
+      | None -> acc
+      | Some tab -> acc + Indexing.Stream_table.size_bits tab)
+    t.a_region.Iosim.Device.len t.levels
+
+let instance ?complement ?schedule device ~sigma x =
+  let t = build ?complement ?schedule device ~sigma x in
+  {
+    Indexing.Instance.name =
+      (match schedule with
+      | Some `Doubling -> "secidx-complete-tree-fn3"
+      | _ -> "secidx-complete-tree");
+    device;
+    n = t.n;
+    sigma;
+    size_bits = size_bits t;
+    query = (fun ~lo ~hi -> query t ~lo ~hi);
+  }

@@ -1,0 +1,400 @@
+type chain_block = {
+  cregion : Iosim.Device.region;
+  mutable cbits : int;
+  mutable ccount : int;
+}
+
+type chain = {
+  mutable cblocks : chain_block list; (* newest first *)
+  mutable clast : int; (* last position in base+chain, -1 if none *)
+  base_last : int; (* last position of the build-time bitmap *)
+  mutable ctotal : int; (* appended positions *)
+}
+
+type storage = {
+  table : Indexing.Stream_table.t;
+  chains : chain array;
+}
+
+type t = {
+  device : Iosim.Device.t;
+  c : int;
+  complement : bool;
+  buffered : bool;
+  code : Cbitmap.Gap_codec.code;
+  sigma : int;
+  mutable x : int array;
+  mutable n : int;
+  mutable n0 : int; (* length at last rebuild *)
+  mutable frozen : Frozen.t;
+  mutable mat : bool array;
+  mutable levels : storage option array;
+  mutable leaves : storage;
+  mutable counts_region : Iosim.Device.region;
+  mutable meta_region : Iosim.Device.region;
+  mutable meta_bits : int;
+  mutable rebuilds : int;
+  mutable buffer : (int * int) list; (* buffered appends, oldest first *)
+  mutable buffer_len : int;
+  buffer_cap : int;
+}
+
+let count_bits = 32
+
+let doubling_levels height =
+  let rec go l acc = if l > height then acc else go (2 * l) (l :: acc) in
+  List.rev (go 1 [])
+
+let last_of_posting p =
+  let k = Cbitmap.Posting.cardinal p in
+  if k = 0 then -1 else Cbitmap.Posting.get p (k - 1)
+
+let make_storage ~code device postings =
+  {
+    table = Indexing.Stream_table.build ~code device postings;
+    chains =
+      Array.map
+        (fun p ->
+          let last = last_of_posting p in
+          { cblocks = []; clast = last; base_last = last; ctotal = 0 })
+        postings;
+  }
+
+let write_counts t =
+  let buf = Bitio.Bitbuf.create () in
+  let counts = Cbitmap.Entropy.counts ~sigma:t.sigma (Array.sub t.x 0 t.n) in
+  Array.iter (fun v -> Bitio.Bitbuf.write_bits buf ~width:count_bits v) counts;
+  t.counts_region <- Iosim.Device.store ~align_block:true t.device buf
+
+let write_meta t =
+  (* Node weights, packed linearly by id; visited during descent for
+     I/O accounting. *)
+  let tree = Frozen.tree t.frozen in
+  let pos_bits = Indexing.Common.bits_for (max 2 (Array.length t.x + 1)) in
+  t.meta_bits <- pos_bits;
+  let buf = Bitio.Bitbuf.create () in
+  Array.iter
+    (fun v -> Bitio.Bitbuf.write_bits buf ~width:pos_bits (Wbb.weight v))
+    tree.Wbb.nodes;
+  t.meta_region <- Iosim.Device.store ~align_block:true t.device buf
+
+(* Construct the frozen view and per-level storages for [data]. *)
+let build_parts ~c ~code ~sigma device data =
+  let tree = Wbb.build ~c ~sigma data in
+  let frozen = Frozen.make tree ~sigma_total:sigma in
+  let height = tree.Wbb.height in
+  let mat = Array.make (height + 1) false in
+  List.iter (fun l -> mat.(l) <- true) (doubling_levels height);
+  let levels =
+    Array.init (height + 1) (fun l ->
+        if
+          l >= 1 && mat.(l)
+          && Array.length tree.Wbb.internal_by_level.(l - 1) > 0
+        then
+          Some
+            (make_storage ~code device
+               (Array.map (Wbb.positions tree) tree.Wbb.internal_by_level.(l - 1)))
+        else None)
+  in
+  let leaves =
+    make_storage ~code device (Array.map (Wbb.positions tree) tree.Wbb.leaves)
+  in
+  (frozen, mat, levels, leaves)
+
+let rebuild t =
+  let data = Array.sub t.x 0 t.n in
+  let frozen, mat, levels, leaves =
+    build_parts ~c:t.c ~code:t.code ~sigma:t.sigma t.device data
+  in
+  t.frozen <- frozen;
+  t.mat <- mat;
+  t.levels <- levels;
+  t.leaves <- leaves;
+  write_counts t;
+  write_meta t;
+  t.n0 <- max 1 t.n
+
+let build ?(c = 8) ?(complement = true) ?(buffered = false)
+    ?(code = Cbitmap.Gap_codec.Gamma) device ~sigma x =
+  if Array.length x = 0 then invalid_arg "Append_index.build: empty string";
+  let n = Array.length x in
+  let cap = max 1 (Iosim.Device.block_bits device / (Indexing.Common.bits_for (max 2 sigma) + 40)) in
+  let frozen, mat, levels, leaves = build_parts ~c ~code ~sigma device x in
+  let t =
+    {
+      device;
+      c;
+      complement;
+      buffered;
+      code;
+      sigma;
+      x = Array.copy x;
+      n;
+      n0 = n;
+      frozen;
+      mat;
+      levels;
+      leaves;
+      counts_region = { Iosim.Device.off = 0; len = 0 };
+      meta_region = { Iosim.Device.off = 0; len = 0 };
+      meta_bits = 0;
+      rebuilds = 0;
+      buffer = [];
+      buffer_len = 0;
+      buffer_cap = cap;
+    }
+  in
+  write_counts t;
+  write_meta t;
+  t
+
+let length t = t.n
+
+(* ---- appends ---- *)
+
+(* Write an encoded codeword at an absolute device bit position. *)
+let write_code t ~pos buf =
+  let len = Bitio.Bitbuf.length buf in
+  let i = ref 0 in
+  while !i < len do
+    let w = min 48 (len - !i) in
+    Iosim.Device.write_bits t.device ~pos:(pos + !i) ~width:w
+      (Bitio.Bitbuf.read_bits buf ~pos:!i ~width:w);
+    i := !i + w
+  done
+
+let chain_append t (st : storage) stream pos =
+  let ch = st.chains.(stream) in
+  let bb = Iosim.Device.block_bits t.device in
+  let code_buf = Bitio.Bitbuf.create () in
+  Cbitmap.Gap_codec.encode_append ~code:t.code ~last:ch.clast code_buf pos;
+  let bits = Bitio.Bitbuf.length code_buf in
+  (match ch.cblocks with
+  | blk :: _ when blk.cbits + bits <= bb ->
+      write_code t ~pos:(blk.cregion.Iosim.Device.off + blk.cbits) code_buf;
+      blk.cbits <- blk.cbits + bits;
+      blk.ccount <- blk.ccount + 1
+  | _ ->
+      (* A codeword broken at the old tail is re-encoded absolutely in
+         a fresh block so every block decodes independently of block
+         boundaries within the chain. *)
+      let code_buf = Bitio.Bitbuf.create () in
+      Cbitmap.Gap_codec.encode_append ~code:t.code ~last:(-1) code_buf pos;
+      let region = Iosim.Device.alloc ~align_block:true t.device bb in
+      write_code t ~pos:region.Iosim.Device.off code_buf;
+      ch.cblocks <-
+        { cregion = region; cbits = Bitio.Bitbuf.length code_buf; ccount = 1 }
+        :: ch.cblocks);
+  ch.clast <- pos;
+  ch.ctotal <- ch.ctotal + 1
+
+let bump_count t ch =
+  let pos = t.counts_region.Iosim.Device.off + (ch * count_bits) in
+  let v = Iosim.Device.read_bits t.device ~pos ~width:count_bits in
+  Iosim.Device.write_bits t.device ~pos ~width:count_bits (v + 1)
+
+let storage_of_node t (v : Wbb.node) =
+  if Wbb.is_leaf v then Some (t.leaves, v.Wbb.leaf_index)
+  else if v.Wbb.level < Array.length t.mat && t.mat.(v.Wbb.level) then
+    match t.levels.(v.Wbb.level) with
+    | Some st -> Some (st, v.Wbb.level_index)
+    | None -> None
+  else None
+
+let apply_append t ch pos =
+  let path = Frozen.route_path t.frozen (ch, pos) in
+  List.iter
+    (fun v ->
+      match storage_of_node t v with
+      | Some (st, stream) -> chain_append t st stream pos
+      | None -> ())
+    path;
+  bump_count t ch
+
+let ensure_capacity t =
+  if t.n >= Array.length t.x then begin
+    let bigger = Array.make (2 * Array.length t.x) 0 in
+    Array.blit t.x 0 bigger 0 t.n;
+    t.x <- bigger
+  end
+
+let flush_buffer t =
+  (* Group the batch per tile so each chain tail is written while its
+     block is hot — the per-tile batching that makes the amortized
+     cost of Theorem 5 beat one-I/O-per-append.  Arrival order is
+     increasing position, so per-tile lists stay increasing. *)
+  let by_tile : (int, storage * int * int list ref) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  let by_char : (int, int ref) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (ch, pos) ->
+      (match Hashtbl.find_opt by_char ch with
+      | Some r -> incr r
+      | None -> Hashtbl.replace by_char ch (ref 1));
+      List.iter
+        (fun v ->
+          match storage_of_node t v with
+          | Some (st, stream) -> (
+              match Hashtbl.find_opt by_tile v.Wbb.id with
+              | Some (_, _, ps) -> ps := pos :: !ps
+              | None -> Hashtbl.replace by_tile v.Wbb.id (st, stream, ref [ pos ]))
+          | None -> ())
+        (Frozen.route_path t.frozen (ch, pos)))
+    t.buffer;
+  Hashtbl.iter
+    (fun _ (st, stream, ps) ->
+      List.iter (fun pos -> chain_append t st stream pos) (List.rev !ps))
+    by_tile;
+  Hashtbl.iter
+    (fun ch delta ->
+      let pos = t.counts_region.Iosim.Device.off + (ch * count_bits) in
+      let v = Iosim.Device.read_bits t.device ~pos ~width:count_bits in
+      Iosim.Device.write_bits t.device ~pos ~width:count_bits (v + !delta))
+    by_char;
+  t.buffer <- [];
+  t.buffer_len <- 0
+
+let maybe_rebuild t =
+  if t.n >= 2 * t.n0 then begin
+    if t.buffered then flush_buffer t;
+    rebuild t;
+    t.rebuilds <- t.rebuilds + 1
+  end
+
+let append t ch =
+  if ch < 0 || ch >= t.sigma then invalid_arg "Append_index.append";
+  let pos = t.n in
+  ensure_capacity t;
+  t.x.(t.n) <- ch;
+  t.n <- t.n + 1;
+  if t.buffered then begin
+    t.buffer <- t.buffer @ [ (ch, pos) ];
+    t.buffer_len <- t.buffer_len + 1;
+    if t.buffer_len >= t.buffer_cap then flush_buffer t
+  end
+  else apply_append t ch pos;
+  maybe_rebuild t
+
+(* ---- queries ---- *)
+
+let touch_meta t (v : Wbb.node) =
+  ignore
+    (Iosim.Device.read_bits t.device
+       ~pos:(t.meta_region.Iosim.Device.off + (v.Wbb.id * t.meta_bits))
+       ~width:t.meta_bits)
+
+let read_count t ch =
+  Iosim.Device.read_bits t.device
+    ~pos:(t.counts_region.Iosim.Device.off + (ch * count_bits))
+    ~width:count_bits
+
+(* Streams of one stored node: base stream then chain blocks. *)
+let node_streams t (st : storage) stream =
+  let ch = st.chains.(stream) in
+  let base = Indexing.Stream_table.streams st.table ~lo:stream ~hi:stream in
+  let chain_streams =
+    List.rev_map
+      (fun blk ->
+        let r = Iosim.Device.cursor t.device ~pos:blk.cregion.Iosim.Device.off in
+        Cbitmap.Gap_codec.stream ~code:t.code r ~count:blk.ccount)
+      ch.cblocks
+  in
+  base @ chain_streams
+
+let answer_range t ~lo ~hi =
+  if lo > hi then Cbitmap.Posting.empty
+  else begin
+    let canon, partial, spine =
+      Frozen.decompose t.frozen ~klo:(lo, 0) ~khi:(hi + 1, 0)
+    in
+    List.iter (touch_meta t) spine;
+    List.iter (touch_meta t) canon;
+    let stored v =
+      Wbb.is_leaf v
+      || (v.Wbb.level < Array.length t.mat && t.mat.(v.Wbb.level))
+    in
+    let needs =
+      List.concat_map
+        (fun v -> Wbb.frontier (Frozen.tree t.frozen) v ~stored)
+        canon
+    in
+    let streams =
+      List.concat_map
+        (fun v ->
+          match storage_of_node t v with
+          | Some (st, stream) -> node_streams t st stream
+          | None -> [])
+        needs
+    in
+    let main = Cbitmap.Merge.union_to_posting streams in
+    (* Boundary leaves: read and filter by the current character. *)
+    let filtered =
+      List.map
+        (fun v ->
+          match storage_of_node t v with
+          | Some (st, stream) ->
+              let p = Cbitmap.Merge.union_to_posting (node_streams t st stream) in
+              Cbitmap.Posting.of_list
+                (Cbitmap.Posting.fold
+                   (fun acc pos ->
+                     if t.x.(pos) >= lo && t.x.(pos) <= hi then pos :: acc
+                     else acc)
+                   [] p)
+          | None -> Cbitmap.Posting.empty)
+        partial
+    in
+    let buffered_hits =
+      if t.buffered then
+        Cbitmap.Posting.of_list
+          (List.filter_map
+             (fun (ch, pos) -> if ch >= lo && ch <= hi then Some pos else None)
+             t.buffer)
+      else Cbitmap.Posting.empty
+    in
+    Cbitmap.Posting.union_many (main :: buffered_hits :: filtered)
+  end
+
+let query t ~lo ~hi =
+  if lo < 0 || hi >= t.sigma || lo > hi then invalid_arg "Append_index.query";
+  let z = ref 0 in
+  for ch = lo to hi do
+    z := !z + read_count t ch
+  done;
+  if !z = 0 && not t.buffered then Indexing.Answer.Direct Cbitmap.Posting.empty
+  else if t.complement && 2 * !z > t.n then
+    Indexing.Answer.Complement
+      (Cbitmap.Posting.union
+         (answer_range t ~lo:0 ~hi:(lo - 1))
+         (answer_range t ~lo:(hi + 1) ~hi:(t.sigma - 1)))
+  else Indexing.Answer.Direct (answer_range t ~lo ~hi)
+
+let rebuilds t = t.rebuilds
+
+let size_bits t =
+  let bb = Iosim.Device.block_bits t.device in
+  let storage_bits (st : storage) =
+    Indexing.Stream_table.size_bits st.table
+    + Array.fold_left
+        (fun acc ch -> acc + (List.length ch.cblocks * bb))
+        0 st.chains
+  in
+  let levels =
+    Array.fold_left
+      (fun acc -> function None -> acc | Some st -> acc + storage_bits st)
+      0 t.levels
+  in
+  levels + storage_bits t.leaves + t.counts_region.Iosim.Device.len
+  + t.meta_region.Iosim.Device.len
+
+let instance ?c ?complement ?buffered device ~sigma x =
+  let t = build ?c ?complement ?buffered device ~sigma x in
+  {
+    Indexing.Instance.name =
+      (if t.buffered then "secidx-append-buffered" else "secidx-append");
+    device;
+    n = t.n;
+    sigma;
+    size_bits = size_bits t;
+    query = (fun ~lo ~hi -> query t ~lo ~hi);
+  }

@@ -1,0 +1,83 @@
+let cell_bits = 32
+
+type t = {
+  device : Iosim.Device.t;
+  capacity : int;
+  region : Iosim.Device.region; (* Fenwick cells: deleted counts *)
+  flags : Iosim.Device.region; (* one deletion flag bit per position *)
+  mutable deleted : int;
+}
+
+let create device ~capacity =
+  if capacity <= 0 then invalid_arg "Delete_map.create";
+  let region =
+    Iosim.Device.alloc ~align_block:true device ((capacity + 1) * cell_bits)
+  in
+  let flags = Iosim.Device.alloc ~align_block:true device capacity in
+  { device; capacity; region; flags; deleted = 0 }
+
+let capacity t = t.capacity
+let deleted_count t = t.deleted
+let live_count t = t.capacity - t.deleted
+
+let read_cell t i =
+  Iosim.Device.read_bits t.device
+    ~pos:(t.region.Iosim.Device.off + (i * cell_bits))
+    ~width:cell_bits
+
+let write_cell t i v =
+  Iosim.Device.write_bits t.device
+    ~pos:(t.region.Iosim.Device.off + (i * cell_bits))
+    ~width:cell_bits v
+
+let read_flag t i =
+  Iosim.Device.read_bits t.device ~pos:(t.flags.Iosim.Device.off + i) ~width:1
+  = 1
+
+let write_flag t i =
+  Iosim.Device.write_bits t.device ~pos:(t.flags.Iosim.Device.off + i) ~width:1 1
+
+let is_deleted t i =
+  if i < 0 || i >= t.capacity then invalid_arg "Delete_map.is_deleted";
+  read_flag t i
+
+(* Number of deleted positions <= i (Fenwick prefix sum, 1-based). *)
+let deleted_upto t i =
+  let acc = ref 0 in
+  let j = ref (i + 1) in
+  while !j > 0 do
+    acc := !acc + read_cell t !j;
+    j := !j - (!j land - !j)
+  done;
+  !acc
+
+let delete t i =
+  if i < 0 || i >= t.capacity then invalid_arg "Delete_map.delete";
+  if not (read_flag t i) then begin
+    write_flag t i;
+    t.deleted <- t.deleted + 1;
+    let j = ref (i + 1) in
+    while !j <= t.capacity do
+      write_cell t !j (read_cell t !j + 1);
+      j := !j + (!j land - !j)
+    done
+  end
+
+let to_external t i =
+  if i < 0 || i >= t.capacity then invalid_arg "Delete_map.to_external";
+  if read_flag t i then None else Some (i - deleted_upto t i)
+
+let to_internal t k =
+  if k < 0 || k >= live_count t then raise Not_found;
+  (* Binary search the smallest i with (i+1) - deleted_upto(i) = k+1. *)
+  let lo = ref 0 and hi = ref (t.capacity - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    let live = mid + 1 - deleted_upto t mid in
+    if live >= k + 1 then hi := mid else lo := mid + 1
+  done;
+  !lo
+
+let needs_rebuild t = 2 * t.deleted > t.capacity
+
+let size_bits t = t.region.Iosim.Device.len + t.flags.Iosim.Device.len

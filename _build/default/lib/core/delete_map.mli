@@ -1,0 +1,44 @@
+(** Position translation under deletions (§4).
+
+    The paper deletes by rewriting characters to [∞] (see
+    {!Dynamic_index.delete}), which keeps positions stable.  For the
+    "natural" semantics where positions are relative to the current
+    (undeleted) string, it maintains a B-tree over the deleted
+    positions with subtree sizes.  This module implements that
+    translation structure as a device-resident Fenwick tree over the
+    deletion flags: [to_internal]/[to_external] walk [O(lg n)] cells
+    (consecutive cells share blocks, so the measured block I/Os are
+    close to the paper's [O(lg_b n)]).
+
+    When the deleted fraction exceeds one half, the paper performs
+    global rebuilding; {!needs_rebuild} exposes that trigger to the
+    owning index. *)
+
+type t
+
+(** [create device ~capacity] with all positions live. *)
+val create : Iosim.Device.t -> capacity:int -> t
+
+val capacity : t -> int
+val deleted_count : t -> int
+
+(** Live positions. *)
+val live_count : t -> int
+
+(** Mark an internal position deleted (idempotent). *)
+val delete : t -> int -> unit
+
+val is_deleted : t -> int -> bool
+
+(** [to_internal t k] is the internal position of the [k]-th
+    (0-based) live position.  Raises [Not_found] if [k >= live_count]. *)
+val to_internal : t -> int -> int
+
+(** [to_external t i] is the rank of internal position [i] among live
+    positions, or [None] if [i] is deleted. *)
+val to_external : t -> int -> int option
+
+(** True once more than half the positions are deleted. *)
+val needs_rebuild : t -> bool
+
+val size_bits : t -> int

@@ -1,0 +1,248 @@
+type t = {
+  device : Iosim.Device.t;
+  c : int;
+  complement : bool;
+  sigma : int; (* external alphabet; internally sigma+1 with ∞ = sigma *)
+  mutable x : int array;
+  mutable n : int;
+  mutable n0 : int;
+  mutable frozen : Frozen.t;
+  mutable mat : bool array;
+  mutable level_bb : Buffered_bitmap.t option array;
+  mutable leaf_bb : Buffered_bitmap.t;
+  mutable counts_region : Iosim.Device.region;
+  mutable changes : int;
+  mutable rebuilds : int;
+}
+
+let count_bits = 32
+let infinity_char t = t.sigma
+
+let doubling_levels height =
+  let rec go l acc = if l > height then acc else go (2 * l) (l :: acc) in
+  List.rev (go 1 [])
+
+let build_parts ~c ~sigma_total device data =
+  let tree = Wbb.build ~c ~sigma:sigma_total data in
+  let frozen = Frozen.make tree ~sigma_total in
+  let height = tree.Wbb.height in
+  let mat = Array.make (height + 1) false in
+  List.iter (fun l -> mat.(l) <- true) (doubling_levels height);
+  let level_bb =
+    Array.init (height + 1) (fun l ->
+        if
+          l >= 1 && mat.(l)
+          && Array.length tree.Wbb.internal_by_level.(l - 1) > 0
+        then
+          Some
+            (Buffered_bitmap.build ~c device
+               (Array.map (Wbb.positions tree) tree.Wbb.internal_by_level.(l - 1)))
+        else None)
+  in
+  let leaf_bb =
+    Buffered_bitmap.build ~c device
+      (Array.map (Wbb.positions tree) tree.Wbb.leaves)
+  in
+  (frozen, mat, level_bb, leaf_bb)
+
+let write_counts t =
+  let buf = Bitio.Bitbuf.create () in
+  let counts =
+    Cbitmap.Entropy.counts ~sigma:(t.sigma + 1) (Array.sub t.x 0 t.n)
+  in
+  Array.iter (fun v -> Bitio.Bitbuf.write_bits buf ~width:count_bits v) counts;
+  t.counts_region <- Iosim.Device.store ~align_block:true t.device buf
+
+let build ?(c = 8) ?(complement = true) device ~sigma x =
+  if Array.length x = 0 then invalid_arg "Dynamic_index.build: empty string";
+  let frozen, mat, level_bb, leaf_bb =
+    build_parts ~c ~sigma_total:(sigma + 1) device x
+  in
+  let t =
+    {
+      device;
+      c;
+      complement;
+      sigma;
+      x = Array.copy x;
+      n = Array.length x;
+      n0 = Array.length x;
+      frozen;
+      mat;
+      level_bb;
+      leaf_bb;
+      counts_region = { Iosim.Device.off = 0; len = 0 };
+      changes = 0;
+      rebuilds = 0;
+    }
+  in
+  write_counts t;
+  t
+
+let length t = t.n
+let char_at t i = t.x.(i)
+let rebuilds t = t.rebuilds
+
+let rebuild t =
+  let frozen, mat, level_bb, leaf_bb =
+    build_parts ~c:t.c ~sigma_total:(t.sigma + 1) t.device (Array.sub t.x 0 t.n)
+  in
+  t.frozen <- frozen;
+  t.mat <- mat;
+  t.level_bb <- level_bb;
+  t.leaf_bb <- leaf_bb;
+  write_counts t;
+  t.n0 <- max 1 t.n;
+  t.changes <- 0;
+  t.rebuilds <- t.rebuilds + 1
+
+let storage_of_node t (v : Wbb.node) =
+  if Wbb.is_leaf v then Some (t.leaf_bb, v.Wbb.leaf_index)
+  else if v.Wbb.level < Array.length t.mat && t.mat.(v.Wbb.level) then
+    match t.level_bb.(v.Wbb.level) with
+    | Some bb -> Some (bb, v.Wbb.level_index)
+    | None -> None
+  else None
+
+let apply_update t op ch pos =
+  let path = Frozen.route_path t.frozen (ch, pos) in
+  List.iter
+    (fun v ->
+      match storage_of_node t v with
+      | Some (bb, stream) -> Buffered_bitmap.update bb op ~stream ~pos
+      | None -> ())
+    path
+
+let adjust_count t ch delta =
+  let pos = t.counts_region.Iosim.Device.off + (ch * count_bits) in
+  let v = Iosim.Device.read_bits t.device ~pos ~width:count_bits in
+  Iosim.Device.write_bits t.device ~pos ~width:count_bits (v + delta)
+
+let maybe_rebuild t =
+  if t.changes >= max 64 (t.n0 / 2) || t.n >= 2 * t.n0 then rebuild t
+
+let change t ~pos ch =
+  if pos < 0 || pos >= t.n then invalid_arg "Dynamic_index.change: position";
+  if ch < 0 || ch > t.sigma then invalid_arg "Dynamic_index.change: character";
+  let old = t.x.(pos) in
+  if old <> ch then begin
+    apply_update t Buffered_bitmap.Remove old pos;
+    apply_update t Buffered_bitmap.Add ch pos;
+    t.x.(pos) <- ch;
+    adjust_count t old (-1);
+    adjust_count t ch 1;
+    t.changes <- t.changes + 1;
+    maybe_rebuild t
+  end
+
+let delete t ~pos = change t ~pos (infinity_char t)
+
+let append t ch =
+  if ch < 0 || ch >= t.sigma then invalid_arg "Dynamic_index.append";
+  if t.n >= Array.length t.x then begin
+    let bigger = Array.make (2 * Array.length t.x) 0 in
+    Array.blit t.x 0 bigger 0 t.n;
+    t.x <- bigger
+  end;
+  let pos = t.n in
+  t.x.(pos) <- ch;
+  t.n <- t.n + 1;
+  apply_update t Buffered_bitmap.Add ch pos;
+  adjust_count t ch 1;
+  t.changes <- t.changes + 1;
+  maybe_rebuild t
+
+let read_count t ch =
+  Iosim.Device.read_bits t.device
+    ~pos:(t.counts_region.Iosim.Device.off + (ch * count_bits))
+    ~width:count_bits
+
+let answer_range t ~lo ~hi =
+  if lo > hi then Cbitmap.Posting.empty
+  else begin
+    let canon, partial, _spine =
+      Frozen.decompose t.frozen ~klo:(lo, 0) ~khi:(hi + 1, 0)
+    in
+    let stored v =
+      Wbb.is_leaf v
+      || (v.Wbb.level < Array.length t.mat && t.mat.(v.Wbb.level))
+    in
+    let needs =
+      List.concat_map
+        (fun v -> Wbb.frontier (Frozen.tree t.frozen) v ~stored)
+        canon
+    in
+    (* Coalesce adjacent streams per storage into range queries. *)
+    let parts = ref [] in
+    let flush_or_extend bb stream =
+      match !parts with
+      | (bb', lo', hi') :: rest when bb' == bb && stream = hi' + 1 ->
+          parts := (bb', lo', stream) :: rest
+      | _ -> parts := (bb, stream, stream) :: !parts
+    in
+    List.iter
+      (fun v ->
+        match storage_of_node t v with
+        | Some (bb, stream) -> flush_or_extend bb stream
+        | None -> ())
+      needs;
+    let main =
+      List.rev_map
+        (fun (bb, slo, shi) -> Buffered_bitmap.range_query bb ~lo:slo ~hi:shi)
+        !parts
+    in
+    (* Boundary leaves: read and filter by current character. *)
+    let filtered =
+      List.map
+        (fun v ->
+          match storage_of_node t v with
+          | Some (bb, stream) ->
+              let p = Buffered_bitmap.point_query bb stream in
+              Cbitmap.Posting.of_list
+                (Cbitmap.Posting.fold
+                   (fun acc pos ->
+                     if t.x.(pos) >= lo && t.x.(pos) <= hi then pos :: acc
+                     else acc)
+                   [] p)
+          | None -> Cbitmap.Posting.empty)
+        partial
+    in
+    Cbitmap.Posting.union_many (main @ filtered)
+  end
+
+let query t ~lo ~hi =
+  if lo < 0 || hi >= t.sigma || lo > hi then invalid_arg "Dynamic_index.query";
+  let z = ref 0 in
+  for ch = lo to hi do
+    z := !z + read_count t ch
+  done;
+  if !z = 0 then Indexing.Answer.Direct Cbitmap.Posting.empty
+  else if t.complement && 2 * !z > t.n then
+    (* The complement side must also cover the deletion character so
+       that deleted positions are excluded from the final answer. *)
+    Indexing.Answer.Complement
+      (Cbitmap.Posting.union
+         (answer_range t ~lo:0 ~hi:(lo - 1))
+         (answer_range t ~lo:(hi + 1) ~hi:t.sigma))
+  else Indexing.Answer.Direct (answer_range t ~lo ~hi)
+
+let size_bits t =
+  let levels =
+    Array.fold_left
+      (fun acc -> function
+        | None -> acc
+        | Some bb -> acc + Buffered_bitmap.size_bits bb)
+      0 t.level_bb
+  in
+  levels + Buffered_bitmap.size_bits t.leaf_bb + t.counts_region.Iosim.Device.len
+
+let instance ?c ?complement device ~sigma x =
+  let t = build ?c ?complement device ~sigma x in
+  {
+    Indexing.Instance.name = "secidx-dynamic";
+    device;
+    n = t.n;
+    sigma;
+    size_bits = size_bits t;
+    query = (fun ~lo ~hi -> query t ~lo ~hi);
+  }

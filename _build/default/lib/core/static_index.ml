@@ -1,0 +1,266 @@
+type schedule = [ `Doubling | `All | `Leaves_only ]
+
+type t = {
+  device : Iosim.Device.t;
+  tree : Wbb.t;
+  complement : bool;
+  code : Cbitmap.Gap_codec.code;
+  mat : bool array; (* mat.(l) = internal level l+1 materialized *)
+  level_tables : Indexing.Stream_table.t option array; (* per level, internal *)
+  leaf_table : Indexing.Stream_table.t;
+  a_region : Iosim.Device.region;
+  pos_bits : int;
+  meta_bits : int;
+  meta_block : int array; (* node id -> block id holding its metadata *)
+  meta_slot : int array; (* node id -> absolute bit offset of its slot *)
+  meta_total_bits : int;
+}
+
+type run = { storage : [ `Leaf | `Level of int ]; first : int; last : int }
+
+let doubling_levels height =
+  let rec go l acc = if l > height then acc else go (2 * l) (l :: acc) in
+  List.rev (go 1 [])
+
+let schedule_levels schedule height =
+  match schedule with
+  | `Doubling -> doubling_levels height
+  | `All -> List.init height (fun i -> i + 1)
+  | `Leaves_only -> []
+
+(* Pack node metadata into blocks subtree-wise: starting from a
+   subtree root, take nodes in breadth-first order until the block is
+   full; the children left over become roots of new blocks.  A
+   root-to-leaf path then touches O(depth / lg_c b) blocks. *)
+let pack_metadata device (tree : Wbb.t) ~meta_bits ~pos_bits ~char_bits =
+  let bb = Iosim.Device.block_bits device in
+  let cap = max 1 (bb / meta_bits) in
+  let nnodes = Array.length tree.Wbb.nodes in
+  let meta_block = Array.make nnodes 0 in
+  let meta_slot = Array.make nnodes 0 in
+  let total = ref 0 in
+  let roots = Queue.create () in
+  Queue.add tree.Wbb.root roots;
+  while not (Queue.is_empty roots) do
+    (* Open a block and fill it: breadth-first from the next subtree
+       root, then (if space remains) from further pending roots, so
+       small subtrees near the leaves share blocks instead of each
+       occupying one. *)
+    let region = Iosim.Device.alloc ~align_block:true device bb in
+    total := !total + bb;
+    let block = region.Iosim.Device.off / bb in
+    let filled = ref 0 in
+    let buf = Bitio.Bitbuf.create ~capacity:bb () in
+    while !filled < cap && not (Queue.is_empty roots) do
+      let members = Queue.create () in
+      Queue.add (Queue.pop roots) members;
+      while not (Queue.is_empty members) do
+        let v = Queue.pop members in
+        if !filled >= cap then Queue.add v roots
+        else begin
+          meta_block.(v.Wbb.id) <- block;
+          meta_slot.(v.Wbb.id) <-
+            region.Iosim.Device.off + (!filled * meta_bits);
+          incr filled;
+          Bitio.Bitbuf.write_bits buf ~width:pos_bits (Wbb.weight v);
+          Bitio.Bitbuf.write_bits buf ~width:char_bits v.Wbb.clo;
+          Bitio.Bitbuf.write_bits buf ~width:char_bits v.Wbb.chi;
+          Bitio.Bitbuf.write_bits buf ~width:8
+            (min 255 (Array.length v.Wbb.children));
+          Array.iter (fun ch -> Queue.add ch members) v.Wbb.children
+        end
+      done
+    done;
+    Iosim.Device.write_buf device
+      { region with Iosim.Device.len = Bitio.Bitbuf.length buf }
+      buf
+  done;
+  (meta_block, meta_slot, !total)
+
+let build ?(c = 8) ?(complement = true) ?(schedule = `Doubling)
+    ?(code = Cbitmap.Gap_codec.Gamma) device ~sigma x =
+  let tree = Wbb.build ~c ~sigma x in
+  let height = tree.Wbb.height in
+  let mat = Array.make (height + 1) false in
+  List.iter (fun l -> mat.(l) <- true) (schedule_levels schedule height);
+  let level_tables =
+    Array.init (height + 1) (fun l ->
+        if l >= 1 && mat.(l) && Array.length tree.Wbb.internal_by_level.(l - 1) > 0
+        then
+          Some
+            (Indexing.Stream_table.build ~code device
+               (Array.map (Wbb.positions tree)
+                  tree.Wbb.internal_by_level.(l - 1)))
+        else None)
+  in
+  let leaf_table =
+    Indexing.Stream_table.build ~code device
+      (Array.map (Wbb.positions tree) tree.Wbb.leaves)
+  in
+  let n = tree.Wbb.n in
+  let pos_bits = Indexing.Common.bits_for (max 2 (n + 1)) in
+  let char_bits = Indexing.Common.bits_for (max 2 sigma) in
+  let a_buf = Bitio.Bitbuf.create () in
+  Array.iter
+    (fun v -> Bitio.Bitbuf.write_bits a_buf ~width:pos_bits v)
+    tree.Wbb.char_start;
+  let a_region = Iosim.Device.store ~align_block:true device a_buf in
+  let meta_bits = pos_bits + (2 * char_bits) + 8 in
+  let meta_block, meta_slot, meta_total_bits =
+    pack_metadata device tree ~meta_bits ~pos_bits ~char_bits
+  in
+  {
+    device;
+    tree;
+    complement;
+    code;
+    mat;
+    level_tables;
+    leaf_table;
+    a_region;
+    pos_bits;
+    meta_bits;
+    meta_block;
+    meta_slot;
+    meta_total_bits;
+  }
+
+let tree t = t.tree
+
+let materialized_levels t =
+  List.filter (fun l -> t.mat.(l)) (List.init (t.tree.Wbb.height + 1) Fun.id)
+
+let stored t (v : Wbb.node) =
+  Wbb.is_leaf v || (v.Wbb.level <= t.tree.Wbb.height && t.mat.(v.Wbb.level))
+
+(* Charge the I/O for inspecting a node's metadata during descent. *)
+let touch_node t (v : Wbb.node) =
+  let w =
+    Iosim.Device.read_bits t.device ~pos:t.meta_slot.(v.Wbb.id)
+      ~width:t.pos_bits
+  in
+  assert (w = Wbb.weight v)
+
+let read_a t i =
+  Iosim.Device.read_bits t.device
+    ~pos:(t.a_region.Iosim.Device.off + (i * t.pos_bits))
+    ~width:t.pos_bits
+
+(* The storage runs a query for entry range [s,e) reads: canonical
+   decomposition, frontier expansion to stored nodes, then coalescing
+   of adjacent indices per storage level. *)
+let plan_nodes t ~s ~e =
+  let canon, spine = Wbb.decompose t.tree ~s ~e in
+  let needs =
+    List.concat_map (fun v -> Wbb.frontier t.tree v ~stored:(stored t)) canon
+  in
+  (needs, spine, canon)
+
+let runs_of_needs needs =
+  (* Coalesce consecutive indices per storage level: adjacent bitmaps
+     in one concatenation are read as a single chunk even when reads
+     from other storage levels interleave in left-to-right order
+     (needs arrive left-to-right, so per-storage indices increase). *)
+  let open_runs : ([ `Leaf | `Level of int ], int * int) Hashtbl.t =
+    Hashtbl.create 8
+  in
+  let order = ref [] in
+  let closed = ref [] in
+  let add storage idx =
+    match Hashtbl.find_opt open_runs storage with
+    | Some (first, last) when idx = last + 1 ->
+        Hashtbl.replace open_runs storage (first, idx)
+    | Some (first, last) ->
+        closed := { storage; first; last } :: !closed;
+        Hashtbl.replace open_runs storage (idx, idx)
+    | None ->
+        order := storage :: !order;
+        Hashtbl.replace open_runs storage (idx, idx)
+  in
+  List.iter
+    (fun (u : Wbb.node) ->
+      if Wbb.is_leaf u then add `Leaf u.Wbb.leaf_index
+      else add (`Level u.Wbb.level) u.Wbb.level_index)
+    needs;
+  List.iter
+    (fun storage ->
+      match Hashtbl.find_opt open_runs storage with
+      | Some (first, last) -> closed := { storage; first; last } :: !closed
+      | None -> ())
+    (List.rev !order);
+  List.rev !closed
+
+let plan t ~s ~e =
+  let needs, _, _ = plan_nodes t ~s ~e in
+  runs_of_needs needs
+
+let entry_bounds t ~lo ~hi =
+  if lo < 0 || hi >= t.tree.Wbb.sigma || lo > hi then
+    invalid_arg "Static_index.entry_bounds";
+  (read_a t lo, read_a t (hi + 1))
+
+let plan_charged t ~s ~e =
+  if s >= e then []
+  else begin
+    let needs, spine, canon = plan_nodes t ~s ~e in
+    List.iter (touch_node t) spine;
+    List.iter (touch_node t) canon;
+    runs_of_needs needs
+  end
+
+let query_entries t ~s ~e =
+  if s >= e then Cbitmap.Posting.empty
+  else begin
+    let runs = plan_charged t ~s ~e in
+    let streams =
+      List.concat_map
+        (fun { storage; first; last } ->
+          match storage with
+          | `Leaf -> Indexing.Stream_table.streams t.leaf_table ~lo:first ~hi:last
+          | `Level l ->
+              Indexing.Stream_table.streams
+                (Option.get t.level_tables.(l))
+                ~lo:first ~hi:last)
+        runs
+    in
+    Cbitmap.Merge.union_to_posting streams
+  end
+
+let query t ~lo ~hi =
+  if lo < 0 || hi >= t.tree.Wbb.sigma || lo > hi then
+    invalid_arg "Static_index.query";
+  let s = read_a t lo and e = read_a t (hi + 1) in
+  let z = e - s in
+  let n = t.tree.Wbb.n in
+  if z = 0 then Indexing.Answer.Direct Cbitmap.Posting.empty
+  else if t.complement && 2 * z > n then begin
+    let left = query_entries t ~s:0 ~e:s in
+    let right = query_entries t ~s:e ~e:n in
+    Indexing.Answer.Complement (Cbitmap.Posting.union left right)
+  end
+  else Indexing.Answer.Direct (query_entries t ~s ~e)
+
+let metadata_bits t = t.a_region.Iosim.Device.len + t.meta_total_bits
+
+let size_bits t =
+  let tables =
+    Array.fold_left
+      (fun acc -> function
+        | None -> acc
+        | Some tab -> acc + Indexing.Stream_table.size_bits tab)
+      0 t.level_tables
+  in
+  tables + Indexing.Stream_table.size_bits t.leaf_table + metadata_bits t
+
+let height t = t.tree.Wbb.height
+
+let instance ?c ?complement ?schedule ?code device ~sigma x =
+  let t = build ?c ?complement ?schedule ?code device ~sigma x in
+  {
+    Indexing.Instance.name = "secidx-static";
+    device;
+    n = t.tree.Wbb.n;
+    sigma;
+    size_bits = size_bits t;
+    query = (fun ~lo ~hi -> query t ~lo ~hi);
+  }

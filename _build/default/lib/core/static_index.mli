@@ -1,0 +1,84 @@
+(** The optimal static secondary index of §2.2 (Theorem 2).
+
+    A pruned weight-balanced [c]-ary tree over the character instances
+    (see {!Wbb}); compressed bitmaps are stored for the internal nodes
+    of the materialized levels [1, 2, 4, 8, ...] and for all pruned
+    leaves, each storage level as one left-to-right concatenation
+    ({!Indexing.Stream_table}).  The tree's node metadata is packed
+    into blocks subtree-wise so that a root-to-leaf descent touches
+    [O(lg_b n)] blocks.  The prefix-cardinality array [A] supports the
+    complement trick.
+
+    Space: [O(n·H0 + n + σ·lg²n)] bits.  Query: the bits read are
+    within a constant factor of the compressed answer, plus the
+    descent and one chunk entry per storage level —
+    [O(z·lg(n/z)/B + lg_b n + lg lg n)] I/Os. *)
+
+(** Which internal levels keep explicit bitmaps (pruned leaves are
+    always stored):
+    - [`Doubling] — levels 1,2,4,8,… (the paper's choice);
+    - [`All] — every level (ablation: more space, fewer merges);
+    - [`Leaves_only] — none (ablation: minimum space, every query
+      merges leaf bitmaps only). *)
+type schedule = [ `Doubling | `All | `Leaves_only ]
+
+type t
+
+val build :
+  ?c:int ->
+  ?complement:bool ->
+  ?schedule:schedule ->
+  ?code:Cbitmap.Gap_codec.code ->
+  Iosim.Device.t ->
+  sigma:int ->
+  int array ->
+  t
+
+val query : t -> lo:int -> hi:int -> Indexing.Answer.t
+
+(** Answer for an entry range [\[s;e)] (entries are character
+    instances in (char, pos) order); [s] and [e] must be character
+    boundaries.  Exposed for the approximate index and for tests. *)
+val query_entries : t -> s:int -> e:int -> Cbitmap.Posting.t
+
+(** The underlying tree (for inspection and for the approximate
+    index). *)
+val tree : t -> Wbb.t
+
+(** Materialized internal levels, ascending. *)
+val materialized_levels : t -> int list
+
+(** The per-level and leaf stream tables are reachable through
+    [plan]: the (storage, index range) runs a query would read.
+    Exposed for white-box tests of the two-chunks-per-level claim. *)
+type run = { storage : [ `Leaf | `Level of int ]; first : int; last : int }
+
+val plan : t -> s:int -> e:int -> run list
+
+(** [entry_bounds t ~lo ~hi] reads the A array (counted I/O) and
+    returns the entry range [(s, e)] of the character range. *)
+val entry_bounds : t -> lo:int -> hi:int -> int * int
+
+(** Like {!plan} but also charges the descent I/Os (metadata of the
+    boundary spines and canonical nodes) to the device — what a real
+    query pays before reading any bitmap. *)
+val plan_charged : t -> s:int -> e:int -> run list
+
+val size_bits : t -> int
+
+(** Size of the A array + node metadata blocks (the [σ·lg²n] term). *)
+val metadata_bits : t -> int
+
+(** Number of blocks a descent to entry [s] touches (for the
+    [lg_b n] term); measured, not estimated. *)
+val height : t -> int
+
+val instance :
+  ?c:int ->
+  ?complement:bool ->
+  ?schedule:schedule ->
+  ?code:Cbitmap.Gap_codec.code ->
+  Iosim.Device.t ->
+  sigma:int ->
+  int array ->
+  Indexing.Instance.t

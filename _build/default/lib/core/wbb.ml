@@ -1,0 +1,142 @@
+type node = {
+  mutable id : int;
+  level : int;
+  s : int;
+  e : int;
+  clo : int;
+  chi : int;
+  children : node array;
+  mutable leaf_index : int;
+  mutable level_index : int;
+}
+
+type t = {
+  root : node;
+  height : int;
+  c : int;
+  n : int;
+  sigma : int;
+  nodes : node array;
+  leaves : node array;
+  internal_by_level : node array array;
+  entry_char : int array;
+  entry_pos : int array;
+  char_start : int array;
+}
+
+let weight v = v.e - v.s
+let is_leaf v = Array.length v.children = 0
+
+let build ~c ~sigma x =
+  if c < 2 then invalid_arg "Wbb.build: c >= 2";
+  let n = Array.length x in
+  if n = 0 then invalid_arg "Wbb.build: empty string";
+  (* Entries: (char asc, position asc). *)
+  let char_start = Indexing.Common.prefix_counts ~sigma x in
+  let entry_char = Array.make n 0 and entry_pos = Array.make n 0 in
+  let cursor = Array.copy char_start in
+  Array.iteri
+    (fun pos ch ->
+      let slot = cursor.(ch) in
+      entry_char.(slot) <- ch;
+      entry_pos.(slot) <- pos;
+      cursor.(ch) <- slot + 1)
+    x;
+  (* Recursive balanced c-ary split, pruned at single-character
+     nodes. *)
+  let rec make level s e =
+    let clo = entry_char.(s) and chi = entry_char.(e - 1) in
+    let children =
+      if clo = chi then [||]
+      else begin
+        let size = e - s in
+        let parts = min c size in
+        Array.init parts (fun i ->
+            let cs = s + (size * i / parts) in
+            let ce = s + (size * (i + 1) / parts) in
+            make (level + 1) cs ce)
+      end
+    in
+    { id = -1; level; s; e; clo; chi; children; leaf_index = -1; level_index = -1 }
+  in
+  let root = make 1 0 n in
+  let all = ref [] in
+  let rec collect v =
+    all := v :: !all;
+    Array.iter collect v.children
+  in
+  collect root;
+  let nodes = Array.of_list !all in
+  (* Breadth-first order: (level, entry range). *)
+  Array.sort
+    (fun a b ->
+      if a.level <> b.level then compare a.level b.level else compare a.s b.s)
+    nodes;
+  Array.iteri (fun i v -> v.id <- i) nodes;
+  let height = Array.fold_left (fun acc v -> max acc v.level) 1 nodes in
+  let leaves =
+    let l = Array.to_list nodes in
+    Array.of_list (List.filter is_leaf l)
+  in
+  Array.sort (fun a b -> compare a.s b.s) leaves;
+  Array.iteri (fun i v -> v.leaf_index <- i) leaves;
+  let internal_by_level =
+    Array.init height (fun l ->
+        let lv = l + 1 in
+        let sel =
+          List.filter
+            (fun v -> v.level = lv && not (is_leaf v))
+            (Array.to_list nodes)
+        in
+        let arr = Array.of_list sel in
+        Array.sort (fun a b -> compare a.s b.s) arr;
+        Array.iteri (fun i v -> v.level_index <- i) arr;
+        arr)
+  in
+  {
+    root;
+    height;
+    c;
+    n;
+    sigma;
+    nodes;
+    leaves;
+    internal_by_level;
+    entry_char;
+    entry_pos;
+    char_start;
+  }
+
+let positions t v =
+  let arr = Array.sub t.entry_pos v.s (weight v) in
+  Array.sort compare arr;
+  Cbitmap.Posting.of_sorted_array arr
+
+let decompose t ~s ~e =
+  let canon = ref [] and spine = ref [] in
+  let rec go v =
+    if v.e <= s || v.s >= e then ()
+    else if s <= v.s && v.e <= e then canon := v :: !canon
+    else begin
+      spine := v :: !spine;
+      if is_leaf v then
+        invalid_arg "Wbb.decompose: query range not aligned to leaves";
+      Array.iter go v.children
+    end
+  in
+  go t.root;
+  (List.rev !canon, List.rev !spine)
+
+let frontier _t v ~stored =
+  let acc = ref [] in
+  let rec go u =
+    if stored u then acc := u :: !acc
+    else begin
+      if is_leaf u then invalid_arg "Wbb.frontier: leaf not stored";
+      Array.iter go u.children
+    end
+  in
+  go v;
+  List.rev !acc
+
+let node_count t = Array.length t.nodes

@@ -1,0 +1,1 @@
+lib/hashing/universal.ml: Int64 List

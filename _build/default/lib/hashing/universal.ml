@@ -1,0 +1,83 @@
+module Rng = struct
+  (* splitmix64, truncated to OCaml's 63-bit ints (we keep 62 bits to
+     stay non-negative). *)
+  type t = { mutable state : int64 }
+
+  let create ~seed = { state = Int64.of_int seed }
+
+  let next64 t =
+    t.state <- Int64.add t.state 0x9E3779B97F4A7C15L;
+    let z = t.state in
+    let z =
+      Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+        0xBF58476D1CE4E5B9L
+    in
+    let z =
+      Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+        0x94D049BB133111EBL
+    in
+    Int64.logxor z (Int64.shift_right_logical z 31)
+
+  let next t = Int64.to_int (Int64.shift_right_logical (next64 t) 2)
+
+  let below t bound =
+    if bound <= 0 then invalid_arg "Rng.below";
+    next t mod bound
+
+  let float t = float_of_int (next t) /. 4611686018427387904.0 (* 2^62 *)
+end
+
+type t = { multiplier : int; out_bits : int }
+
+let word_bits = 62
+
+let create rng ~out_bits =
+  if out_bits < 0 || out_bits > word_bits then invalid_arg "Universal.create";
+  { multiplier = Rng.next rng lor 1; out_bits }
+
+let out_bits t = t.out_bits
+
+let hash t x =
+  if t.out_bits = 0 then 0
+  else ((t.multiplier * x) land max_int) lsr (word_bits - t.out_bits)
+
+module Split = struct
+  (* Alias the multiply-shift hash before this module defines its own
+     [hash]. *)
+  let base_hash = hash
+
+  type nonrec t = {
+    j : int;
+    low_bits : int; (* 2^j, width of i2 and of the output *)
+    g : t; (* universal on the high part *)
+  }
+
+  let create rng ~j =
+    if j < 0 || j > 5 then invalid_arg "Split.create: j out of range";
+    let low_bits = 1 lsl j in
+    { j; low_bits; g = create rng ~out_bits:low_bits }
+
+  let j t = t.j
+  let out_bits t = t.low_bits
+
+  let split t i = (i lsr t.low_bits, i land ((1 lsl t.low_bits) - 1))
+
+  let hash t i =
+    let i1, i2 = split t i in
+    base_hash t.g i1 lxor i2
+
+  let iter_preimage t ~n s f =
+    if n > 0 then begin
+      let max_i1 = (n - 1) lsr t.low_bits in
+      for i1 = 0 to max_i1 do
+        let i2 = s lxor base_hash t.g i1 in
+        let i = (i1 lsl t.low_bits) lor i2 in
+        if i < n then f i
+      done
+    end
+
+  let preimage t ~n s =
+    let acc = ref [] in
+    iter_preimage t ~n s (fun i -> acc := i :: !acc);
+    List.rev !acc
+end

@@ -1,0 +1,56 @@
+(** Universal hash families, including the split family of §3.
+
+    The approximate index stores, for each position set [S], hashed
+    sets [h_j(S)] where [h_j : [n] -> [2^(2^j)]].  The paper's
+    recommended family splits [i] into [(i1, i2)] — [i2] the [2^j]
+    least significant bits — and sets [h_j(i1, i2) = g_j(i1) xor i2]
+    with [g_j] drawn from any universal family.  Its key property is
+    cheap preimage enumeration: [h_j^{-1}(s) = { (i1, s xor g_j(i1)) }]. *)
+
+(** Deterministic splittable PRNG (splitmix64) used to draw hash
+    functions reproducibly. *)
+module Rng : sig
+  type t
+
+  val create : seed:int -> t
+  val next : t -> int  (** 62-bit non-negative *)
+
+  val below : t -> int -> int  (** uniform in [0;bound) *)
+
+  val float : t -> float  (** uniform in [0;1) *)
+end
+
+(** A universal function from non-negative ints to [\[0; 2^out_bits)],
+    implemented as multiply-shift with random odd multiplier. *)
+type t
+
+val create : Rng.t -> out_bits:int -> t
+val out_bits : t -> int
+val hash : t -> int -> int
+
+(** {1 The §3 split family} *)
+
+module Split : sig
+  type t
+
+  (** [create rng ~j] draws [h_j : nat -> [2^(2^j)]] with output width
+      [2^j] bits ([0 <= j <= 5], so universes up to [2^32]).  When
+      [2^j] exceeds [lg n] the function is injective on [\[0;n)] and
+      has no false positives. *)
+  val create : Rng.t -> j:int -> t
+
+  val j : t -> int
+
+  (** Output width in bits, [2^j]. *)
+  val out_bits : t -> int
+
+  val hash : t -> int -> int
+
+  (** [preimage t ~n s] enumerates all [i in [0;n)] with
+      [hash t i = s], in increasing order. *)
+  val preimage : t -> n:int -> int -> int list
+
+  (** [iter_preimage t ~n s f] calls [f] on each preimage element
+      without materializing the list. *)
+  val iter_preimage : t -> n:int -> int -> (int -> unit) -> unit
+end

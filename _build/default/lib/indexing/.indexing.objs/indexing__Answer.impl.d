@@ -1,0 +1,1 @@
+lib/indexing/answer.ml: Cbitmap

@@ -1,0 +1,1 @@
+lib/indexing/common.ml: Array Bitio Cbitmap

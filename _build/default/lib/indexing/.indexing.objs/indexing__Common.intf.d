@@ -1,0 +1,1 @@
+lib/indexing/common.mli: Cbitmap

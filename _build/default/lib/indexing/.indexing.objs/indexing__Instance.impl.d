@@ -1,0 +1,1 @@
+lib/indexing/instance.ml: Answer Iosim

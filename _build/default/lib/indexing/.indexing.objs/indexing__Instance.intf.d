@@ -1,0 +1,1 @@
+lib/indexing/instance.mli: Answer Cbitmap Iosim

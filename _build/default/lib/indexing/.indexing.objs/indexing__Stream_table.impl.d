@@ -1,0 +1,1 @@
+lib/indexing/stream_table.ml: Array Bitio Cbitmap Common Iosim List

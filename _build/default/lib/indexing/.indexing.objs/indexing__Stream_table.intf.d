@@ -1,0 +1,1 @@
+lib/indexing/stream_table.mli: Cbitmap Iosim

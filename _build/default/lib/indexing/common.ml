@@ -1,0 +1,20 @@
+let positions_by_char ~sigma x =
+  let buckets = Array.make sigma [] in
+  for i = Array.length x - 1 downto 0 do
+    let c = x.(i) in
+    if c < 0 || c >= sigma then invalid_arg "Common.positions_by_char";
+    buckets.(c) <- i :: buckets.(c)
+  done;
+  Array.map
+    (fun l -> Cbitmap.Posting.of_sorted_array (Array.of_list l))
+    buckets
+
+let bits_for v = max 1 (Bitio.Codes.ceil_log2 (max 2 v))
+
+let prefix_counts ~sigma x =
+  let a = Array.make (sigma + 1) 0 in
+  Array.iter (fun c -> a.(c + 1) <- a.(c + 1) + 1) x;
+  for i = 1 to sigma do
+    a.(i) <- a.(i) + a.(i - 1)
+  done;
+  a

@@ -1,0 +1,13 @@
+(** Shared helpers for index construction. *)
+
+(** [positions_by_char ~sigma x] is the array of position sets
+    [I_{a}(x)] for every character [a]. *)
+val positions_by_char : sigma:int -> int array -> Cbitmap.Posting.t array
+
+(** Bits needed to store one value of [0..v-1] ([ceil lg v], at least
+    1). *)
+val bits_for : int -> int
+
+(** Prefix-count array [A] of §2.1: [A.(i)] is the number of positions
+    with character [< i]; length [sigma + 1]. *)
+val prefix_counts : sigma:int -> int array -> int array

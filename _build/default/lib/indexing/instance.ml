@@ -1,0 +1,18 @@
+type t = {
+  name : string;
+  device : Iosim.Device.t;
+  n : int;
+  sigma : int;
+  size_bits : int;
+  query : lo:int -> hi:int -> Answer.t;
+}
+
+let query_cold t ~lo ~hi =
+  Iosim.Device.clear_pool t.device;
+  Iosim.Device.reset_stats t.device;
+  let answer = t.query ~lo ~hi in
+  (answer, Iosim.Stats.snapshot (Iosim.Device.stats t.device))
+
+let query_posting t ~lo ~hi =
+  let answer, _ = query_cold t ~lo ~hi in
+  Answer.to_posting ~n:t.n answer

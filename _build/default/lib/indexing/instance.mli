@@ -1,0 +1,20 @@
+(** A built secondary index, packaged uniformly so that the test
+    harness and the benchmarks can drive every structure (the paper's
+    and all baselines) through one interface and read I/O costs off
+    the shared device counters. *)
+
+type t = {
+  name : string;
+  device : Iosim.Device.t;
+  n : int;  (** string length *)
+  sigma : int;
+  size_bits : int;  (** space used by the structure, in bits *)
+  query : lo:int -> hi:int -> Answer.t;
+}
+
+(** Run a query cold (pool cleared, counters reset) and return the
+    answer together with the I/O statistics of just that query. *)
+val query_cold : t -> lo:int -> hi:int -> Answer.t * Iosim.Stats.t
+
+(** Convenience: materialized positions of a cold query. *)
+val query_posting : t -> lo:int -> hi:int -> Cbitmap.Posting.t

@@ -1,0 +1,76 @@
+type t = {
+  device : Iosim.Device.t;
+  code : Cbitmap.Gap_codec.code;
+  nstreams : int;
+  off_bits : int;
+  count_bits : int;
+  dir : Iosim.Device.region; (* (offset, count) per stream *)
+  payload : Iosim.Device.region;
+}
+
+let build ?(code = Cbitmap.Gap_codec.Gamma) device postings =
+  (* First pass: payload, recording offsets and counts. *)
+  let payload_buf = Bitio.Bitbuf.create () in
+  let offs = Array.make (Array.length postings) 0 in
+  let counts = Array.make (Array.length postings) 0 in
+  Array.iteri
+    (fun i p ->
+      offs.(i) <- Bitio.Bitbuf.length payload_buf;
+      counts.(i) <- Cbitmap.Posting.cardinal p;
+      Cbitmap.Gap_codec.encode ~code payload_buf p)
+    postings;
+  (* Second pass: a directory with just-wide-enough fields. *)
+  let off_bits = Common.bits_for (Bitio.Bitbuf.length payload_buf + 1) in
+  let max_count = Array.fold_left max 0 counts in
+  let count_bits = Common.bits_for (max_count + 1) in
+  let dir_buf = Bitio.Bitbuf.create () in
+  Array.iteri
+    (fun i _ ->
+      Bitio.Bitbuf.write_bits dir_buf ~width:off_bits offs.(i);
+      Bitio.Bitbuf.write_bits dir_buf ~width:count_bits counts.(i))
+    postings;
+  let dir = Iosim.Device.store ~align_block:true device dir_buf in
+  let payload = Iosim.Device.store ~align_block:true device payload_buf in
+  {
+    device;
+    code;
+    nstreams = Array.length postings;
+    off_bits;
+    count_bits;
+    dir;
+    payload;
+  }
+
+let length t = t.nstreams
+
+let dir_entry t i =
+  if i < 0 || i >= t.nstreams then invalid_arg "Stream_table: index";
+  let entry_bits = t.off_bits + t.count_bits in
+  let pos = t.dir.Iosim.Device.off + (i * entry_bits) in
+  let off = Iosim.Device.read_bits t.device ~pos ~width:t.off_bits in
+  let count =
+    Iosim.Device.read_bits t.device ~pos:(pos + t.off_bits)
+      ~width:t.count_bits
+  in
+  (off, count)
+
+let count t i = snd (dir_entry t i)
+
+let stream_of_entry t (off, count) =
+  let r = Iosim.Device.cursor t.device ~pos:(t.payload.Iosim.Device.off + off) in
+  Cbitmap.Gap_codec.stream ~code:t.code r ~count
+
+let read_one t i =
+  let entry = dir_entry t i in
+  Cbitmap.Merge.to_posting (stream_of_entry t entry)
+
+let streams t ~lo ~hi =
+  if lo < 0 || hi >= t.nstreams || lo > hi then
+    invalid_arg "Stream_table.streams";
+  List.init (hi - lo + 1) (fun k -> stream_of_entry t (dir_entry t (lo + k)))
+
+let read_union t ~lo ~hi =
+  Cbitmap.Merge.union_to_posting (streams t ~lo ~hi)
+
+let size_bits t = t.dir.Iosim.Device.len + t.payload.Iosim.Device.len
+let payload_bits t = t.payload.Iosim.Device.len

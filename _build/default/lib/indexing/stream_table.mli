@@ -1,0 +1,40 @@
+(** A table of compressed position sets stored on a device:
+    concatenated gamma gap streams plus an on-device directory of
+    (offset, cardinality) pairs.
+
+    This is the storage layout shared by the per-character compressed
+    bitmap index, the binned index and the multi-resolution index: a
+    contiguous run of streams can be read with one sequential pass,
+    and the directory tells the merger where each stream starts. *)
+
+type t
+
+val build :
+  ?code:Cbitmap.Gap_codec.code ->
+  Iosim.Device.t ->
+  Cbitmap.Posting.t array ->
+  t
+
+(** Number of streams. *)
+val length : t -> int
+
+(** Cardinality of stream [i], read from the on-device directory
+    (counted I/O). *)
+val count : t -> int -> int
+
+(** Decode stream [i] (counted I/O: directory + stream bits). *)
+val read_one : t -> int -> Cbitmap.Posting.t
+
+(** Union of streams [lo..hi] via k-way merge over cursors; the
+    directory entries for the range are read in one sequential pass
+    and the streams are consumed in one interleaved pass. *)
+val read_union : t -> lo:int -> hi:int -> Cbitmap.Posting.t
+
+(** Pull streams for external merging (e.g. across tables). *)
+val streams : t -> lo:int -> hi:int -> Cbitmap.Merge.stream list
+
+(** Directory plus payload size, in bits. *)
+val size_bits : t -> int
+
+(** Payload only (sum of compressed stream sizes). *)
+val payload_bits : t -> int

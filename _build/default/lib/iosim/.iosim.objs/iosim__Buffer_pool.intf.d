@@ -1,0 +1,1 @@
+lib/iosim/buffer_pool.mli:

@@ -1,0 +1,1 @@
+lib/iosim/device.ml: Bitio Buffer_pool Bytes Char Stats

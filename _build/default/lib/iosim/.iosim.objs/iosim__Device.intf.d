@@ -1,0 +1,1 @@
+lib/iosim/device.mli: Bitio Buffer_pool Stats

@@ -1,0 +1,1 @@
+lib/iosim/stats.mli: Format

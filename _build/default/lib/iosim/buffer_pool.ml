@@ -1,0 +1,75 @@
+(* Doubly-linked LRU list threaded through a hashtable of nodes. *)
+
+type node = {
+  blk : int;
+  mutable prev : node option;
+  mutable next : node option;
+}
+
+type t = {
+  capacity : int;
+  table : (int, node) Hashtbl.t;
+  mutable head : node option; (* most recently used *)
+  mutable tail : node option; (* least recently used *)
+}
+
+let create ~capacity_blocks () =
+  if capacity_blocks < 0 then invalid_arg "Buffer_pool.create";
+  {
+    capacity = capacity_blocks;
+    table = Hashtbl.create (max 16 capacity_blocks);
+    head = None;
+    tail = None;
+  }
+
+let capacity t = t.capacity
+
+let unlink t n =
+  (match n.prev with Some p -> p.next <- n.next | None -> t.head <- n.next);
+  (match n.next with Some s -> s.prev <- n.prev | None -> t.tail <- n.prev);
+  n.prev <- None;
+  n.next <- None
+
+let push_front t n =
+  n.next <- t.head;
+  n.prev <- None;
+  (match t.head with Some h -> h.prev <- Some n | None -> t.tail <- Some n);
+  t.head <- Some n
+
+let mem t blk = t.capacity > 0 && Hashtbl.mem t.table blk
+
+let invalidate t blk =
+  match Hashtbl.find_opt t.table blk with
+  | None -> ()
+  | Some n ->
+      unlink t n;
+      Hashtbl.remove t.table blk
+
+let evict_lru t =
+  match t.tail with
+  | None -> ()
+  | Some n ->
+      unlink t n;
+      Hashtbl.remove t.table n.blk
+
+let access t blk =
+  if t.capacity = 0 then false
+  else
+    match Hashtbl.find_opt t.table blk with
+    | Some n ->
+        unlink t n;
+        push_front t n;
+        true
+    | None ->
+        if Hashtbl.length t.table >= t.capacity then evict_lru t;
+        let n = { blk; prev = None; next = None } in
+        Hashtbl.replace t.table blk n;
+        push_front t n;
+        false
+
+let clear t =
+  Hashtbl.reset t.table;
+  t.head <- None;
+  t.tail <- None
+
+let occupancy t = Hashtbl.length t.table

@@ -1,0 +1,29 @@
+(** LRU buffer pool modelling internal memory of [M] bits.
+
+    The pool tracks which block ids are currently resident; it stores
+    no data (block contents live in the device image).  A capacity of
+    0 disables caching, so every access is a block transfer. *)
+
+type t
+
+(** [create ~capacity_blocks ()]. *)
+val create : capacity_blocks:int -> unit -> t
+
+val capacity : t -> int
+
+(** [access t blk] records an access to block [blk]; returns [true] on
+    a hit.  On a miss the block becomes resident (evicting the LRU
+    block if full). *)
+val access : t -> int -> bool
+
+(** Is the block currently resident (does not update recency)? *)
+val mem : t -> int -> bool
+
+(** Drop a specific block (used when the device frees space). *)
+val invalidate : t -> int -> unit
+
+(** Empty the pool. *)
+val clear : t -> unit
+
+(** Number of resident blocks. *)
+val occupancy : t -> int

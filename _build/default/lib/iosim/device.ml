@@ -1,0 +1,152 @@
+type t = {
+  block_bits : int;
+  mutable data : Bytes.t;
+  mutable used_bits : int;
+  pool : Buffer_pool.t;
+  stats : Stats.t;
+  read_before_write : bool;
+}
+
+type region = { off : int; len : int }
+
+let create ?(read_before_write = true) ~block_bits ~mem_bits () =
+  if block_bits <= 0 || block_bits mod 8 <> 0 then
+    invalid_arg "Device.create: block_bits must be a positive multiple of 8";
+  if mem_bits < 0 then invalid_arg "Device.create: mem_bits";
+  {
+    block_bits;
+    data = Bytes.make 4096 '\000';
+    used_bits = 0;
+    pool = Buffer_pool.create ~capacity_blocks:(mem_bits / block_bits) ();
+    stats = Stats.create ();
+    read_before_write;
+  }
+
+let block_bits t = t.block_bits
+let stats t = t.stats
+let pool t = t.pool
+let reset_stats t = Stats.reset t.stats
+let clear_pool t = Buffer_pool.clear t.pool
+let used_bits t = t.used_bits
+
+let ensure t bits =
+  let need = (bits + 7) / 8 in
+  if need > Bytes.length t.data then begin
+    let cap = max need (2 * Bytes.length t.data) in
+    let data = Bytes.make cap '\000' in
+    Bytes.blit t.data 0 data 0 (Bytes.length t.data);
+    t.data <- data
+  end
+
+let alloc ?(align_block = false) t len =
+  if len < 0 then invalid_arg "Device.alloc";
+  let off =
+    if align_block then
+      (t.used_bits + t.block_bits - 1) / t.block_bits * t.block_bits
+    else t.used_bits
+  in
+  t.used_bits <- off + len;
+  ensure t t.used_bits;
+  { off; len }
+
+let touch_read t blk =
+  if Buffer_pool.access t.pool blk then
+    t.stats.Stats.pool_hits <- t.stats.Stats.pool_hits + 1
+  else t.stats.Stats.block_reads <- t.stats.Stats.block_reads + 1
+
+let touch_write t blk =
+  if Buffer_pool.access t.pool blk then
+    t.stats.Stats.pool_hits <- t.stats.Stats.pool_hits + 1
+  else begin
+    if t.read_before_write then
+      t.stats.Stats.block_reads <- t.stats.Stats.block_reads + 1;
+    t.stats.Stats.block_writes <- t.stats.Stats.block_writes + 1
+  end
+
+let touch_range t ~pos ~len touch =
+  if len > 0 then begin
+    let first = pos / t.block_bits and last = (pos + len - 1) / t.block_bits in
+    for blk = first to last do
+      touch t blk
+    done
+  end
+
+(* Raw (uncounted) bit access on the backing store. *)
+
+let raw_get_bit t i =
+  Char.code (Bytes.unsafe_get t.data (i lsr 3)) land (0x80 lsr (i land 7)) <> 0
+
+let raw_set_bit t i b =
+  let byte = i lsr 3 and off = i land 7 in
+  let c = Char.code (Bytes.unsafe_get t.data byte) in
+  let c =
+    if b then c lor (0x80 lsr off) else c land (lnot (0x80 lsr off) land 0xff)
+  in
+  Bytes.unsafe_set t.data byte (Char.unsafe_chr c)
+
+let raw_read_bits t ~pos ~width =
+  let v = ref 0 in
+  for i = pos to pos + width - 1 do
+    v := (!v lsl 1) lor (if raw_get_bit t i then 1 else 0)
+  done;
+  !v
+
+let raw_write_bits t ~pos ~width v =
+  for i = 0 to width - 1 do
+    raw_set_bit t (pos + i) ((v lsr (width - 1 - i)) land 1 = 1)
+  done
+
+let check_range t ~pos ~width name =
+  if width < 0 || width > 62 then invalid_arg (name ^ ": width");
+  if pos < 0 || pos + width > t.used_bits then invalid_arg (name ^ ": range")
+
+let read_bits t ~pos ~width =
+  check_range t ~pos ~width "Device.read_bits";
+  touch_range t ~pos ~len:width touch_read;
+  t.stats.Stats.bits_read <- t.stats.Stats.bits_read + width;
+  raw_read_bits t ~pos ~width
+
+let write_bits t ~pos ~width v =
+  check_range t ~pos ~width "Device.write_bits";
+  touch_range t ~pos ~len:width touch_write;
+  t.stats.Stats.bits_written <- t.stats.Stats.bits_written + width;
+  raw_write_bits t ~pos ~width v
+
+let write_buf t region buf =
+  let len = Bitio.Bitbuf.length buf in
+  if len > region.len then invalid_arg "Device.write_buf: buffer too long";
+  touch_range t ~pos:region.off ~len touch_write;
+  t.stats.Stats.bits_written <- t.stats.Stats.bits_written + len;
+  Bitio.Bitbuf.blit_to_bytes buf t.data ~dst_bit:region.off
+
+let store ?align_block t buf =
+  let region = alloc ?align_block t (Bitio.Bitbuf.length buf) in
+  write_buf t region buf;
+  region
+
+let read_region t region =
+  if region.off < 0 || region.off + region.len > t.used_bits then
+    invalid_arg "Device.read_region: range";
+  touch_range t ~pos:region.off ~len:region.len touch_read;
+  t.stats.Stats.bits_read <- t.stats.Stats.bits_read + region.len;
+  let buf = Bitio.Bitbuf.create ~capacity:region.len () in
+  for i = region.off to region.off + region.len - 1 do
+    Bitio.Bitbuf.write_bit buf (raw_get_bit t i)
+  done;
+  buf
+
+let cursor t ~pos =
+  let p = ref pos in
+  let read_bits w =
+    check_range t ~pos:!p ~width:w "Device.cursor";
+    touch_range t ~pos:!p ~len:w touch_read;
+    t.stats.Stats.bits_read <- t.stats.Stats.bits_read + w;
+    let v = raw_read_bits t ~pos:!p ~width:w in
+    p := !p + w;
+    v
+  in
+  { Bitio.Reader.read_bits; bit_pos = (fun () -> !p); seek = (fun q -> p := q) }
+
+let blocks_spanned t ~pos ~len =
+  if len <= 0 then 0
+  else (pos + len - 1) / t.block_bits - (pos / t.block_bits) + 1

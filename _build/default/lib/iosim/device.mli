@@ -1,0 +1,67 @@
+(** Simulated block device for the I/O model of Aggarwal–Vitter [1],
+    as used by the paper: storage is addressed in bits, transfers
+    happen in blocks of [B] bits, and an LRU buffer pool models [M]
+    bits of internal memory.  Every read or write of a bit range
+    touches the covering blocks; misses are counted in {!Stats}.
+
+    Space is handed out by a bump allocator ({!alloc} / {!store});
+    structures that rebuild simply allocate fresh regions (the
+    simulator does not reclaim old extents — space accounting for the
+    experiments uses the sizes reported by the structures themselves,
+    not the allocator high-water mark). *)
+
+type t
+
+(** A bit-addressed extent on the device. *)
+type region = { off : int; len : int }
+
+(** [create ~block_bits ~mem_bits ()] makes an empty device with
+    blocks of [block_bits] bits (must be a positive multiple of 8) and
+    a buffer pool of [mem_bits / block_bits] blocks.
+    [read_before_write] (default [true]) charges a block read when
+    writing to a non-resident block, modelling read-modify-write of
+    partial blocks. *)
+val create :
+  ?read_before_write:bool -> block_bits:int -> mem_bits:int -> unit -> t
+
+val block_bits : t -> int
+val stats : t -> Stats.t
+val pool : t -> Buffer_pool.t
+
+(** Reset counters (leaves pool contents alone). *)
+val reset_stats : t -> unit
+
+(** Empty the buffer pool — use before a query to measure a cold-cache
+    cost. *)
+val clear_pool : t -> unit
+
+(** Bits allocated so far (high-water mark). *)
+val used_bits : t -> int
+
+(** [alloc t len] reserves [len] bits.  [align_block] (default
+    [false]) rounds the start up to a block boundary. *)
+val alloc : ?align_block:bool -> t -> int -> region
+
+(** Counted bit-range read, [0 <= width <= 62]. *)
+val read_bits : t -> pos:int -> width:int -> int
+
+(** Counted bit-range write. *)
+val write_bits : t -> pos:int -> width:int -> int -> unit
+
+(** Write a whole buffer at [region.off] (counted once per covered
+    block).  The buffer length must not exceed [region.len]. *)
+val write_buf : t -> region -> Bitio.Bitbuf.t -> unit
+
+(** [store t buf] allocates a region of exactly [Bitbuf.length buf]
+    bits and writes [buf] there. *)
+val store : ?align_block:bool -> t -> Bitio.Bitbuf.t -> region
+
+(** Counted sequential read of a whole region into a fresh buffer. *)
+val read_region : t -> region -> Bitio.Bitbuf.t
+
+(** Sequential counted reader starting at absolute bit [pos]; seeks
+    are allowed (each block entered is a counted access). *)
+val cursor : t -> pos:int -> Bitio.Reader.t
+
+(** Blocks covered by a bit range: [blocks_spanned t ~pos ~len]. *)
+val blocks_spanned : t -> pos:int -> len:int -> int

@@ -1,0 +1,48 @@
+type t = {
+  mutable block_reads : int;
+  mutable block_writes : int;
+  mutable pool_hits : int;
+  mutable bits_read : int;
+  mutable bits_written : int;
+}
+
+let create () =
+  {
+    block_reads = 0;
+    block_writes = 0;
+    pool_hits = 0;
+    bits_read = 0;
+    bits_written = 0;
+  }
+
+let reset t =
+  t.block_reads <- 0;
+  t.block_writes <- 0;
+  t.pool_hits <- 0;
+  t.bits_read <- 0;
+  t.bits_written <- 0
+
+let snapshot t =
+  {
+    block_reads = t.block_reads;
+    block_writes = t.block_writes;
+    pool_hits = t.pool_hits;
+    bits_read = t.bits_read;
+    bits_written = t.bits_written;
+  }
+
+let diff ~before ~after =
+  {
+    block_reads = after.block_reads - before.block_reads;
+    block_writes = after.block_writes - before.block_writes;
+    pool_hits = after.pool_hits - before.pool_hits;
+    bits_read = after.bits_read - before.bits_read;
+    bits_written = after.bits_written - before.bits_written;
+  }
+
+let ios t = t.block_reads + t.block_writes
+
+let pp ppf t =
+  Format.fprintf ppf
+    "reads=%d writes=%d hits=%d bits_read=%d bits_written=%d" t.block_reads
+    t.block_writes t.pool_hits t.bits_read t.bits_written

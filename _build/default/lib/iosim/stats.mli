@@ -1,0 +1,31 @@
+(** I/O counters for a simulated device.
+
+    [block_reads] and [block_writes] count block transfers that missed
+    the buffer pool — these are the quantities the paper's theorems
+    bound.  [pool_hits] counts accesses served from internal memory.
+    [bits_read]/[bits_written] count logical payload bits, used to
+    compare the amount of data touched against the compressed size of
+    the query answer. *)
+
+type t = {
+  mutable block_reads : int;
+  mutable block_writes : int;
+  mutable pool_hits : int;
+  mutable bits_read : int;
+  mutable bits_written : int;
+}
+
+val create : unit -> t
+val reset : t -> unit
+
+(** Immutable copy. *)
+val snapshot : t -> t
+
+(** [diff ~before ~after] is the per-field difference (counters only
+    ever grow, so all fields are non-negative). *)
+val diff : before:t -> after:t -> t
+
+(** Total block I/Os, reads plus writes. *)
+val ios : t -> int
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/ridint/table.ml: Array Cbitmap Fun Indexing Iosim List Secidx

@@ -1,0 +1,1 @@
+lib/ridint/table.mli: Cbitmap Iosim

@@ -1,0 +1,205 @@
+type column = { name : string; sigma : int; values : int array }
+
+type indexed_column = {
+  col : column;
+  index : Secidx.Static_index.t;
+  approx : Secidx.Approx_index.t option;
+}
+
+type t = {
+  device : Iosim.Device.t;
+  nrows : int;
+  cols : indexed_column array;
+}
+
+type condition = { column : string; lo : int; hi : int }
+
+let rows t = t.nrows
+let columns t = Array.map (fun ic -> ic.col) t.cols
+let device t = t.device
+
+let validate cols =
+  match cols with
+  | [] -> invalid_arg "Table.create: no columns"
+  | first :: rest ->
+      let n = Array.length first.values in
+      List.iter
+        (fun c ->
+          if Array.length c.values <> n then
+            invalid_arg "Table.create: column lengths differ")
+        rest;
+      n
+
+let create ?c device cols =
+  let nrows = validate cols in
+  let cols =
+    Array.of_list
+      (List.map
+         (fun col ->
+           {
+             col;
+             index = Secidx.Static_index.build ?c device ~sigma:col.sigma col.values;
+             approx = None;
+           })
+         cols)
+  in
+  { device; nrows; cols }
+
+let create_approx ?seed ?c device cols =
+  let nrows = validate cols in
+  let cols =
+    Array.of_list
+      (List.map
+         (fun col ->
+           let approx =
+             Secidx.Approx_index.build ?seed ?c device ~sigma:col.sigma
+               col.values
+           in
+           (* The approximate index embeds its own exact base index;
+              reuse it instead of building a second copy. *)
+           { col; index = Secidx.Approx_index.base approx; approx = Some approx })
+         cols)
+  in
+  { device; nrows; cols }
+
+let find_col t name =
+  match Array.find_opt (fun ic -> ic.col.name = name) t.cols with
+  | Some ic -> ic
+  | None -> invalid_arg ("Table: unknown column " ^ name)
+
+let check_condition t cond row =
+  let ic = find_col t cond.column in
+  let v = ic.col.values.(row) in
+  v >= cond.lo && v <= cond.hi
+
+let naive t conds =
+  let acc = ref [] in
+  for row = t.nrows - 1 downto 0 do
+    if List.for_all (fun cond -> check_condition t cond row) conds then
+      acc := row :: !acc
+  done;
+  Cbitmap.Posting.of_sorted_array (Array.of_list !acc)
+
+let answer_condition t cond =
+  let ic = find_col t cond.column in
+  Secidx.Static_index.query ic.index ~lo:cond.lo ~hi:cond.hi
+
+let query t conds =
+  match conds with
+  | [] -> Cbitmap.Posting.of_sorted_array (Array.init t.nrows Fun.id)
+  | _ ->
+      let answers = List.map (answer_condition t) conds in
+      (* Intersect smallest-first to keep intermediate results small. *)
+      let postings =
+        List.sort
+          (fun a b -> compare (Cbitmap.Posting.cardinal a) (Cbitmap.Posting.cardinal b))
+          (List.map (Indexing.Answer.to_posting ~n:t.nrows) answers)
+      in
+      (match postings with
+      | [] -> Cbitmap.Posting.empty
+      | first :: rest -> List.fold_left Cbitmap.Posting.inter first rest)
+
+let query_approx t ~epsilon conds =
+  match conds with
+  | [] -> (Cbitmap.Posting.of_sorted_array (Array.init t.nrows Fun.id), 0)
+  | _ ->
+      let answers =
+        List.map
+          (fun cond ->
+            let ic = find_col t cond.column in
+            match ic.approx with
+            | Some a -> Secidx.Approx_index.query a ~epsilon ~lo:cond.lo ~hi:cond.hi
+            | None -> invalid_arg "Table.query_approx: built without approx")
+          conds
+      in
+      (* Candidates from the first answer's preimage, filtered by
+         hashed membership in the others; a row surviving all d
+         approximate answers is a false positive with probability at
+         most epsilon^d. *)
+      (match answers with
+      | [] -> (Cbitmap.Posting.empty, 0)
+      | first :: rest ->
+          let candidates =
+            Cbitmap.Posting.fold
+              (fun acc row ->
+                if List.for_all (fun a -> Secidx.Approx_index.mem a row) rest
+                then row :: acc
+                else acc)
+              []
+              (Secidx.Approx_index.candidates first ~n:t.nrows)
+          in
+          let checked = List.length candidates in
+          let verified =
+            List.filter
+              (fun row ->
+                List.for_all (fun cond -> check_condition t cond row) conds)
+              candidates
+          in
+          (Cbitmap.Posting.of_list verified, checked))
+
+let query_at_least t ~k conds =
+  if k <= 0 then invalid_arg "Table.query_at_least";
+  let answers =
+    List.map
+      (fun cond -> Indexing.Answer.to_posting ~n:t.nrows (answer_condition t cond))
+      conds
+  in
+  let hits = Array.make t.nrows 0 in
+  List.iter
+    (fun p -> Cbitmap.Posting.iter (fun row -> hits.(row) <- hits.(row) + 1) p)
+    answers;
+  let acc = ref [] in
+  for row = t.nrows - 1 downto 0 do
+    if hits.(row) >= k then acc := row :: !acc
+  done;
+  Cbitmap.Posting.of_sorted_array (Array.of_list !acc)
+
+let size_bits t =
+  Array.fold_left
+    (fun acc ic ->
+      acc
+      + Secidx.Static_index.size_bits ic.index
+      + match ic.approx with
+        | Some a -> Secidx.Approx_index.hashed_bits a
+        | None -> 0)
+    0 t.cols
+
+let query_at_least_approx t ~epsilon ~k conds =
+  if k <= 0 then invalid_arg "Table.query_at_least_approx";
+  let answers =
+    List.map
+      (fun cond ->
+        let ic = find_col t cond.column in
+        match ic.approx with
+        | Some a ->
+            (cond, Secidx.Approx_index.query a ~epsilon ~lo:cond.lo ~hi:cond.hi)
+        | None -> invalid_arg "Table.query_at_least_approx: built without approx")
+      conds
+  in
+  (* Approximate hit counting: a row that truly satisfies >= k
+     conditions also approximately satisfies them (no false
+     negatives), so thresholding the approximate counts keeps every
+     true answer. *)
+  let hits = Array.make t.nrows 0 in
+  List.iter
+    (fun (_, a) ->
+      Cbitmap.Posting.iter
+        (fun row -> hits.(row) <- hits.(row) + 1)
+        (Secidx.Approx_index.candidates a ~n:t.nrows))
+    answers;
+  let candidates = ref [] in
+  for row = t.nrows - 1 downto 0 do
+    if hits.(row) >= k then candidates := row :: !candidates
+  done;
+  let checked = List.length !candidates in
+  let verified =
+    List.filter
+      (fun row ->
+        let sat =
+          List.length
+            (List.filter (fun (cond, _) -> check_condition t cond row) answers)
+        in
+        sat >= k)
+      !candidates
+  in
+  (Cbitmap.Posting.of_list verified, checked)

@@ -1,0 +1,57 @@
+(** A column table with one secondary index per attribute — the RID
+    intersection application that motivates the paper (§1):
+    conjunctive multi-attribute range queries are answered by
+    intersecting the RID sets returned by the per-attribute
+    one-dimensional indexes, exactly the OLAP pattern ("married men of
+    age 33") the introduction describes. *)
+
+type column = { name : string; sigma : int; values : int array }
+
+type t
+
+(** Number of rows. *)
+val rows : t -> int
+
+val columns : t -> column array
+
+(** Build one static secondary index (Theorem 2) per column, all on
+    the given device. *)
+val create : ?c:int -> Iosim.Device.t -> column list -> t
+
+(** Also build approximate indexes (Theorem 3) for every column. *)
+val create_approx :
+  ?seed:int -> ?c:int -> Iosim.Device.t -> column list -> t
+
+(** A conjunctive condition: per-column inclusive value range. *)
+type condition = { column : string; lo : int; hi : int }
+
+(** Scan-based reference answer. *)
+val naive : t -> condition list -> Cbitmap.Posting.t
+
+(** Exact conjunctive query by RID intersection: each condition is
+    answered by its column's index, then the RID sets are intersected
+    smallest-first. *)
+val query : t -> condition list -> Cbitmap.Posting.t
+
+(** Approximate conjunctive query (§3): each condition is answered
+    approximately with false-positive parameter [epsilon]; candidates
+    are intersected via hashed membership, then verified against the
+    stored columns ("false positives can be filtered away when
+    accessing the associated data").  Returns the verified rows and
+    the number of candidate rows that had to be checked. *)
+val query_approx :
+  t -> epsilon:float -> condition list -> Cbitmap.Posting.t * int
+
+(** Partial-match flavour (§1): rows matching at least [k] of the
+    conditions. *)
+val query_at_least : t -> k:int -> condition list -> Cbitmap.Posting.t
+
+val size_bits : t -> int
+val device : t -> Iosim.Device.t
+
+(** Approximate partial match (§1 + §3): rows matching at least [k]
+    of the conditions, computed from approximate per-condition answers
+    and verified against the stored columns.  Returns the verified
+    rows and the number of candidates checked. *)
+val query_at_least_approx :
+  t -> epsilon:float -> k:int -> condition list -> Cbitmap.Posting.t * int

@@ -1,0 +1,71 @@
+module Rng = Hashing.Universal.Rng
+
+type t = { sigma : int; data : int array }
+
+let length t = Array.length t.data
+
+let uniform ~seed ~n ~sigma =
+  let rng = Rng.create ~seed in
+  { sigma; data = Array.init n (fun _ -> Rng.below rng sigma) }
+
+(* Draw from a cumulative distribution by binary search. *)
+let draw_cdf rng cdf =
+  let u = Rng.float rng in
+  let lo = ref 0 and hi = ref (Array.length cdf - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if cdf.(mid) < u then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let zipf ?(permute = true) ~seed ~n ~sigma ~theta () =
+  let rng = Rng.create ~seed in
+  let weights =
+    Array.init sigma (fun i -> 1.0 /. (float_of_int (i + 1) ** theta))
+  in
+  let total = Array.fold_left ( +. ) 0.0 weights in
+  let cdf = Array.make sigma 0.0 in
+  let acc = ref 0.0 in
+  Array.iteri
+    (fun i w ->
+      acc := !acc +. (w /. total);
+      cdf.(i) <- !acc)
+    weights;
+  cdf.(sigma - 1) <- 1.0;
+  let perm = Array.init sigma (fun i -> i) in
+  if permute then
+    for i = sigma - 1 downto 1 do
+      let j = Rng.below rng (i + 1) in
+      let tmp = perm.(i) in
+      perm.(i) <- perm.(j);
+      perm.(j) <- tmp
+    done;
+  { sigma; data = Array.init n (fun _ -> perm.(draw_cdf rng cdf)) }
+
+let clustered ~seed ~n ~sigma ~run =
+  if run < 1 then invalid_arg "Gen.clustered";
+  let rng = Rng.create ~seed in
+  let data = Array.make n 0 in
+  let i = ref 0 in
+  while !i < n do
+    let c = Rng.below rng sigma in
+    let len = 1 + Rng.below rng (2 * run) in
+    let len = min len (n - !i) in
+    Array.fill data !i len c;
+    i := !i + len
+  done;
+  { sigma; data }
+
+let markov ~seed ~n ~sigma ~stay =
+  if stay < 0.0 || stay >= 1.0 then invalid_arg "Gen.markov";
+  let rng = Rng.create ~seed in
+  let data = Array.make n 0 in
+  let prev = ref (Rng.below rng sigma) in
+  for i = 0 to n - 1 do
+    if Rng.float rng >= stay then prev := Rng.below rng sigma;
+    data.(i) <- !prev
+  done;
+  { sigma; data }
+
+let h0 t = Cbitmap.Entropy.h0 ~sigma:t.sigma t.data
+let counts t = Cbitmap.Entropy.counts ~sigma:t.sigma t.data

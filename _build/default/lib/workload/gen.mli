@@ -1,0 +1,38 @@
+(** Synthetic string generators.
+
+    The paper's bounds are parameterised by [n], [σ], the 0th-order
+    entropy [H0] and the answer size [z]; these generators sweep those
+    knobs: uniform (maximum entropy), Zipf(θ) (realistic attribute
+    skew in OLAP data), clustered (few distinct runs, low entropy —
+    the favourable case for run-length coding), and Markov-run strings
+    (tunable run length at fixed marginal distribution).  All
+    generators are deterministic given the seed. *)
+
+type t = { sigma : int; data : int array }
+
+val length : t -> int
+
+(** Uniform i.i.d. characters. *)
+val uniform : seed:int -> n:int -> sigma:int -> t
+
+(** Zipf-distributed i.i.d. characters with exponent [theta]
+    ([theta = 0] is uniform); character ranks are randomly permuted
+    over [Σ] so that frequency is not correlated with alphabet
+    order unless [permute] is [false]. *)
+val zipf :
+  ?permute:bool -> seed:int -> n:int -> sigma:int -> theta:float -> unit -> t
+
+(** Sorted-and-chunked data: the string is a concatenation of runs of
+    equal characters with expected run length [run].  Models clustered
+    / nearly-sorted columns. *)
+val clustered : seed:int -> n:int -> sigma:int -> run:int -> t
+
+(** Markov chain over characters: with probability [stay] repeat the
+    previous character, otherwise draw uniformly. *)
+val markov : seed:int -> n:int -> sigma:int -> stay:float -> t
+
+(** 0th-order entropy (bits/symbol) of a generated string. *)
+val h0 : t -> float
+
+(** Per-character occurrence counts. *)
+val counts : t -> int array

@@ -1,0 +1,54 @@
+module Rng = Hashing.Universal.Rng
+
+type range = { lo : int; hi : int }
+
+let naive_answer (g : Gen.t) { lo; hi } =
+  let acc = ref [] in
+  Array.iteri (fun i c -> if c >= lo && c <= hi then acc := i :: !acc) g.data;
+  Cbitmap.Posting.of_sorted_array (Array.of_list (List.rev !acc))
+
+let naive_count (g : Gen.t) { lo; hi } =
+  Array.fold_left
+    (fun acc c -> if c >= lo && c <= hi then acc + 1 else acc)
+    0 g.data
+
+let random_ranges ~seed ~sigma ~count =
+  let rng = Rng.create ~seed in
+  List.init count (fun _ ->
+      let a = Rng.below rng sigma and b = Rng.below rng sigma in
+      { lo = min a b; hi = max a b })
+
+let fixed_width_ranges ~seed ~sigma ~ell ~count =
+  if ell < 1 || ell > sigma then invalid_arg "Queries.fixed_width_ranges";
+  let rng = Rng.create ~seed in
+  List.init count (fun _ ->
+      let lo = Rng.below rng (sigma - ell + 1) in
+      { lo; hi = lo + ell - 1 })
+
+let selectivity_ranges ~seed (g : Gen.t) ~target ~count =
+  let n = Array.length g.data in
+  let sigma = g.sigma in
+  let c = Cbitmap.Entropy.counts ~sigma g.data in
+  (* prefix.(i) = #positions with character < i *)
+  let prefix = Array.make (sigma + 1) 0 in
+  for i = 0 to sigma - 1 do
+    prefix.(i + 1) <- prefix.(i) + c.(i)
+  done;
+  let goal = int_of_float (target *. float_of_int n) in
+  let rng = Rng.create ~seed in
+  List.init count (fun _ ->
+      let lo = Rng.below rng sigma in
+      (* Grow hi until the answer reaches the goal. *)
+      let rec grow hi =
+        if hi >= sigma - 1 then sigma - 1
+        else if prefix.(hi + 1) - prefix.(lo) >= goal then hi
+        else grow (hi + 1)
+      in
+      let hi = grow lo in
+      ({ lo; hi }, prefix.(hi + 1) - prefix.(lo)))
+
+let point_queries ~seed ~sigma ~count =
+  let rng = Rng.create ~seed in
+  List.init count (fun _ ->
+      let a = Rng.below rng sigma in
+      { lo = a; hi = a })

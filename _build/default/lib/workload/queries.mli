@@ -1,0 +1,25 @@
+(** Alphabet-range query generators and the naive reference answer. *)
+
+type range = { lo : int; hi : int }
+
+(** Exhaustive scan of the string — the ground truth every index is
+    tested against. *)
+val naive_answer : Gen.t -> range -> Cbitmap.Posting.t
+
+(** Number of matching positions (scan). *)
+val naive_count : Gen.t -> range -> int
+
+(** Uniformly random non-empty ranges over the alphabet. *)
+val random_ranges : seed:int -> sigma:int -> count:int -> range list
+
+(** Ranges of a fixed alphabet width [ell], random left endpoint. *)
+val fixed_width_ranges : seed:int -> sigma:int -> ell:int -> count:int -> range list
+
+(** Ranges whose answer size is close to a target selectivity
+    (fraction of [n]); found by scanning prefix counts of the string.
+    Returns ranges and their exact answer sizes. *)
+val selectivity_ranges :
+  seed:int -> Gen.t -> target:float -> count:int -> (range * int) list
+
+(** Point queries (lo = hi). *)
+val point_queries : seed:int -> sigma:int -> count:int -> range list

@@ -1,0 +1,1 @@
+test/test_bitio.ml: Alcotest Bitio Bytes Char Format Gen List QCheck QCheck_alcotest

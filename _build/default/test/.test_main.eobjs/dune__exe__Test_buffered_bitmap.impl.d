@@ -1,0 +1,1 @@
+test/test_buffered_bitmap.ml: Alcotest Array Cbitmap Hashing Int Iosim List Printf QCheck QCheck_alcotest Secidx Set String

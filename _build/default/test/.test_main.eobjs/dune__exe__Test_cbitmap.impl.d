@@ -1,0 +1,1 @@
+test/test_cbitmap.ml: Alcotest Array Bitio Cbitmap Int List QCheck QCheck_alcotest Set

@@ -1,0 +1,1 @@
+test/test_hashing.ml: Alcotest Array Fun Hashing Hashtbl List QCheck QCheck_alcotest

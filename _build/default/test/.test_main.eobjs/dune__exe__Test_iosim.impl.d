@@ -1,0 +1,1 @@
+test/test_iosim.ml: Alcotest Bitio Iosim List QCheck QCheck_alcotest

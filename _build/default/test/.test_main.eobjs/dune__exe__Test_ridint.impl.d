@@ -1,0 +1,1 @@
+test/test_ridint.ml: Alcotest Array Cbitmap Hashing Iosim List Printf QCheck QCheck_alcotest Ridint

@@ -1,0 +1,1 @@
+test/test_robustness.ml: Alcotest Array Baselines Cbitmap Gen Indexing Iosim List Printf QCheck QCheck_alcotest Secidx Workload

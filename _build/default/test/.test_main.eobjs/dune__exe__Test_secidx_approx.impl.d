@@ -1,0 +1,1 @@
+test/test_secidx_approx.ml: Alcotest Array Cbitmap Indexing Iosim Printf QCheck QCheck_alcotest Secidx Workload

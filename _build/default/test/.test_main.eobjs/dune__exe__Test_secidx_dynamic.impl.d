@@ -1,0 +1,1 @@
+test/test_secidx_dynamic.ml: Alcotest Array Cbitmap Gen Hashing Indexing Iosim List Printf QCheck QCheck_alcotest Secidx String Workload

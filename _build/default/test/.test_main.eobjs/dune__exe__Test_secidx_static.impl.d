@@ -1,0 +1,1 @@
+test/test_secidx_static.ml: Alcotest Array Bitio Cbitmap Gen Hashtbl Indexing Iosim List Option Printf QCheck QCheck_alcotest Secidx String Workload

@@ -1,0 +1,1 @@
+test/test_succinct.ml: Alcotest Array Bitio Cbitmap Format Fun Gen Hashing Indexing Int Iosim List QCheck QCheck_alcotest Secidx Set

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Cbitmap List QCheck QCheck_alcotest Workload

@@ -1,0 +1,211 @@
+(* Unit and property tests for the bit-level substrate. *)
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+let test_write_read_bits () =
+  let buf = Bitio.Bitbuf.create () in
+  Bitio.Bitbuf.write_bits buf ~width:5 0b10110;
+  Bitio.Bitbuf.write_bits buf ~width:3 0b011;
+  Alcotest.(check int) "length" 8 (Bitio.Bitbuf.length buf);
+  Alcotest.(check int) "first 5" 0b10110
+    (Bitio.Bitbuf.read_bits buf ~pos:0 ~width:5);
+  Alcotest.(check int) "next 3" 0b011
+    (Bitio.Bitbuf.read_bits buf ~pos:5 ~width:3);
+  Alcotest.(check int) "straddle" 0b1100
+    (Bitio.Bitbuf.read_bits buf ~pos:2 ~width:4)
+
+let test_write_bit_order () =
+  let buf = Bitio.Bitbuf.create () in
+  List.iter (Bitio.Bitbuf.write_bit buf) [ true; false; true; true ];
+  Alcotest.(check bool) "bit 0" true (Bitio.Bitbuf.get_bit buf 0);
+  Alcotest.(check bool) "bit 1" false (Bitio.Bitbuf.get_bit buf 1);
+  Alcotest.(check int) "as int" 0b1011
+    (Bitio.Bitbuf.read_bits buf ~pos:0 ~width:4)
+
+let test_append_aligned () =
+  let a = Bitio.Bitbuf.of_int ~width:16 0xbeef in
+  let b = Bitio.Bitbuf.of_int ~width:8 0x42 in
+  Bitio.Bitbuf.append a b;
+  Alcotest.(check int) "len" 24 (Bitio.Bitbuf.length a);
+  Alcotest.(check int) "tail" 0x42 (Bitio.Bitbuf.read_bits a ~pos:16 ~width:8)
+
+let test_append_unaligned () =
+  let a = Bitio.Bitbuf.of_int ~width:3 0b101 in
+  let b = Bitio.Bitbuf.of_int ~width:7 0b1100110 in
+  Bitio.Bitbuf.append a b;
+  Alcotest.(check int) "len" 10 (Bitio.Bitbuf.length a);
+  Alcotest.(check int) "all" 0b1011100110
+    (Bitio.Bitbuf.read_bits a ~pos:0 ~width:10)
+
+let test_to_bytes_padding () =
+  let buf = Bitio.Bitbuf.of_int ~width:10 0b1111111111 in
+  let bytes = Bitio.Bitbuf.to_bytes buf in
+  Alcotest.(check int) "nbytes" 2 (Bytes.length bytes);
+  Alcotest.(check int) "padded" 0xc0 (Char.code (Bytes.get bytes 1))
+
+let test_blit_to_bytes () =
+  let buf = Bitio.Bitbuf.of_int ~width:12 0xabc in
+  let dst = Bytes.make 4 '\xff' in
+  Bitio.Bitbuf.blit_to_bytes buf dst ~dst_bit:8;
+  Alcotest.(check int) "untouched before" 0xff (Char.code (Bytes.get dst 0));
+  Alcotest.(check int) "first byte" 0xab (Char.code (Bytes.get dst 1));
+  (* Low nibble of byte 2 must keep its old bits. *)
+  Alcotest.(check int) "merged byte" 0xcf (Char.code (Bytes.get dst 2));
+  Alcotest.(check int) "untouched after" 0xff (Char.code (Bytes.get dst 3))
+
+let test_reader_of_bitbuf () =
+  let buf = Bitio.Bitbuf.of_int ~width:20 0xabcde in
+  let r = Bitio.Reader.of_bitbuf buf in
+  Alcotest.(check int) "8" 0xab (r.Bitio.Reader.read_bits 8);
+  Alcotest.(check int) "pos" 8 (r.Bitio.Reader.bit_pos ());
+  r.Bitio.Reader.seek 12;
+  Alcotest.(check int) "after seek" 0xde (r.Bitio.Reader.read_bits 8)
+
+let test_reader_of_bytes () =
+  let r = Bitio.Reader.of_bytes (Bytes.of_string "\xf0\x0f") in
+  Alcotest.(check int) "first" 0xf0 (r.Bitio.Reader.read_bits 8);
+  Alcotest.(check int) "second" 0x0f (r.Bitio.Reader.read_bits 8)
+
+let test_gamma_known () =
+  (* Known gamma codewords: 1 -> "1", 2 -> "010", 3 -> "011",
+     4 -> "00100". *)
+  let enc v =
+    let buf = Bitio.Bitbuf.create () in
+    Bitio.Codes.encode_gamma buf v;
+    Format.asprintf "%a" Bitio.Bitbuf.pp buf
+  in
+  Alcotest.(check string) "gamma 1" "1" (enc 1);
+  Alcotest.(check string) "gamma 2" "010" (enc 2);
+  Alcotest.(check string) "gamma 3" "011" (enc 3);
+  Alcotest.(check string) "gamma 4" "00100" (enc 4)
+
+let test_unary_roundtrip () =
+  let buf = Bitio.Bitbuf.create () in
+  List.iter (Bitio.Codes.encode_unary buf) [ 0; 3; 1; 7 ];
+  let r = Bitio.Reader.of_bitbuf buf in
+  List.iter
+    (fun v -> Alcotest.(check int) "unary" v (Bitio.Codes.decode_unary r))
+    [ 0; 3; 1; 7 ]
+
+let test_log2 () =
+  Alcotest.(check int) "floor 1" 0 (Bitio.Codes.floor_log2 1);
+  Alcotest.(check int) "floor 7" 2 (Bitio.Codes.floor_log2 7);
+  Alcotest.(check int) "floor 8" 3 (Bitio.Codes.floor_log2 8);
+  Alcotest.(check int) "ceil 1" 0 (Bitio.Codes.ceil_log2 1);
+  Alcotest.(check int) "ceil 7" 3 (Bitio.Codes.ceil_log2 7);
+  Alcotest.(check int) "ceil 8" 3 (Bitio.Codes.ceil_log2 8);
+  Alcotest.(check int) "ceil 9" 4 (Bitio.Codes.ceil_log2 9)
+
+(* Property: every code round-trips a sequence of values and reports
+   its exact encoded size. *)
+let roundtrip_prop name gen encode decode size =
+  QCheck.Test.make ~count:200 ~name (QCheck.list_of_size (QCheck.Gen.return 20) gen)
+    (fun vs ->
+      let buf = Bitio.Bitbuf.create () in
+      let expected_bits = List.fold_left (fun acc v -> acc + size v) 0 vs in
+      List.iter (encode buf) vs;
+      if Bitio.Bitbuf.length buf <> expected_bits then false
+      else begin
+        let r = Bitio.Reader.of_bitbuf buf in
+        List.for_all (fun v -> decode r = v) vs
+      end)
+
+let pos_gen = QCheck.int_range 1 (1 lsl 50)
+let small_pos_gen = QCheck.int_range 1 1_000_000
+let nat_gen = QCheck.int_range 0 100_000
+
+let prop_gamma =
+  roundtrip_prop "gamma roundtrip+size"
+    (QCheck.oneof [ small_pos_gen; pos_gen ])
+    Bitio.Codes.encode_gamma Bitio.Codes.decode_gamma Bitio.Codes.gamma_size
+
+let prop_delta =
+  roundtrip_prop "delta roundtrip+size"
+    (QCheck.oneof [ small_pos_gen; pos_gen ])
+    Bitio.Codes.encode_delta Bitio.Codes.decode_delta Bitio.Codes.delta_size
+
+let prop_rice =
+  roundtrip_prop "rice k=4 roundtrip+size" (QCheck.int_range 0 4096)
+    (fun buf v -> Bitio.Codes.encode_rice buf ~k:4 v)
+    (Bitio.Codes.decode_rice ~k:4)
+    (Bitio.Codes.rice_size ~k:4)
+
+let prop_fixed =
+  roundtrip_prop "fixed w=17 roundtrip" (QCheck.int_range 0 ((1 lsl 17) - 1))
+    (fun buf v -> Bitio.Codes.encode_fixed buf ~width:17 v)
+    (Bitio.Codes.decode_fixed ~width:17)
+    (Bitio.Codes.fixed_size ~width:17)
+
+let prop_mixed_stream =
+  QCheck.Test.make ~count:100 ~name:"mixed code stream roundtrip"
+    QCheck.(list_of_size (Gen.return 30) (pair (int_range 0 3) small_pos_gen))
+    (fun items ->
+      let buf = Bitio.Bitbuf.create () in
+      List.iter
+        (fun (tag, v) ->
+          match tag with
+          | 0 -> Bitio.Codes.encode_gamma buf v
+          | 1 -> Bitio.Codes.encode_delta buf v
+          | 2 -> Bitio.Codes.encode_rice buf ~k:6 v
+          | _ -> Bitio.Codes.encode_fixed buf ~width:21 (v land 0x1fffff))
+        items;
+      let r = Bitio.Reader.of_bitbuf buf in
+      List.for_all
+        (fun (tag, v) ->
+          match tag with
+          | 0 -> Bitio.Codes.decode_gamma r = v
+          | 1 -> Bitio.Codes.decode_delta r = v
+          | 2 -> Bitio.Codes.decode_rice r ~k:6 = v
+          | _ -> Bitio.Codes.decode_fixed r ~width:21 = v land 0x1fffff)
+        items)
+
+let prop_write_read_bits =
+  QCheck.Test.make ~count:200 ~name:"bitbuf write_bits/read_bits agree"
+    QCheck.(list_of_size (Gen.return 15) (pair (int_range 1 30) nat_gen))
+    (fun items ->
+      let items = List.map (fun (w, v) -> (w, v land ((1 lsl w) - 1))) items in
+      let buf = Bitio.Bitbuf.create () in
+      List.iter (fun (w, v) -> Bitio.Bitbuf.write_bits buf ~width:w v) items;
+      let pos = ref 0 in
+      List.for_all
+        (fun (w, v) ->
+          let got = Bitio.Bitbuf.read_bits buf ~pos:!pos ~width:w in
+          pos := !pos + w;
+          got = v)
+        items)
+
+let prop_append_equiv =
+  QCheck.Test.make ~count:200 ~name:"append equals bit-by-bit copy"
+    QCheck.(pair (list (int_range 0 1)) (list (int_range 0 1)))
+    (fun (xs, ys) ->
+      let mk bits =
+        let b = Bitio.Bitbuf.create () in
+        List.iter (fun v -> Bitio.Bitbuf.write_bit b (v = 1)) bits;
+        b
+      in
+      let a = mk xs and b = mk ys in
+      Bitio.Bitbuf.append a b;
+      let expected = mk (xs @ ys) in
+      Bitio.Bitbuf.equal a expected)
+
+let suite =
+  [
+    Alcotest.test_case "write/read bits" `Quick test_write_read_bits;
+    Alcotest.test_case "bit order msb-first" `Quick test_write_bit_order;
+    Alcotest.test_case "append aligned" `Quick test_append_aligned;
+    Alcotest.test_case "append unaligned" `Quick test_append_unaligned;
+    Alcotest.test_case "to_bytes padding" `Quick test_to_bytes_padding;
+    Alcotest.test_case "blit_to_bytes" `Quick test_blit_to_bytes;
+    Alcotest.test_case "reader over bitbuf" `Quick test_reader_of_bitbuf;
+    Alcotest.test_case "reader over bytes" `Quick test_reader_of_bytes;
+    Alcotest.test_case "gamma known codewords" `Quick test_gamma_known;
+    Alcotest.test_case "unary roundtrip" `Quick test_unary_roundtrip;
+    Alcotest.test_case "log2 helpers" `Quick test_log2;
+    qcheck prop_gamma;
+    qcheck prop_delta;
+    qcheck prop_rice;
+    qcheck prop_fixed;
+    qcheck prop_mixed_stream;
+    qcheck prop_write_read_bits;
+    qcheck prop_append_equiv;
+  ]

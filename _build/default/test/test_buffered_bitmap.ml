@@ -1,0 +1,241 @@
+(* Model-based and I/O-shape tests for the buffered compressed bitmap
+   index of §4.2 (Theorem 6). *)
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+let device ?(block_bits = 256) ?(mem_blocks = 64) () =
+  Iosim.Device.create ~block_bits ~mem_bits:(mem_blocks * block_bits) ()
+
+(* Reference model: an array of int sets. *)
+module Model = struct
+  module S = Set.Make (Int)
+
+  type t = S.t array
+
+  let create streams = Array.make streams S.empty
+
+  let update (m : t) op ~stream ~pos =
+    m.(stream) <-
+      (match op with
+      | Secidx.Buffered_bitmap.Add -> S.add pos m.(stream)
+      | Secidx.Buffered_bitmap.Remove -> S.remove pos m.(stream))
+
+  let range (m : t) ~lo ~hi =
+    let acc = ref S.empty in
+    for s = lo to hi do
+      acc := S.union !acc m.(s)
+    done;
+    Cbitmap.Posting.of_list (S.elements !acc)
+end
+
+let ops_gen =
+  QCheck.make
+    ~print:(fun (streams, ops) ->
+      Printf.sprintf "streams=%d ops=[%s]" streams
+        (String.concat ";"
+           (List.map
+              (fun (add, s, p) ->
+                Printf.sprintf "%s(%d,%d)" (if add then "+" else "-") s p)
+              ops)))
+    QCheck.Gen.(
+      int_range 1 8 >>= fun streams ->
+      list_size (int_range 0 120)
+        (triple bool (int_range 0 (streams - 1)) (int_range 0 400))
+      >>= fun ops -> return (streams, ops))
+
+let initial_postings ~streams ~seed =
+  let rng = Hashing.Universal.Rng.create ~seed in
+  Array.init streams (fun _ ->
+      let k = Hashing.Universal.Rng.below rng 30 in
+      Cbitmap.Posting.of_list
+        (List.init k (fun _ -> Hashing.Universal.Rng.below rng 400)))
+
+let prop_model_point =
+  QCheck.Test.make ~count:150 ~name:"buffered bitmap = reference model (point)"
+    ops_gen
+    (fun (streams, ops) ->
+      let dev = device () in
+      let init = initial_postings ~streams ~seed:streams in
+      let t = Secidx.Buffered_bitmap.build ~c:2 ~pos_bits:16 dev init in
+      let m = Model.create streams in
+      Array.iteri
+        (fun s p ->
+          Cbitmap.Posting.iter
+            (fun pos -> Model.update m Secidx.Buffered_bitmap.Add ~stream:s ~pos)
+            p)
+        init;
+      List.for_all
+        (fun (add, s, p) ->
+          let op =
+            if add then Secidx.Buffered_bitmap.Add
+            else Secidx.Buffered_bitmap.Remove
+          in
+          Secidx.Buffered_bitmap.update t op ~stream:s ~pos:p;
+          Model.update m op ~stream:s ~pos:p;
+          (* Check a random stream after each op. *)
+          let q = (s + 1) mod streams in
+          Cbitmap.Posting.equal
+            (Secidx.Buffered_bitmap.point_query t q)
+            (Model.range m ~lo:q ~hi:q))
+        ops)
+
+let prop_model_range =
+  QCheck.Test.make ~count:100 ~name:"buffered bitmap = reference model (range)"
+    ops_gen
+    (fun (streams, ops) ->
+      let dev = device () in
+      let t =
+        Secidx.Buffered_bitmap.build ~c:3 ~pos_bits:16 dev
+          (Array.make streams Cbitmap.Posting.empty)
+      in
+      let m = Model.create streams in
+      List.iter
+        (fun (add, s, p) ->
+          let op =
+            if add then Secidx.Buffered_bitmap.Add
+            else Secidx.Buffered_bitmap.Remove
+          in
+          Secidx.Buffered_bitmap.update t op ~stream:s ~pos:p;
+          Model.update m op ~stream:s ~pos:p)
+        ops;
+      let ok = ref true in
+      for lo = 0 to streams - 1 do
+        for hi = lo to streams - 1 do
+          if
+            not
+              (Cbitmap.Posting.equal
+                 (Secidx.Buffered_bitmap.range_query t ~lo ~hi)
+                 (Model.range m ~lo ~hi))
+          then ok := false
+        done
+      done;
+      !ok)
+
+let prop_flush_preserves =
+  QCheck.Test.make ~count:100 ~name:"flush_all preserves contents" ops_gen
+    (fun (streams, ops) ->
+      let dev = device () in
+      let t =
+        Secidx.Buffered_bitmap.build ~c:2 ~pos_bits:16 dev
+          (Array.make streams Cbitmap.Posting.empty)
+      in
+      List.iter
+        (fun (add, s, p) ->
+          let op =
+            if add then Secidx.Buffered_bitmap.Add
+            else Secidx.Buffered_bitmap.Remove
+          in
+          Secidx.Buffered_bitmap.update t op ~stream:s ~pos:p)
+        ops;
+      let before =
+        List.init streams (fun s -> Secidx.Buffered_bitmap.point_query t s)
+      in
+      Secidx.Buffered_bitmap.flush_all t;
+      let after =
+        List.init streams (fun s -> Secidx.Buffered_bitmap.point_query t s)
+      in
+      List.for_all2 Cbitmap.Posting.equal before after)
+
+let test_leaf_splits () =
+  (* Push enough positions into one stream to force multiple leaf
+     blocks. *)
+  let dev = device ~block_bits:256 () in
+  let t =
+    Secidx.Buffered_bitmap.build ~c:4 ~pos_bits:20 dev
+      (Array.make 4 Cbitmap.Posting.empty)
+  in
+  for p = 0 to 999 do
+    Secidx.Buffered_bitmap.update t Secidx.Buffered_bitmap.Add ~stream:2
+      ~pos:(p * 7)
+  done;
+  Secidx.Buffered_bitmap.flush_all t;
+  Alcotest.(check bool) "split happened" true
+    (Secidx.Buffered_bitmap.leaf_count t > 4);
+  let p = Secidx.Buffered_bitmap.point_query t 2 in
+  Alcotest.(check int) "all present" 1000 (Cbitmap.Posting.cardinal p);
+  Alcotest.(check bool) "exact contents" true
+    (Cbitmap.Posting.equal p
+       (Cbitmap.Posting.of_sorted_array (Array.init 1000 (fun i -> i * 7))))
+
+let test_update_amortized_cost () =
+  (* Amortized update cost must be far below one I/O per update (the
+     whole point of buffering): with B = 1024 and ~50-bit records,
+     b' = 20 records fit a block, so a root flush of >= cap/degree
+     records costs O(1) block writes. *)
+  let dev = device ~block_bits:1024 ~mem_blocks:4 () in
+  let t =
+    Secidx.Buffered_bitmap.build ~c:4 ~pos_bits:30 dev
+      (Array.init 64 (fun s ->
+           Cbitmap.Posting.of_list (List.init 20 (fun i -> (s * 100) + i))))
+  in
+  Iosim.Device.reset_stats dev;
+  let updates = 4000 in
+  let rng = Hashing.Universal.Rng.create ~seed:5 in
+  for _ = 1 to updates do
+    Secidx.Buffered_bitmap.update t Secidx.Buffered_bitmap.Add
+      ~stream:(Hashing.Universal.Rng.below rng 64)
+      ~pos:(Hashing.Universal.Rng.below rng 1_000_000)
+  done;
+  let ios = Iosim.Stats.ios (Iosim.Device.stats dev) in
+  let per_update = float_of_int ios /. float_of_int updates in
+  if per_update > 2.0 then
+    Alcotest.failf "amortized update cost too high: %.3f I/Os" per_update
+
+let test_point_query_io_scales () =
+  (* Query cost ~ T/B + lg n: a stream with 10x the positions should
+     not cost 100x the I/Os. *)
+  let dev = device ~block_bits:512 ~mem_blocks:256 () in
+  let small = Cbitmap.Posting.of_list (List.init 20 (fun i -> i * 50)) in
+  let large =
+    Cbitmap.Posting.of_sorted_array (Array.init 2000 (fun i -> i * 3))
+  in
+  let t = Secidx.Buffered_bitmap.build ~c:4 dev [| small; large |] in
+  Iosim.Device.clear_pool dev;
+  Iosim.Device.reset_stats dev;
+  ignore (Secidx.Buffered_bitmap.point_query t 0);
+  let io_small = Iosim.Stats.ios (Iosim.Device.stats dev) in
+  Iosim.Device.clear_pool dev;
+  Iosim.Device.reset_stats dev;
+  ignore (Secidx.Buffered_bitmap.point_query t 1);
+  let io_large = Iosim.Stats.ios (Iosim.Device.stats dev) in
+  Alcotest.(check bool) "large costs more" true (io_large > io_small);
+  Alcotest.(check bool) "but not absurdly more" true
+    (io_large < 50 * io_small)
+
+let test_empty_streams () =
+  let dev = device () in
+  let t =
+    Secidx.Buffered_bitmap.build dev (Array.make 5 Cbitmap.Posting.empty)
+  in
+  for s = 0 to 4 do
+    Alcotest.(check int) "empty" 0
+      (Cbitmap.Posting.cardinal (Secidx.Buffered_bitmap.point_query t s))
+  done;
+  Alcotest.(check int) "one leaf per stream" 5
+    (Secidx.Buffered_bitmap.leaf_count t)
+
+let test_add_remove_same_position () =
+  let dev = device () in
+  let t =
+    Secidx.Buffered_bitmap.build ~c:2 dev (Array.make 2 Cbitmap.Posting.empty)
+  in
+  Secidx.Buffered_bitmap.update t Secidx.Buffered_bitmap.Add ~stream:0 ~pos:42;
+  Secidx.Buffered_bitmap.update t Secidx.Buffered_bitmap.Remove ~stream:0 ~pos:42;
+  Secidx.Buffered_bitmap.update t Secidx.Buffered_bitmap.Add ~stream:0 ~pos:42;
+  Alcotest.(check (list int)) "net add" [ 42 ]
+    (Cbitmap.Posting.to_list (Secidx.Buffered_bitmap.point_query t 0))
+
+let suite =
+  [
+    qcheck prop_model_point;
+    qcheck prop_model_range;
+    qcheck prop_flush_preserves;
+    Alcotest.test_case "leaf splits" `Quick test_leaf_splits;
+    Alcotest.test_case "amortized update cost" `Quick
+      test_update_amortized_cost;
+    Alcotest.test_case "point query I/O scales with T" `Quick
+      test_point_query_io_scales;
+    Alcotest.test_case "empty streams" `Quick test_empty_streams;
+    Alcotest.test_case "add/remove same position" `Quick
+      test_add_remove_same_position;
+  ]

@@ -1,0 +1,131 @@
+(* Tests for the universal hash families and the §3 split family. *)
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+module Rng = Hashing.Universal.Rng
+module Split = Hashing.Universal.Split
+
+let test_rng_deterministic () =
+  let a = Rng.create ~seed:42 and b = Rng.create ~seed:42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "same stream" (Rng.next a) (Rng.next b)
+  done
+
+let test_rng_below_range () =
+  let rng = Rng.create ~seed:7 in
+  for _ = 1 to 1000 do
+    let v = Rng.below rng 17 in
+    if v < 0 || v >= 17 then Alcotest.fail "out of range"
+  done
+
+let test_rng_float_range () =
+  let rng = Rng.create ~seed:9 in
+  for _ = 1 to 1000 do
+    let f = Rng.float rng in
+    if f < 0.0 || f >= 1.0 then Alcotest.fail "float out of range"
+  done
+
+let test_hash_output_range () =
+  let rng = Rng.create ~seed:1 in
+  let h = Hashing.Universal.create rng ~out_bits:10 in
+  for x = 0 to 10_000 do
+    let v = Hashing.Universal.hash h x in
+    if v < 0 || v >= 1024 then Alcotest.failf "hash(%d)=%d out of range" x v
+  done
+
+let test_hash_collision_rate () =
+  (* Universality: for random pairs, Pr[collision] should be about
+     2^-out_bits.  Check it is not wildly off (factor 4). *)
+  let rng = Rng.create ~seed:3 in
+  let h = Hashing.Universal.create rng ~out_bits:8 in
+  let trials = 20_000 in
+  let collisions = ref 0 in
+  let sample = Rng.create ~seed:99 in
+  for _ = 1 to trials do
+    let x = Rng.below sample 1_000_000 and y = Rng.below sample 1_000_000 in
+    if x <> y && Hashing.Universal.hash h x = Hashing.Universal.hash h y then
+      incr collisions
+  done;
+  let rate = float_of_int !collisions /. float_of_int trials in
+  if rate > 4.0 /. 256.0 then
+    Alcotest.failf "collision rate too high: %f" rate
+
+let test_split_output_width () =
+  let rng = Rng.create ~seed:5 in
+  let h = Split.create rng ~j:3 in
+  Alcotest.(check int) "out bits" 8 (Split.out_bits h);
+  for x = 0 to 5_000 do
+    let v = Split.hash h x in
+    if v < 0 || v >= 256 then Alcotest.fail "split hash out of range"
+  done
+
+let prop_split_preimage_complete =
+  QCheck.Test.make ~count:100 ~name:"split preimage is exact"
+    QCheck.(pair (int_range 0 4) (int_range 1 2000))
+    (fun (j, n) ->
+      let rng = Rng.create ~seed:(j + n) in
+      let h = Split.create rng ~j in
+      (* Pick a target bucket; its preimage must be exactly the set of
+         i with hash i = target. *)
+      let target = Split.hash h (n / 2) in
+      let pre = Split.preimage h ~n target in
+      let expected =
+        List.filter (fun i -> Split.hash h i = target) (List.init n Fun.id)
+      in
+      pre = expected)
+
+let prop_split_preimage_sorted =
+  QCheck.Test.make ~count:100 ~name:"split preimage increasing"
+    QCheck.(pair (int_range 0 4) (int_range 1 5000))
+    (fun (j, n) ->
+      let rng = Rng.create ~seed:(2 * (j + n)) in
+      let h = Split.create rng ~j in
+      let pre = Split.preimage h ~n 0 in
+      let rec sorted = function
+        | a :: (b :: _ as rest) -> a < b && sorted rest
+        | _ -> true
+      in
+      sorted pre && List.for_all (fun i -> i >= 0 && i < n) pre)
+
+let test_split_false_positive_rate () =
+  (* For a set S of size z and bucket width 2^j with 2^(2^j) > z/eps,
+     the expected FP rate of membership-via-hash is <= z/2^(2^j). *)
+  let n = 4096 in
+  let rng = Rng.create ~seed:11 in
+  let j = 4 in
+  (* universe 2^16 *)
+  let h = Split.create rng ~j in
+  let z = 64 in
+  let sample = Rng.create ~seed:13 in
+  let members = Array.init z (fun _ -> Rng.below sample n) in
+  let hashed = Hashtbl.create z in
+  Array.iter (fun i -> Hashtbl.replace hashed (Split.hash h i) ()) members;
+  let member_set = Hashtbl.create z in
+  Array.iter (fun i -> Hashtbl.replace member_set i ()) members;
+  let fp = ref 0 and total = ref 0 in
+  for i = 0 to n - 1 do
+    if not (Hashtbl.mem member_set i) then begin
+      incr total;
+      if Hashtbl.mem hashed (Split.hash h i) then incr fp
+    end
+  done;
+  let rate = float_of_int !fp /. float_of_int !total in
+  let bound = float_of_int z /. 65536.0 in
+  (* Allow a factor 20 of slack over the expectation; the point is the
+     order of magnitude. *)
+  if rate > (20.0 *. bound) +. 0.01 then
+    Alcotest.failf "fp rate %f far above bound %f" rate bound
+
+let suite =
+  [
+    Alcotest.test_case "rng deterministic" `Quick test_rng_deterministic;
+    Alcotest.test_case "rng below range" `Quick test_rng_below_range;
+    Alcotest.test_case "rng float range" `Quick test_rng_float_range;
+    Alcotest.test_case "hash output range" `Quick test_hash_output_range;
+    Alcotest.test_case "hash collision rate" `Quick test_hash_collision_rate;
+    Alcotest.test_case "split output width" `Quick test_split_output_width;
+    qcheck prop_split_preimage_complete;
+    qcheck prop_split_preimage_sorted;
+    Alcotest.test_case "split false positive rate" `Quick
+      test_split_false_positive_rate;
+  ]

@@ -1,0 +1,222 @@
+(* Tests for the simulated block device, buffer pool and counters. *)
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+let device ?(read_before_write = true) ?(block_bits = 64) ?(mem_bits = 0) () =
+  Iosim.Device.create ~read_before_write ~block_bits ~mem_bits ()
+
+let test_lru_basics () =
+  let pool = Iosim.Buffer_pool.create ~capacity_blocks:2 () in
+  Alcotest.(check bool) "miss 1" false (Iosim.Buffer_pool.access pool 1);
+  Alcotest.(check bool) "miss 2" false (Iosim.Buffer_pool.access pool 2);
+  Alcotest.(check bool) "hit 1" true (Iosim.Buffer_pool.access pool 1);
+  (* 2 is now LRU; inserting 3 evicts it. *)
+  Alcotest.(check bool) "miss 3" false (Iosim.Buffer_pool.access pool 3);
+  Alcotest.(check bool) "2 evicted" false (Iosim.Buffer_pool.mem pool 2);
+  Alcotest.(check bool) "1 kept" true (Iosim.Buffer_pool.mem pool 1);
+  Alcotest.(check int) "occupancy" 2 (Iosim.Buffer_pool.occupancy pool)
+
+let test_lru_zero_capacity () =
+  let pool = Iosim.Buffer_pool.create ~capacity_blocks:0 () in
+  Alcotest.(check bool) "never hits" false (Iosim.Buffer_pool.access pool 1);
+  Alcotest.(check bool) "again" false (Iosim.Buffer_pool.access pool 1)
+
+let test_lru_invalidate () =
+  let pool = Iosim.Buffer_pool.create ~capacity_blocks:4 () in
+  ignore (Iosim.Buffer_pool.access pool 7);
+  Iosim.Buffer_pool.invalidate pool 7;
+  Alcotest.(check bool) "gone" false (Iosim.Buffer_pool.mem pool 7);
+  Alcotest.(check int) "occupancy" 0 (Iosim.Buffer_pool.occupancy pool)
+
+let test_store_and_read () =
+  let dev = device () in
+  let buf = Bitio.Bitbuf.of_int ~width:40 0xdeadbeef0 in
+  let region = Iosim.Device.store dev buf in
+  Alcotest.(check int) "region len" 40 region.Iosim.Device.len;
+  let back = Iosim.Device.read_region dev region in
+  Alcotest.(check bool) "roundtrip" true (Bitio.Bitbuf.equal buf back)
+
+let test_read_counts_blocks () =
+  let dev = device ~block_bits:64 () in
+  let buf = Bitio.Bitbuf.create () in
+  for i = 0 to 255 do
+    Bitio.Bitbuf.write_bits buf ~width:8 (i land 0xff)
+  done;
+  (* 2048 bits = 32 blocks of 64 bits. *)
+  let region = Iosim.Device.store dev buf in
+  Iosim.Device.reset_stats dev;
+  ignore (Iosim.Device.read_region dev region);
+  let st = Iosim.Device.stats dev in
+  Alcotest.(check int) "block reads" 32 st.Iosim.Stats.block_reads;
+  Alcotest.(check int) "bits read" 2048 st.Iosim.Stats.bits_read
+
+let test_unaligned_read_touches_two_blocks () =
+  let dev = device ~block_bits:64 () in
+  ignore (Iosim.Device.alloc dev 256);
+  Iosim.Device.write_bits dev ~pos:60 ~width:8 0xff;
+  Iosim.Device.reset_stats dev;
+  ignore (Iosim.Device.read_bits dev ~pos:60 ~width:8);
+  Alcotest.(check int) "two blocks" 2
+    (Iosim.Device.stats dev).Iosim.Stats.block_reads
+
+let test_pool_absorbs_repeats () =
+  let dev = device ~block_bits:64 ~mem_bits:(64 * 8) () in
+  ignore (Iosim.Device.alloc dev 64);
+  Iosim.Device.write_bits dev ~pos:0 ~width:32 17;
+  Iosim.Device.reset_stats dev;
+  Iosim.Device.clear_pool dev;
+  for _ = 1 to 10 do
+    ignore (Iosim.Device.read_bits dev ~pos:0 ~width:32)
+  done;
+  let st = Iosim.Device.stats dev in
+  Alcotest.(check int) "one miss" 1 st.Iosim.Stats.block_reads;
+  Alcotest.(check int) "nine hits" 9 st.Iosim.Stats.pool_hits
+
+let test_write_read_before_write () =
+  let dev = device ~block_bits:64 () in
+  ignore (Iosim.Device.alloc dev 64);
+  Iosim.Device.reset_stats dev;
+  Iosim.Device.write_bits dev ~pos:0 ~width:8 0xab;
+  let st = Iosim.Device.stats dev in
+  Alcotest.(check int) "write" 1 st.Iosim.Stats.block_writes;
+  Alcotest.(check int) "rmw read" 1 st.Iosim.Stats.block_reads
+
+let test_write_no_rmw () =
+  let dev = device ~read_before_write:false ~block_bits:64 () in
+  ignore (Iosim.Device.alloc dev 64);
+  Iosim.Device.reset_stats dev;
+  Iosim.Device.write_bits dev ~pos:0 ~width:8 0xab;
+  let st = Iosim.Device.stats dev in
+  Alcotest.(check int) "write" 1 st.Iosim.Stats.block_writes;
+  Alcotest.(check int) "no read" 0 st.Iosim.Stats.block_reads
+
+let test_alloc_alignment () =
+  let dev = device ~block_bits:64 () in
+  let r1 = Iosim.Device.alloc dev 10 in
+  let r2 = Iosim.Device.alloc ~align_block:true dev 20 in
+  Alcotest.(check int) "r1 at 0" 0 r1.Iosim.Device.off;
+  Alcotest.(check int) "r2 aligned" 64 r2.Iosim.Device.off;
+  Alcotest.(check int) "used" 84 (Iosim.Device.used_bits dev)
+
+let test_cursor_sequential () =
+  let dev = device ~block_bits:64 () in
+  let buf = Bitio.Bitbuf.create () in
+  List.iter (Bitio.Codes.encode_gamma buf) [ 5; 1; 9; 100; 3 ];
+  let region = Iosim.Device.store dev buf in
+  Iosim.Device.reset_stats dev;
+  let r = Iosim.Device.cursor dev ~pos:region.Iosim.Device.off in
+  let decoded = List.init 5 (fun _ -> Bitio.Codes.decode_gamma r) in
+  Alcotest.(check (list int)) "decoded" [ 5; 1; 9; 100; 3 ] decoded;
+  (* Sequential decode of a short stream should touch each block once:
+     with no pool every bit-read re-touches, so enable a pool. *)
+  let dev2 = device ~block_bits:64 ~mem_bits:(4 * 64) () in
+  let region2 = Iosim.Device.store dev2 buf in
+  Iosim.Device.reset_stats dev2;
+  Iosim.Device.clear_pool dev2;
+  let r2 = Iosim.Device.cursor dev2 ~pos:region2.Iosim.Device.off in
+  for _ = 1 to 5 do
+    ignore (Bitio.Codes.decode_gamma r2)
+  done;
+  let blocks = Iosim.Device.blocks_spanned dev2 ~pos:0 ~len:(Bitio.Bitbuf.length buf) in
+  Alcotest.(check int) "touch each block once"
+    blocks
+    (Iosim.Device.stats dev2).Iosim.Stats.block_reads
+
+let test_blocks_spanned () =
+  let dev = device ~block_bits:128 () in
+  Alcotest.(check int) "empty" 0 (Iosim.Device.blocks_spanned dev ~pos:5 ~len:0);
+  Alcotest.(check int) "inside" 1
+    (Iosim.Device.blocks_spanned dev ~pos:5 ~len:100);
+  Alcotest.(check int) "straddle" 2
+    (Iosim.Device.blocks_spanned dev ~pos:100 ~len:100);
+  Alcotest.(check int) "many" 3
+    (Iosim.Device.blocks_spanned dev ~pos:0 ~len:300)
+
+let test_stats_diff () =
+  let a = Iosim.Stats.create () in
+  a.Iosim.Stats.block_reads <- 3;
+  let before = Iosim.Stats.snapshot a in
+  a.Iosim.Stats.block_reads <- 10;
+  a.Iosim.Stats.block_writes <- 2;
+  let d = Iosim.Stats.diff ~before ~after:(Iosim.Stats.snapshot a) in
+  Alcotest.(check int) "reads" 7 d.Iosim.Stats.block_reads;
+  Alcotest.(check int) "ios" 9 (Iosim.Stats.ios d)
+
+let prop_device_roundtrip =
+  QCheck.Test.make ~count:100 ~name:"device stores arbitrary bit strings"
+    QCheck.(list (int_range 0 1))
+    (fun bits ->
+      let dev = device ~block_bits:64 () in
+      let buf = Bitio.Bitbuf.create () in
+      List.iter (fun b -> Bitio.Bitbuf.write_bit buf (b = 1)) bits;
+      let region = Iosim.Device.store dev buf in
+      let back = Iosim.Device.read_region dev region in
+      Bitio.Bitbuf.equal buf back)
+
+let prop_adjacent_regions_independent =
+  QCheck.Test.make ~count:100 ~name:"adjacent unaligned regions do not clobber"
+    QCheck.(pair (list (int_range 0 1)) (list (int_range 0 1)))
+    (fun (xs, ys) ->
+      let dev = device ~block_bits:64 () in
+      let mk bits =
+        let b = Bitio.Bitbuf.create () in
+        List.iter (fun v -> Bitio.Bitbuf.write_bit b (v = 1)) bits;
+        b
+      in
+      let a = mk xs and b = mk ys in
+      let ra = Iosim.Device.store dev a in
+      let rb = Iosim.Device.store dev b in
+      Bitio.Bitbuf.equal a (Iosim.Device.read_region dev ra)
+      && Bitio.Bitbuf.equal b (Iosim.Device.read_region dev rb))
+
+let prop_lru_never_exceeds_capacity =
+  QCheck.Test.make ~count:100 ~name:"lru occupancy bounded by capacity"
+    QCheck.(pair (int_range 1 8) (list (int_range 0 20)))
+    (fun (cap, accesses) ->
+      let pool = Iosim.Buffer_pool.create ~capacity_blocks:cap () in
+      List.iter (fun blk -> ignore (Iosim.Buffer_pool.access pool blk)) accesses;
+      Iosim.Buffer_pool.occupancy pool <= cap)
+
+let prop_lru_matches_reference =
+  QCheck.Test.make ~count:100 ~name:"lru hit/miss matches reference model"
+    QCheck.(pair (int_range 1 6) (list (int_range 0 10)))
+    (fun (cap, accesses) ->
+      let pool = Iosim.Buffer_pool.create ~capacity_blocks:cap () in
+      (* Reference: list of blocks, most recent first. *)
+      let model = ref [] in
+      List.for_all
+        (fun blk ->
+          let hit = Iosim.Buffer_pool.access pool blk in
+          let model_hit = List.mem blk !model in
+          let without = List.filter (fun b -> b <> blk) !model in
+          let trimmed =
+            if List.length without >= cap && not model_hit then
+              List.filteri (fun i _ -> i < cap - 1) without
+            else without
+          in
+          model := blk :: trimmed;
+          hit = model_hit)
+        accesses)
+
+let suite =
+  [
+    Alcotest.test_case "lru basics" `Quick test_lru_basics;
+    Alcotest.test_case "lru zero capacity" `Quick test_lru_zero_capacity;
+    Alcotest.test_case "lru invalidate" `Quick test_lru_invalidate;
+    Alcotest.test_case "store/read roundtrip" `Quick test_store_and_read;
+    Alcotest.test_case "read counts blocks" `Quick test_read_counts_blocks;
+    Alcotest.test_case "unaligned read spans blocks" `Quick
+      test_unaligned_read_touches_two_blocks;
+    Alcotest.test_case "pool absorbs repeats" `Quick test_pool_absorbs_repeats;
+    Alcotest.test_case "read-modify-write accounting" `Quick
+      test_write_read_before_write;
+    Alcotest.test_case "write without rmw" `Quick test_write_no_rmw;
+    Alcotest.test_case "alloc alignment" `Quick test_alloc_alignment;
+    Alcotest.test_case "cursor sequential decode" `Quick test_cursor_sequential;
+    Alcotest.test_case "blocks spanned" `Quick test_blocks_spanned;
+    Alcotest.test_case "stats diff" `Quick test_stats_diff;
+    qcheck prop_device_roundtrip;
+    qcheck prop_adjacent_regions_independent;
+    qcheck prop_lru_never_exceeds_capacity;
+    qcheck prop_lru_matches_reference;
+  ]

@@ -1,0 +1,17 @@
+let () =
+  Alcotest.run "secidx_repro"
+    [
+      ("bitio", Test_bitio.suite);
+      ("iosim", Test_iosim.suite);
+      ("cbitmap", Test_cbitmap.suite);
+      ("hashing", Test_hashing.suite);
+      ("workload", Test_workload.suite);
+      ("baselines", Test_baselines.suite);
+      ("secidx-static", Test_secidx_static.suite);
+      ("secidx-approx", Test_secidx_approx.suite);
+      ("secidx-buffered-bitmap", Test_buffered_bitmap.suite);
+      ("secidx-dynamic", Test_secidx_dynamic.suite);
+      ("ridint", Test_ridint.suite);
+      ("succinct", Test_succinct.suite);
+      ("robustness", Test_robustness.suite);
+    ]

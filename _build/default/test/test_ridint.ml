@@ -1,0 +1,175 @@
+(* Tests for the RID-intersection application (§1, §3). *)
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+let device ?(block_bits = 256) ?(mem_blocks = 256) () =
+  Iosim.Device.create ~block_bits ~mem_bits:(mem_blocks * block_bits) ()
+
+let mk_columns ~seed ~rows =
+  let rng = Hashing.Universal.Rng.create ~seed in
+  [
+    {
+      Ridint.Table.name = "age";
+      sigma = 64;
+      values = Array.init rows (fun _ -> Hashing.Universal.Rng.below rng 64);
+    };
+    {
+      Ridint.Table.name = "sex";
+      sigma = 2;
+      values = Array.init rows (fun _ -> Hashing.Universal.Rng.below rng 2);
+    };
+    {
+      Ridint.Table.name = "status";
+      sigma = 4;
+      values = Array.init rows (fun _ -> Hashing.Universal.Rng.below rng 4);
+    };
+  ]
+
+let conds_gen =
+  QCheck.make
+    ~print:(fun (seed, rows, a_lo, a_hi) ->
+      Printf.sprintf "seed=%d rows=%d age=[%d..%d]" seed rows a_lo a_hi)
+    QCheck.Gen.(
+      int_range 0 1000 >>= fun seed ->
+      int_range 10 400 >>= fun rows ->
+      int_range 0 63 >>= fun a ->
+      int_range 0 63 >>= fun b ->
+      return (seed, rows, min a b, max a b))
+
+let conditions a_lo a_hi =
+  [
+    { Ridint.Table.column = "age"; lo = a_lo; hi = a_hi };
+    { Ridint.Table.column = "sex"; lo = 1; hi = 1 };
+    { Ridint.Table.column = "status"; lo = 2; hi = 3 };
+  ]
+
+let prop_query_matches_naive =
+  QCheck.Test.make ~count:60 ~name:"conjunctive query = naive scan" conds_gen
+    (fun (seed, rows, a_lo, a_hi) ->
+      let t = Ridint.Table.create (device ()) (mk_columns ~seed ~rows) in
+      let conds = conditions a_lo a_hi in
+      Cbitmap.Posting.equal
+        (Ridint.Table.query t conds)
+        (Ridint.Table.naive t conds))
+
+let prop_approx_verified_equals_naive =
+  QCheck.Test.make ~count:30
+    ~name:"approximate query verifies to the exact answer" conds_gen
+    (fun (seed, rows, a_lo, a_hi) ->
+      let t =
+        Ridint.Table.create_approx ~seed:(seed + 1) (device ())
+          (mk_columns ~seed ~rows)
+      in
+      let conds = conditions a_lo a_hi in
+      let verified, checked = Ridint.Table.query_approx t ~epsilon:0.1 conds in
+      checked >= Cbitmap.Posting.cardinal verified
+      && Cbitmap.Posting.equal verified (Ridint.Table.naive t conds))
+
+let prop_at_least =
+  QCheck.Test.make ~count:40 ~name:"at-least-k matches naive counting"
+    conds_gen
+    (fun (seed, rows, a_lo, a_hi) ->
+      let t = Ridint.Table.create (device ()) (mk_columns ~seed ~rows) in
+      let conds = conditions a_lo a_hi in
+      let got = Ridint.Table.query_at_least t ~k:2 conds in
+      (* Reference: count satisfied conditions per row. *)
+      let expected = ref [] in
+      for row = rows - 1 downto 0 do
+        let sat =
+          List.length
+            (List.filter
+               (fun (c : Ridint.Table.condition) ->
+                 let col =
+                   List.find
+                     (fun (col : Ridint.Table.column) -> col.name = c.column)
+                     (Array.to_list (Ridint.Table.columns t))
+                 in
+                 col.values.(row) >= c.lo && col.values.(row) <= c.hi)
+               conds)
+        in
+        if sat >= 2 then expected := row :: !expected
+      done;
+      Cbitmap.Posting.equal got (Cbitmap.Posting.of_list !expected))
+
+let test_empty_conditions () =
+  let t = Ridint.Table.create (device ()) (mk_columns ~seed:3 ~rows:20) in
+  Alcotest.(check int) "all rows" 20
+    (Cbitmap.Posting.cardinal (Ridint.Table.query t []))
+
+let test_unknown_column () =
+  let t = Ridint.Table.create (device ()) (mk_columns ~seed:4 ~rows:10) in
+  Alcotest.check_raises "unknown column"
+    (Invalid_argument "Table: unknown column height") (fun () ->
+      ignore
+        (Ridint.Table.query t
+           [ { Ridint.Table.column = "height"; lo = 0; hi = 1 } ]))
+
+let test_approx_reduces_io () =
+  (* The point of §3: intersecting approximate answers reads fewer
+     bits than intersecting exact ones when selectivity is low.
+     n = 2^16 keeps moderate z/epsilon on the hashed path. *)
+  let rows = 65536 in
+  let rng = Hashing.Universal.Rng.create ~seed:77 in
+  let cols =
+    [
+      {
+        Ridint.Table.name = "a";
+        sigma = 4096;
+        values = Array.init rows (fun _ -> Hashing.Universal.Rng.below rng 4096);
+      };
+      {
+        Ridint.Table.name = "b";
+        sigma = 4096;
+        values = Array.init rows (fun _ -> Hashing.Universal.Rng.below rng 4096);
+      };
+    ]
+  in
+  let dev = device ~block_bits:1024 ~mem_blocks:1024 () in
+  let t = Ridint.Table.create_approx ~seed:5 dev cols in
+  let conds =
+    [
+      { Ridint.Table.column = "a"; lo = 100; hi = 100 };
+      { Ridint.Table.column = "b"; lo = 200; hi = 200 };
+    ]
+  in
+  Iosim.Device.clear_pool dev;
+  Iosim.Device.reset_stats dev;
+  let exact = Ridint.Table.query t conds in
+  let exact_bits = (Iosim.Device.stats dev).Iosim.Stats.bits_read in
+  Iosim.Device.clear_pool dev;
+  Iosim.Device.reset_stats dev;
+  let approx, _ = Ridint.Table.query_approx t ~epsilon:0.1 conds in
+  let approx_bits = (Iosim.Device.stats dev).Iosim.Stats.bits_read in
+  Alcotest.(check bool) "same answer" true (Cbitmap.Posting.equal exact approx);
+  if not (approx_bits < exact_bits) then
+    Alcotest.failf "approx read more: %d vs %d bits" approx_bits exact_bits
+
+let suite =
+  [
+    qcheck prop_query_matches_naive;
+    qcheck prop_approx_verified_equals_naive;
+    qcheck prop_at_least;
+    Alcotest.test_case "empty conditions" `Quick test_empty_conditions;
+    Alcotest.test_case "unknown column" `Quick test_unknown_column;
+    Alcotest.test_case "approximate intersection reads less" `Quick
+      test_approx_reduces_io;
+  ]
+
+let prop_at_least_approx =
+  QCheck.Test.make ~count:20 ~name:"approximate at-least-k verifies to exact"
+    conds_gen
+    (fun (seed, rows, a_lo, a_hi) ->
+      let t =
+        Ridint.Table.create_approx ~seed:(seed + 2) (device ())
+          (mk_columns ~seed ~rows)
+      in
+      let conds = conditions a_lo a_hi in
+      let exact = Ridint.Table.query_at_least t ~k:2 conds in
+      let approx, checked =
+        Ridint.Table.query_at_least_approx t ~epsilon:0.2 ~k:2 conds
+      in
+      checked >= Cbitmap.Posting.cardinal approx
+      && Cbitmap.Posting.equal exact approx)
+
+let suite =
+  suite @ [ qcheck prop_at_least_approx ]

@@ -1,0 +1,384 @@
+(* Tests for the paper's core static structures: the §2.1 complete
+   tree (Theorem 1) and the §2.2 optimal index (Theorem 2). *)
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+let device ?(block_bits = 256) ?(mem_blocks = 256) () =
+  Iosim.Device.create ~block_bits ~mem_bits:(mem_blocks * block_bits) ()
+
+let gen_of_array ~sigma data = { Workload.Gen.sigma; data }
+
+let input_gen =
+  QCheck.make
+    ~print:(fun (sigma, data, lo, hi) ->
+      Printf.sprintf "sigma=%d n=%d lo=%d hi=%d [%s]" sigma
+        (Array.length data) lo hi
+        (String.concat ";" (Array.to_list (Array.map string_of_int data))))
+    QCheck.Gen.(
+      int_range 1 24 >>= fun sigma ->
+      int_range 1 300 >>= fun n ->
+      array_size (return n) (int_range 0 (sigma - 1)) >>= fun data ->
+      int_range 0 (sigma - 1) >>= fun a ->
+      int_range 0 (sigma - 1) >>= fun b ->
+      return (sigma, data, min a b, max a b))
+
+let against_naive name builder =
+  QCheck.Test.make ~count:150 ~name input_gen (fun (sigma, data, lo, hi) ->
+      let dev = device () in
+      let inst : Indexing.Instance.t = builder dev ~sigma data in
+      let answer = Indexing.Instance.query_posting inst ~lo ~hi in
+      let naive =
+        Workload.Queries.naive_answer (gen_of_array ~sigma data)
+          { Workload.Queries.lo; hi }
+      in
+      Cbitmap.Posting.equal answer naive)
+
+let prop_alphabet_tree =
+  against_naive "complete tree matches naive"
+    (Secidx.Alphabet_tree.instance ?complement:None ?schedule:None)
+
+let prop_alphabet_tree_nocomp =
+  against_naive "complete tree (no complement) matches naive"
+    (fun dev ~sigma data ->
+      Secidx.Alphabet_tree.instance ~complement:false dev ~sigma data)
+
+let prop_alphabet_tree_fn3 =
+  against_naive "complete tree (footnote-3 doubling) matches naive"
+    (fun dev ~sigma data ->
+      Secidx.Alphabet_tree.instance ~schedule:`Doubling dev ~sigma data)
+
+let prop_static =
+  against_naive "static index matches naive"
+    (Secidx.Static_index.instance ?c:None ?complement:None ?schedule:None
+       ?code:None)
+
+let prop_static_c4 =
+  against_naive "static index c=4 matches naive" (fun dev ~sigma data ->
+      Secidx.Static_index.instance ~c:4 dev ~sigma data)
+
+let prop_static_c2 =
+  against_naive "static index c=2 matches naive" (fun dev ~sigma data ->
+      Secidx.Static_index.instance ~c:2 dev ~sigma data)
+
+let prop_static_all_levels =
+  against_naive "static index (all levels) matches naive"
+    (fun dev ~sigma data ->
+      Secidx.Static_index.instance ~schedule:`All dev ~sigma data)
+
+let prop_static_leaves_only =
+  against_naive "static index (leaves only) matches naive"
+    (fun dev ~sigma data ->
+      Secidx.Static_index.instance ~schedule:`Leaves_only dev ~sigma data)
+
+let prop_static_no_complement =
+  against_naive "static index (no complement) matches naive"
+    (fun dev ~sigma data ->
+      Secidx.Static_index.instance ~complement:false dev ~sigma data)
+
+(* --- white-box properties of the weight-balanced pruned tree --- *)
+
+let prop_wbb_structure =
+  QCheck.Test.make ~count:150 ~name:"wbb invariants"
+    QCheck.(
+      pair (int_range 1 16)
+        (pair (int_range 2 8) (list_of_size (Gen.int_range 1 200) (int_range 0 15))))
+    (fun (sigma, (c, data_list)) ->
+      let data = Array.of_list (List.map (fun v -> v mod sigma) data_list) in
+      let t = Secidx.Wbb.build ~c ~sigma data in
+      let ok = ref true in
+      (* Every leaf covers a single character; children partition the
+         parent's range; weights decrease geometrically. *)
+      let rec check (v : Secidx.Wbb.node) =
+        if Secidx.Wbb.is_leaf v then begin
+          if v.Secidx.Wbb.clo <> v.Secidx.Wbb.chi then ok := false
+        end
+        else begin
+          let cover = ref v.Secidx.Wbb.s in
+          Array.iter
+            (fun (ch : Secidx.Wbb.node) ->
+              if ch.Secidx.Wbb.s <> !cover then ok := false;
+              cover := ch.Secidx.Wbb.e;
+              if ch.Secidx.Wbb.level <> v.Secidx.Wbb.level + 1 then ok := false;
+              check ch)
+            v.Secidx.Wbb.children;
+          if !cover <> v.Secidx.Wbb.e then ok := false
+        end
+      in
+      check t.Secidx.Wbb.root;
+      !ok)
+
+let prop_wbb_node_count =
+  QCheck.Test.make ~count:50 ~name:"pruned tree has O(sigma log n) nodes"
+    (QCheck.int_range 2 64)
+    (fun sigma ->
+      let n = 4096 in
+      let g = Workload.Gen.uniform ~seed:sigma ~n ~sigma in
+      let t = Secidx.Wbb.build ~c:8 ~sigma g.Workload.Gen.data in
+      let bound =
+        (* generous constant: 8c * sigma * log_c n *)
+        64 * sigma * (1 + (Bitio.Codes.ceil_log2 n / 3))
+      in
+      Secidx.Wbb.node_count t <= bound)
+
+let prop_wbb_decompose_exact =
+  QCheck.Test.make ~count:150 ~name:"decompose covers exactly the entry range"
+    input_gen
+    (fun (sigma, data, lo, hi) ->
+      let t = Secidx.Wbb.build ~c:4 ~sigma data in
+      let s = t.Secidx.Wbb.char_start.(lo)
+      and e = t.Secidx.Wbb.char_start.(hi + 1) in
+      let canon, _ = Secidx.Wbb.decompose t ~s ~e in
+      (* Canonical nodes tile [s,e) in order. *)
+      let pos = ref s in
+      List.for_all
+        (fun (v : Secidx.Wbb.node) ->
+          let ok = v.Secidx.Wbb.s = !pos && v.Secidx.Wbb.e <= e in
+          pos := v.Secidx.Wbb.e;
+          ok)
+        canon
+      && !pos = e)
+
+let prop_wbb_positions =
+  QCheck.Test.make ~count:100 ~name:"node positions = naive positions"
+    input_gen
+    (fun (sigma, data, lo, hi) ->
+      let t = Secidx.Wbb.build ~c:3 ~sigma data in
+      let s = t.Secidx.Wbb.char_start.(lo)
+      and e = t.Secidx.Wbb.char_start.(hi + 1) in
+      let canon, _ = Secidx.Wbb.decompose t ~s ~e in
+      let all =
+        Cbitmap.Posting.union_many
+          (List.map (Secidx.Wbb.positions t) canon)
+      in
+      let naive =
+        Workload.Queries.naive_answer (gen_of_array ~sigma data)
+          { Workload.Queries.lo; hi }
+      in
+      Cbitmap.Posting.equal all naive)
+
+(* --- I/O and space shape --- *)
+
+let test_static_space_entropy_bound () =
+  (* Space should track n*H0 within a moderate constant plus the
+     sigma lg^2 n metadata term. *)
+  let n = 32768 and sigma = 64 in
+  List.iter
+    (fun theta ->
+      let g = Workload.Gen.zipf ~seed:1 ~n ~sigma ~theta () in
+      let dev = device ~block_bits:1024 () in
+      let t = Secidx.Static_index.build dev ~sigma g.Workload.Gen.data in
+      let nh0 = Cbitmap.Entropy.nh0_bits ~sigma g.Workload.Gen.data in
+      let meta = float_of_int (Secidx.Static_index.metadata_bits t) in
+      let size = float_of_int (Secidx.Static_index.size_bits t) in
+      (* bitmaps-only size vs entropy *)
+      let payload = size -. meta in
+      let budget = (8.0 *. nh0) +. (4.0 *. float_of_int n) +. meta in
+      if payload +. meta > budget then
+        Alcotest.failf "theta=%f: size %f exceeds budget %f (nH0=%f meta=%f)"
+          theta size budget nh0 meta)
+    [ 0.0; 1.0; 1.5 ]
+
+let test_static_materialized_levels () =
+  let n = 8192 and sigma = 32 in
+  let g = Workload.Gen.uniform ~seed:2 ~n ~sigma in
+  let dev = device () in
+  let t = Secidx.Static_index.build ~c:4 dev ~sigma g.Workload.Gen.data in
+  let levels = Secidx.Static_index.materialized_levels t in
+  (* Doubling schedule: 1,2,4,... *)
+  List.iter
+    (fun l ->
+      let rec pow2 v = if v >= l then v = l else pow2 (2 * v) in
+      if not (pow2 1) then Alcotest.failf "level %d not a power of two" l)
+    levels;
+  Alcotest.(check bool) "root materialized" true (List.mem 1 levels)
+
+let test_static_plan_chunks () =
+  (* The number of distinct runs (chunk entries) per storage level
+     should be small — the paper's "two consecutive chunks" claim,
+     allowing slack for leaf runs. *)
+  let n = 32768 and sigma = 128 in
+  let g = Workload.Gen.uniform ~seed:3 ~n ~sigma in
+  let dev = device () in
+  let t = Secidx.Static_index.build ~c:8 dev ~sigma g.Workload.Gen.data in
+  let tree = Secidx.Static_index.tree t in
+  List.iter
+    (fun (lo, hi) ->
+      let s = tree.Secidx.Wbb.char_start.(lo)
+      and e = tree.Secidx.Wbb.char_start.(hi + 1) in
+      if s < e then begin
+        let runs = Secidx.Static_index.plan t ~s ~e in
+        let per_storage = Hashtbl.create 8 in
+        List.iter
+          (fun { Secidx.Static_index.storage; _ } ->
+            let k =
+              match storage with `Leaf -> -1 | `Level l -> l
+            in
+            Hashtbl.replace per_storage k
+              (1 + Option.value ~default:0 (Hashtbl.find_opt per_storage k)))
+          runs;
+        Hashtbl.iter
+          (fun k count ->
+            (* internal levels: at most a handful of chunks *)
+            if k >= 0 && count > 6 then
+              Alcotest.failf "level %d read in %d chunks for [%d,%d]" k count
+                lo hi)
+          per_storage
+      end)
+    [ (0, 63); (10, 80); (100, 127); (5, 6); (0, 127) ]
+
+let test_static_io_scales_with_output () =
+  let n = 65536 and sigma = 256 in
+  let g = Workload.Gen.uniform ~seed:4 ~n ~sigma in
+  let dev = device ~block_bits:1024 ~mem_blocks:1024 () in
+  let inst = Secidx.Static_index.instance dev ~sigma g.Workload.Gen.data in
+  (* Doubling the range should roughly double the I/O for small
+     ranges, not explode. *)
+  let _, s8 = Indexing.Instance.query_cold inst ~lo:32 ~hi:39 in
+  let _, s64 = Indexing.Instance.query_cold inst ~lo:32 ~hi:95 in
+  let r8 = Iosim.Stats.ios s8 and r64 = Iosim.Stats.ios s64 in
+  if not (r64 < 20 * r8) then
+    Alcotest.failf "I/O out of shape: 8 chars=%d, 64 chars=%d" r8 r64
+
+let test_complement_kicks_in () =
+  let n = 4096 and sigma = 16 in
+  let g = Workload.Gen.uniform ~seed:5 ~n ~sigma in
+  let dev = device () in
+  let t = Secidx.Static_index.build dev ~sigma g.Workload.Gen.data in
+  (match Secidx.Static_index.query t ~lo:0 ~hi:(sigma - 1) with
+  | Indexing.Answer.Complement p ->
+      Alcotest.(check int) "complement of everything is empty" 0
+        (Cbitmap.Posting.cardinal p)
+  | Indexing.Answer.Direct _ -> Alcotest.fail "expected complement answer");
+  match Secidx.Static_index.query t ~lo:1 ~hi:(sigma - 2) with
+  | Indexing.Answer.Complement p ->
+      let naive =
+        Workload.Queries.naive_answer g { Workload.Queries.lo = 1; hi = sigma - 2 }
+      in
+      Alcotest.(check bool) "complement correct" true
+        (Cbitmap.Posting.equal
+           (Cbitmap.Posting.complement ~n p)
+           naive)
+  | Indexing.Answer.Direct _ -> Alcotest.fail "expected complement for wide range"
+
+let test_alphabet_tree_fn3_space () =
+  (* Footnote 3: the doubling schedule must shrink the complete tree
+     substantially at large alphabets. *)
+  let n = 32768 and sigma = 512 in
+  let g = Workload.Gen.uniform ~seed:8 ~n ~sigma in
+  let all =
+    Secidx.Alphabet_tree.instance (device ~block_bits:1024 ()) ~sigma
+      g.Workload.Gen.data
+  in
+  let fn3 =
+    Secidx.Alphabet_tree.instance ~schedule:`Doubling
+      (device ~block_bits:1024 ())
+      ~sigma g.Workload.Gen.data
+  in
+  if not (fn3.Indexing.Instance.size_bits * 3 < all.Indexing.Instance.size_bits * 2)
+  then
+    Alcotest.failf "fn3 (%d) not well below all-levels (%d)"
+      fn3.Indexing.Instance.size_bits all.Indexing.Instance.size_bits
+
+let test_alphabet_tree_levels () =
+  let g = Workload.Gen.uniform ~seed:6 ~n:1000 ~sigma:100 in
+  let dev = device () in
+  let t = Secidx.Alphabet_tree.build dev ~sigma:100 g.Workload.Gen.data in
+  (* 100 rounds to 128 = 2^7, so 8 levels. *)
+  Alcotest.(check int) "levels" 8 (Secidx.Alphabet_tree.levels t)
+
+let test_alphabet_tree_space_vs_static () =
+  (* Theorem 1 space is O(n lg^2 sigma); Theorem 2 should be smaller
+     for skewed data. *)
+  let n = 32768 and sigma = 256 in
+  let g = Workload.Gen.zipf ~seed:7 ~n ~sigma ~theta:1.2 () in
+  let i1 =
+    Secidx.Alphabet_tree.instance (device ~block_bits:1024 ()) ~sigma
+      g.Workload.Gen.data
+  in
+  let i2 =
+    Secidx.Static_index.instance (device ~block_bits:1024 ()) ~sigma
+      g.Workload.Gen.data
+  in
+  Alcotest.(check bool) "static smaller on skew" true
+    (i2.Indexing.Instance.size_bits < i1.Indexing.Instance.size_bits)
+
+let test_singleton_alphabet () =
+  let dev = device () in
+  let data = Array.make 50 0 in
+  let inst = Secidx.Static_index.instance dev ~sigma:1 data in
+  let p = Indexing.Instance.query_posting inst ~lo:0 ~hi:0 in
+  Alcotest.(check int) "all positions" 50 (Cbitmap.Posting.cardinal p)
+
+let test_missing_char () =
+  (* Characters that never occur must yield empty answers. *)
+  let dev = device () in
+  let data = Array.make 20 3 in
+  let inst = Secidx.Static_index.instance dev ~sigma:8 data in
+  let p = Indexing.Instance.query_posting inst ~lo:5 ~hi:7 in
+  Alcotest.(check int) "empty" 0 (Cbitmap.Posting.cardinal p)
+
+let suite =
+  [
+    qcheck prop_alphabet_tree;
+    qcheck prop_alphabet_tree_nocomp;
+    qcheck prop_alphabet_tree_fn3;
+    qcheck prop_static;
+    qcheck prop_static_c4;
+    qcheck prop_static_c2;
+    qcheck prop_static_all_levels;
+    qcheck prop_static_leaves_only;
+    qcheck prop_static_no_complement;
+    qcheck prop_wbb_structure;
+    qcheck prop_wbb_node_count;
+    qcheck prop_wbb_decompose_exact;
+    qcheck prop_wbb_positions;
+    Alcotest.test_case "space tracks entropy" `Quick
+      test_static_space_entropy_bound;
+    Alcotest.test_case "materialized levels doubling" `Quick
+      test_static_materialized_levels;
+    Alcotest.test_case "plan reads few chunks per level" `Quick
+      test_static_plan_chunks;
+    Alcotest.test_case "I/O scales with output" `Quick
+      test_static_io_scales_with_output;
+    Alcotest.test_case "complement trick" `Quick test_complement_kicks_in;
+    Alcotest.test_case "alphabet tree levels" `Quick test_alphabet_tree_levels;
+    Alcotest.test_case "footnote-3 space saving" `Quick
+      test_alphabet_tree_fn3_space;
+    Alcotest.test_case "thm2 smaller than thm1 on skew" `Quick
+      test_alphabet_tree_space_vs_static;
+    Alcotest.test_case "singleton alphabet" `Quick test_singleton_alphabet;
+    Alcotest.test_case "missing characters" `Quick test_missing_char;
+  ]
+
+(* The plan's runs must cover every canonical node's entries exactly
+   once: decode the planned streams and compare with the range. *)
+let prop_plan_covers_exactly =
+  QCheck.Test.make ~count:75 ~name:"plan streams decode to the exact answer"
+    input_gen
+    (fun (sigma, data, lo, hi) ->
+      let dev = device () in
+      let t = Secidx.Static_index.build ~c:3 dev ~sigma data in
+      let tree = Secidx.Static_index.tree t in
+      let s = tree.Secidx.Wbb.char_start.(lo)
+      and e = tree.Secidx.Wbb.char_start.(hi + 1) in
+      s >= e
+      ||
+      let runs = Secidx.Static_index.plan t ~s ~e in
+      (* Runs must be disjoint per storage. *)
+      let seen = Hashtbl.create 16 in
+      let disjoint = ref true in
+      List.iter
+        (fun { Secidx.Static_index.storage; first; last } ->
+          for i = first to last do
+            if Hashtbl.mem seen (storage, i) then disjoint := false;
+            Hashtbl.replace seen (storage, i) ()
+          done)
+        runs;
+      let naive =
+        Workload.Queries.naive_answer (gen_of_array ~sigma data)
+          { Workload.Queries.lo; hi }
+      in
+      !disjoint
+      && Cbitmap.Posting.equal (Secidx.Static_index.query_entries t ~s ~e) naive)
+
+let suite = suite @ [ qcheck prop_plan_covers_exactly ]

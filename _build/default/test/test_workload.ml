@@ -1,0 +1,112 @@
+(* Tests for the workload generators and query generators. *)
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+let in_alphabet (g : Workload.Gen.t) =
+  Array.for_all (fun c -> c >= 0 && c < g.Workload.Gen.sigma) g.Workload.Gen.data
+
+let test_uniform_shape () =
+  let g = Workload.Gen.uniform ~seed:1 ~n:10_000 ~sigma:16 in
+  Alcotest.(check int) "length" 10_000 (Workload.Gen.length g);
+  Alcotest.(check bool) "alphabet" true (in_alphabet g);
+  (* Entropy of uniform over 16 chars should be close to 4 bits. *)
+  let h = Workload.Gen.h0 g in
+  if h < 3.9 || h > 4.0 then Alcotest.failf "uniform entropy %f" h
+
+let test_zipf_skew () =
+  let flat = Workload.Gen.zipf ~seed:2 ~n:20_000 ~sigma:64 ~theta:0.0 () in
+  let skewed = Workload.Gen.zipf ~seed:2 ~n:20_000 ~sigma:64 ~theta:1.5 () in
+  Alcotest.(check bool) "alphabet" true (in_alphabet skewed);
+  let h_flat = Workload.Gen.h0 flat and h_skew = Workload.Gen.h0 skewed in
+  if not (h_skew < h_flat -. 1.0) then
+    Alcotest.failf "zipf 1.5 (%f) not much below uniform (%f)" h_skew h_flat
+
+let test_zipf_deterministic () =
+  let a = Workload.Gen.zipf ~seed:5 ~n:1000 ~sigma:8 ~theta:1.0 () in
+  let b = Workload.Gen.zipf ~seed:5 ~n:1000 ~sigma:8 ~theta:1.0 () in
+  Alcotest.(check bool) "same data" true
+    (a.Workload.Gen.data = b.Workload.Gen.data)
+
+let test_clustered_runs () =
+  let g = Workload.Gen.clustered ~seed:3 ~n:10_000 ~sigma:32 ~run:50 in
+  Alcotest.(check bool) "alphabet" true (in_alphabet g);
+  (* Count runs; expected about n / E[len] = 10000/50.5 ≈ 200. *)
+  let runs = ref 1 in
+  for i = 1 to 9999 do
+    if g.Workload.Gen.data.(i) <> g.Workload.Gen.data.(i - 1) then incr runs
+  done;
+  if !runs > 1000 then Alcotest.failf "too many runs: %d" !runs
+
+let test_markov_stay () =
+  let g = Workload.Gen.markov ~seed:4 ~n:10_000 ~sigma:16 ~stay:0.95 in
+  Alcotest.(check bool) "alphabet" true (in_alphabet g);
+  let same = ref 0 in
+  for i = 1 to 9999 do
+    if g.Workload.Gen.data.(i) = g.Workload.Gen.data.(i - 1) then incr same
+  done;
+  (* With stay=0.95 plus accidental repeats, well above 90%. *)
+  if float_of_int !same /. 9999.0 < 0.9 then
+    Alcotest.failf "stay fraction too low: %d" !same
+
+let test_naive_answer () =
+  let g = { Workload.Gen.sigma = 4; data = [| 0; 3; 1; 2; 1; 0 |] } in
+  let ans = Workload.Queries.naive_answer g { Workload.Queries.lo = 1; hi = 2 } in
+  Alcotest.(check (list int)) "positions" [ 2; 3; 4 ]
+    (Cbitmap.Posting.to_list ans);
+  Alcotest.(check int) "count" 3
+    (Workload.Queries.naive_count g { Workload.Queries.lo = 1; hi = 2 })
+
+let prop_ranges_valid =
+  QCheck.Test.make ~count:100 ~name:"random ranges well-formed"
+    (QCheck.int_range 1 100)
+    (fun sigma ->
+      let ranges = Workload.Queries.random_ranges ~seed:7 ~sigma ~count:50 in
+      List.for_all
+        (fun { Workload.Queries.lo; hi } -> 0 <= lo && lo <= hi && hi < sigma)
+        ranges)
+
+let prop_fixed_width =
+  QCheck.Test.make ~count:100 ~name:"fixed width ranges have width ell"
+    (QCheck.pair (QCheck.int_range 2 64) (QCheck.int_range 1 64))
+    (fun (sigma, ell) ->
+      QCheck.assume (ell <= sigma);
+      let ranges =
+        Workload.Queries.fixed_width_ranges ~seed:8 ~sigma ~ell ~count:20
+      in
+      List.for_all
+        (fun { Workload.Queries.lo; hi } ->
+          hi - lo + 1 = ell && lo >= 0 && hi < sigma)
+        ranges)
+
+let test_selectivity_ranges () =
+  let g = Workload.Gen.uniform ~seed:10 ~n:10_000 ~sigma:100 in
+  let targets = Workload.Queries.selectivity_ranges ~seed:11 g ~target:0.2 ~count:20 in
+  List.iter
+    (fun ((r : Workload.Queries.range), z) ->
+      let exact = Workload.Queries.naive_count g r in
+      Alcotest.(check int) "reported size exact" exact z;
+      (* Should be within reach of the target unless clipped at σ. *)
+      if z < 1500 && r.Workload.Queries.hi < 99 then
+        Alcotest.failf "selectivity too small: %d" z)
+    targets
+
+let test_point_queries () =
+  let qs = Workload.Queries.point_queries ~seed:12 ~sigma:10 ~count:50 in
+  Alcotest.(check bool) "all points" true
+    (List.for_all
+       (fun { Workload.Queries.lo; hi } -> lo = hi && lo >= 0 && hi < 10)
+       qs)
+
+let suite =
+  [
+    Alcotest.test_case "uniform shape" `Quick test_uniform_shape;
+    Alcotest.test_case "zipf skew lowers entropy" `Quick test_zipf_skew;
+    Alcotest.test_case "zipf deterministic" `Quick test_zipf_deterministic;
+    Alcotest.test_case "clustered runs" `Quick test_clustered_runs;
+    Alcotest.test_case "markov stay" `Quick test_markov_stay;
+    Alcotest.test_case "naive answer" `Quick test_naive_answer;
+    qcheck prop_ranges_valid;
+    qcheck prop_fixed_width;
+    Alcotest.test_case "selectivity ranges" `Quick test_selectivity_ranges;
+    Alcotest.test_case "point queries" `Quick test_point_queries;
+  ]
