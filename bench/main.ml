@@ -753,6 +753,194 @@ let bechamel () =
     (List.sort compare names)
 
 (* ------------------------------------------------------------------ *)
+(* --wallclock: microbenchmarks of the bit-engine hot paths, with the
+   retained per-bit reference implementations as the baseline.  Emits
+   machine-readable BENCH_PR1.json so later PRs can regress against
+   this perf trajectory.  --smoke shrinks the workload for CI. *)
+
+type wc_result = { wc_name : string; ns_per_item : float; items : int }
+
+let time_per_item ~iters ~items f =
+  f ();
+  (* warmup *)
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to iters do
+    f ()
+  done;
+  let t1 = Unix.gettimeofday () in
+  (t1 -. t0) *. 1e9 /. float_of_int (iters * items)
+
+let wallclock ~smoke () =
+  header "wall-clock microbenchmarks (--wallclock)";
+  let iters = if smoke then 3 else 40 in
+  let results = ref [] in
+  let sink = ref 0 in
+  let record wc_name ~items f =
+    let ns_per_item = time_per_item ~iters ~items f in
+    results := { wc_name; ns_per_item; items } :: !results;
+    fmt "%-34s %10.2f ns/item\n%!" wc_name ns_per_item;
+    ns_per_item
+  in
+  let rng = Hashing.Universal.Rng.create ~seed:42 in
+  let nbits = 1 lsl 17 in
+  let buf = Bitio.Bitbuf.create ~capacity:nbits () in
+  while Bitio.Bitbuf.length buf < nbits do
+    Bitio.Bitbuf.write_bits buf ~width:30 (Hashing.Universal.Rng.below rng (1 lsl 30))
+  done;
+  let reads = 4096 in
+  let naive_read_bits b ~pos ~width =
+    let v = ref 0 in
+    for i = pos to pos + width - 1 do
+      v := (!v lsl 1) lor (if Bitio.Bitbuf.get_bit b i then 1 else 0)
+    done;
+    !v
+  in
+  (* Bitbuf reads, aligned (byte-aligned start) and unaligned, at the
+     width range the codes actually use, including the 61/62 extreme. *)
+  let read_bench ~aligned ~naive width =
+    let pos i =
+      if aligned then i * 64 mod (nbits - 64)
+      else ((i * 61) + 3) mod (nbits - 64)
+    in
+    fun () ->
+      for i = 0 to reads - 1 do
+        sink := !sink
+          lxor
+          (if naive then naive_read_bits buf ~pos:(pos i) ~width
+           else Bitio.Bitbuf.read_bits buf ~pos:(pos i) ~width)
+      done
+  in
+  List.iter
+    (fun w ->
+      ignore
+        (record (Printf.sprintf "bitbuf_read_aligned_w%d" w) ~items:reads
+           (read_bench ~aligned:true ~naive:false w));
+      ignore
+        (record (Printf.sprintf "bitbuf_read_unaligned_w%d" w) ~items:reads
+           (read_bench ~aligned:false ~naive:false w)))
+    [ 1; 8; 13; 31; 62 ];
+  let find name = (List.find (fun r -> r.wc_name = name) !results).ns_per_item in
+  let read_new = find "bitbuf_read_unaligned_w31" in
+  let read_naive =
+    record "bitbuf_read_unaligned_w31_naive" ~items:reads
+      (read_bench ~aligned:false ~naive:true 31)
+  in
+  (* Bitbuf writes: width 8 stays byte-aligned, width 13 never does. *)
+  let writes = 4096 in
+  let write_bench ~width ~naive () =
+    let b = Bitio.Bitbuf.create ~capacity:(writes * width) () in
+    for i = 0 to writes - 1 do
+      let v = i land ((1 lsl width) - 1) in
+      if naive then
+        for j = width - 1 downto 0 do
+          Bitio.Bitbuf.write_bit b ((v lsr j) land 1 = 1)
+        done
+      else Bitio.Bitbuf.write_bits b ~width v
+    done;
+    sink := !sink lxor Bitio.Bitbuf.length b
+  in
+  ignore (record "bitbuf_write_aligned_w8" ~items:writes (write_bench ~width:8 ~naive:false));
+  ignore (record "bitbuf_write_unaligned_w13" ~items:writes (write_bench ~width:13 ~naive:false));
+  ignore (record "bitbuf_write_unaligned_w13_naive" ~items:writes (write_bench ~width:13 ~naive:true));
+  (* Unaligned append: 3-bit prefix forces the non-byte-aligned path
+     that used to fall back to a write_bit/get_bit round-trip per bit. *)
+  let chunk = Bitio.Bitbuf.create ~capacity:4101 () in
+  while Bitio.Bitbuf.length chunk < 4101 do
+    Bitio.Bitbuf.write_bits chunk ~width:27 (Hashing.Universal.Rng.below rng (1 lsl 27))
+  done;
+  let append_bench ~naive () =
+    let dst = Bitio.Bitbuf.create ~capacity:(16 * 4104) () in
+    Bitio.Bitbuf.write_bits dst ~width:3 0b101;
+    for _ = 1 to 16 do
+      if naive then
+        for i = 0 to Bitio.Bitbuf.length chunk - 1 do
+          Bitio.Bitbuf.write_bit dst (Bitio.Bitbuf.get_bit chunk i)
+        done
+      else Bitio.Bitbuf.append dst chunk
+    done;
+    sink := !sink lxor Bitio.Bitbuf.length dst
+  in
+  let append_items = 16 * Bitio.Bitbuf.length chunk in
+  let append_new = record "bitbuf_append_unaligned" ~items:append_items (append_bench ~naive:false) in
+  let append_naive =
+    record "bitbuf_append_unaligned_naive" ~items:append_items (append_bench ~naive:true)
+  in
+  (* Device region read at an unaligned offset: bulk blit vs the
+     retained per-bit reference (identical I/O counting). *)
+  let dev = device ~block_bits:1024 ~mem_blocks:0 () in
+  ignore (Iosim.Device.alloc dev 11);
+  let region = Iosim.Device.store dev buf in
+  let region_bench ~naive () =
+    let b =
+      if naive then Iosim.Device.read_region_naive dev region
+      else Iosim.Device.read_region dev region
+    in
+    sink := !sink lxor Bitio.Bitbuf.length b
+  in
+  let region_new = record "device_read_region" ~items:nbits (region_bench ~naive:false) in
+  let region_naive =
+    record "device_read_region_naive" ~items:nbits (region_bench ~naive:true)
+  in
+  (* Rank/select throughput on a random bitvector. *)
+  let rs = Cbitmap.Rank_select.of_bitbuf buf in
+  let rank_ops = 4096 in
+  ignore
+    (record "rank_select_rank1" ~items:rank_ops (fun () ->
+         for i = 0 to rank_ops - 1 do
+           sink := !sink lxor Cbitmap.Rank_select.rank1 rs (i * 31 mod nbits)
+         done));
+  let total_ones = Cbitmap.Rank_select.ones rs in
+  ignore
+    (record "rank_select_select1" ~items:rank_ops (fun () ->
+         for i = 0 to rank_ops - 1 do
+           sink := !sink lxor Cbitmap.Rank_select.select1 rs (i * 17 mod total_ones)
+         done));
+  (* One end-to-end E2 query so the trajectory has a macro number. *)
+  let n = 16384 and sigma = 256 in
+  let g = Workload.Gen.zipf ~seed:20 ~n ~sigma ~theta:1.0 () in
+  let inst = Secidx.Static_index.instance (device ()) ~sigma g.Workload.Gen.data in
+  ignore
+    (record "e2_static_query_cold" ~items:1 (fun () ->
+         let answer, _ = cold_query inst ~lo:16 ~hi:47 in
+         sink := !sink lxor Indexing.Answer.compressed_bits answer));
+  (* Speedups the acceptance gate cares about. *)
+  let speedups =
+    [
+      ("bitbuf_read_unaligned", read_naive /. read_new);
+      ("bitbuf_append_unaligned", append_naive /. append_new);
+      ("device_read_region", region_naive /. region_new);
+    ]
+  in
+  fmt "\nspeedup vs retained naive reference:\n";
+  List.iter (fun (name, s) -> fmt "  %-28s %6.1fx\n" name s) speedups;
+  (* Machine-readable trajectory file. *)
+  let oc = open_out "BENCH_PR1.json" in
+  let p fmt = Printf.fprintf oc fmt in
+  p "{\n";
+  p "  \"pr\": 1,\n";
+  p "  \"label\": \"word-at-a-time bit engine\",\n";
+  p "  \"smoke\": %b,\n" smoke;
+  p "  \"benchmarks\": [\n";
+  let sorted = List.rev !results in
+  List.iteri
+    (fun i r ->
+      p "    {\"name\": \"%s\", \"ns_per_item\": %.3f, \"items_per_run\": %d}%s\n"
+        r.wc_name r.ns_per_item r.items
+        (if i = List.length sorted - 1 then "" else ","))
+    sorted;
+  p "  ],\n";
+  p "  \"speedup_vs_naive\": {\n";
+  List.iteri
+    (fun i (name, s) ->
+      p "    \"%s\": %.2f%s\n" name s
+        (if i = List.length speedups - 1 then "" else ","))
+    speedups;
+  p "  }\n";
+  p "}\n";
+  close_out oc;
+  fmt "wrote BENCH_PR1.json (sink=%d)\n" (!sink land 1)
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -765,9 +953,15 @@ let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let args = List.filter (fun a -> a <> "--") args in
   let want_bechamel = List.mem "--bechamel" args in
-  let selected = List.filter (fun a -> a <> "--bechamel") args in
+  let want_wallclock = List.mem "--wallclock" args in
+  let smoke = List.mem "--smoke" args in
+  let selected =
+    List.filter
+      (fun a -> not (List.mem a [ "--bechamel"; "--wallclock"; "--smoke" ]))
+      args
+  in
   let to_run =
-    if selected = [] then experiments
+    if selected = [] then if want_wallclock || want_bechamel then [] else experiments
     else
       List.filter_map
         (fun name ->
@@ -781,4 +975,5 @@ let () =
   in
   List.iter (fun (_, f) -> f ()) to_run;
   if want_bechamel then bechamel ();
+  if want_wallclock then wallclock ~smoke ();
   fmt "\nbench: done\n"

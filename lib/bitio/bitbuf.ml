@@ -15,6 +15,9 @@ let ensure t extra_bits =
     t.data <- data
   end
 
+(* Invariant: every bit of [t.data] at position >= [t.len] is zero
+   ([create]/[ensure]/[reset] zero-fill, and all writers mask). *)
+
 let write_bit t b =
   ensure t 1;
   if b then begin
@@ -30,30 +33,8 @@ let write_bits t ~width v =
   if width < 62 && (v < 0 || v lsr width <> 0) then
     invalid_arg "Bitbuf.write_bits: value out of range";
   ensure t width;
-  (* Fast path: write byte-sized chunks once aligned. *)
-  let rec go remaining =
-    if remaining > 0 then begin
-      let off = t.len land 7 in
-      if off = 0 && remaining >= 8 then begin
-        let byte = (v lsr (remaining - 8)) land 0xff in
-        Bytes.unsafe_set t.data (t.len lsr 3) (Char.unsafe_chr byte);
-        t.len <- t.len + 8;
-        go (remaining - 8)
-      end
-      else begin
-        let bit = (v lsr (remaining - 1)) land 1 = 1 in
-        if bit then begin
-          let byte = t.len lsr 3 in
-          Bytes.unsafe_set t.data byte
-            (Char.unsafe_chr
-               (Char.code (Bytes.unsafe_get t.data byte) lor (0x80 lsr off)))
-        end;
-        t.len <- t.len + 1;
-        go (remaining - 1)
-      end
-    end
-  in
-  go width
+  Bitops.set_bits t.data ~pos:t.len ~width v;
+  t.len <- t.len + width
 
 let get_bit t i =
   if i < 0 || i >= t.len then invalid_arg "Bitbuf.get_bit";
@@ -62,47 +43,30 @@ let get_bit t i =
 let read_bits t ~pos ~width =
   if width < 0 || width > 62 then invalid_arg "Bitbuf.read_bits: width";
   if pos < 0 || pos + width > t.len then invalid_arg "Bitbuf.read_bits: range";
-  let v = ref 0 in
-  let i = ref pos in
-  let remaining = ref width in
-  while !remaining > 0 do
-    let off = !i land 7 in
-    if off = 0 && !remaining >= 8 then begin
-      v := (!v lsl 8) lor Char.code (Bytes.unsafe_get t.data (!i lsr 3));
-      i := !i + 8;
-      remaining := !remaining - 8
-    end
-    else begin
-      let bit =
-        Char.code (Bytes.unsafe_get t.data (!i lsr 3)) land (0x80 lsr off)
-      in
-      v := (!v lsl 1) lor (if bit <> 0 then 1 else 0);
-      incr i;
-      decr remaining
-    end
-  done;
-  !v
+  Bitops.get_bits t.data ~pos ~width
+
+let blit src ~src_bit dst ~dst_bit ~len =
+  if len < 0 then invalid_arg "Bitbuf.blit: len";
+  if src_bit < 0 || src_bit + len > src.len then invalid_arg "Bitbuf.blit: src";
+  if dst_bit < 0 || dst_bit > dst.len then invalid_arg "Bitbuf.blit: dst";
+  ensure dst (dst_bit + len - dst.len);
+  Bitops.blit src.data ~src_pos:src_bit dst.data ~dst_pos:dst_bit ~len;
+  if dst_bit + len > dst.len then dst.len <- dst_bit + len
 
 let append dst src =
-  ensure dst src.len;
-  if dst.len land 7 = 0 then begin
-    (* Byte-aligned: straight blit. *)
-    Bytes.blit src.data 0 dst.data (dst.len lsr 3) ((src.len + 7) / 8);
-    dst.len <- dst.len + src.len;
-    (* Clear any stray padding bits that the blit may have introduced
-       past the logical end. *)
-    let tail = dst.len land 7 in
-    if tail <> 0 then begin
-      let byte = dst.len lsr 3 in
-      let mask = 0xff lsl (8 - tail) land 0xff in
-      Bytes.unsafe_set dst.data byte
-        (Char.unsafe_chr (Char.code (Bytes.unsafe_get dst.data byte) land mask))
-    end
-  end
-  else
-    for i = 0 to src.len - 1 do
-      write_bit dst (get_bit src i)
-    done
+  (* [dst == src] (self-append) is fine: the copy runs front to back
+     and the source bits precede the destination range. *)
+  let n = src.len in
+  ensure dst n;
+  Bitops.blit src.data ~src_pos:0 dst.data ~dst_pos:dst.len ~len:n;
+  dst.len <- dst.len + n
+
+let append_bytes t src ~src_bit ~len =
+  if len < 0 || src_bit < 0 || src_bit + len > 8 * Bytes.length src then
+    invalid_arg "Bitbuf.append_bytes";
+  ensure t len;
+  Bitops.blit src ~src_pos:src_bit t.data ~dst_pos:t.len ~len;
+  t.len <- t.len + len
 
 let reset t =
   Bytes.fill t.data 0 (Bytes.length t.data) '\000';
@@ -113,35 +77,9 @@ let to_bytes t =
   Bytes.sub t.data 0 n
 
 let blit_to_bytes t dst ~dst_bit =
-  if dst_bit land 7 = 0 then begin
-    let nbytes = (t.len + 7) / 8 in
-    if nbytes > 0 then begin
-      (* Preserve bits of the final destination byte beyond our end. *)
-      let last_dst = (dst_bit lsr 3) + nbytes - 1 in
-      let keep = Char.code (Bytes.get dst last_dst) in
-      Bytes.blit t.data 0 dst (dst_bit lsr 3) nbytes;
-      let tail = t.len land 7 in
-      if tail <> 0 then begin
-        let mask_keep = 0xff lsr tail in
-        let merged =
-          Char.code (Bytes.get dst last_dst) land (lnot mask_keep land 0xff)
-          lor (keep land mask_keep)
-        in
-        Bytes.set dst last_dst (Char.chr merged)
-      end
-    end
-  end
-  else
-    for i = 0 to t.len - 1 do
-      let pos = dst_bit + i in
-      let byte = pos lsr 3 and off = pos land 7 in
-      let c = Char.code (Bytes.get dst byte) in
-      let c =
-        if get_bit t i then c lor (0x80 lsr off)
-        else c land (lnot (0x80 lsr off) land 0xff)
-      in
-      Bytes.set dst byte (Char.chr c)
-    done
+  if dst_bit < 0 || dst_bit + t.len > 8 * Bytes.length dst then
+    invalid_arg "Bitbuf.blit_to_bytes";
+  Bitops.blit t.data ~src_pos:0 dst ~dst_pos:dst_bit ~len:t.len
 
 let of_int ~width v =
   let t = create ~capacity:width () in
@@ -151,10 +89,31 @@ let of_int ~width v =
 let equal a b =
   a.len = b.len
   &&
-  let rec go i = i >= a.len || (get_bit a i = get_bit b i && go (i + 1)) in
-  go 0
+  let full = a.len lsr 3 in
+  let rec bytes_eq i =
+    i >= full
+    || (Bytes.unsafe_get a.data i = Bytes.unsafe_get b.data i
+       && bytes_eq (i + 1))
+  in
+  bytes_eq 0
+  &&
+  let tail = a.len land 7 in
+  tail = 0
+  ||
+  let mask = 0xff lsl (8 - tail) land 0xff in
+  Char.code (Bytes.unsafe_get a.data full) land mask
+  = Char.code (Bytes.unsafe_get b.data full) land mask
 
 let pp ppf t =
-  for i = 0 to t.len - 1 do
-    Format.pp_print_char ppf (if get_bit t i then '1' else '0')
-  done
+  let emit byte bits =
+    let c = Char.code (Bytes.unsafe_get t.data byte) in
+    for off = 0 to bits - 1 do
+      Format.pp_print_char ppf (if c land (0x80 lsr off) <> 0 then '1' else '0')
+    done
+  in
+  let full = t.len lsr 3 in
+  for byte = 0 to full - 1 do
+    emit byte 8
+  done;
+  let tail = t.len land 7 in
+  if tail > 0 then emit full tail

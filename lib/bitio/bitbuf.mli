@@ -30,8 +30,21 @@ val get_bit : t -> int -> bool
     most-significant first. *)
 val read_bits : t -> pos:int -> width:int -> int
 
-(** [append dst src] appends all bits of [src] to [dst]. *)
+(** [blit src ~src_bit dst ~dst_bit ~len] copies [len] bits of [src]
+    starting at [src_bit] into [dst] at [dst_bit], growing [dst] if
+    the copy extends past its end ([dst_bit <= length dst] is
+    required; bits of [dst] outside the target range are
+    preserved). *)
+val blit : t -> src_bit:int -> t -> dst_bit:int -> len:int -> unit
+
+(** [append dst src] appends all bits of [src] to [dst].
+    [append t t] (self-append, doubling) is allowed. *)
 val append : t -> t -> unit
+
+(** [append_bytes t src ~src_bit ~len] appends [len] bits read from
+    the raw byte string [src] starting at bit [src_bit] (same bit
+    convention as the buffer itself). *)
+val append_bytes : t -> bytes -> src_bit:int -> len:int -> unit
 
 (** Truncate to the empty buffer (capacity is kept). *)
 val reset : t -> unit

@@ -13,9 +13,7 @@ type t = {
   total_ones : int;
 }
 
-let popcount x =
-  let rec go x acc = if x = 0 then acc else go (x land (x - 1)) (acc + 1) in
-  go x 0
+let popcount = Bitio.Bitops.popcount
 
 let build_dir words =
   let dir = Array.make (Array.length words + 1) 0 in
@@ -35,12 +33,26 @@ let of_posting ~n posting =
   { n; words; rank_dir; total_ones = rank_dir.(Array.length words) }
 
 let of_bitbuf buf =
+  (* Direct array fill: pull the stream a byte at a time and scatter
+     set bits into the 63-bit words, skipping zero bytes. *)
   let n = Bitio.Bitbuf.length buf in
-  let acc = ref [] in
-  for i = n - 1 downto 0 do
-    if Bitio.Bitbuf.get_bit buf i then acc := i :: !acc
+  let words = Array.make (((n + word_bits - 1) / word_bits) + 1) 0 in
+  let i = ref 0 in
+  while !i < n do
+    let w = min 8 (n - !i) in
+    let byte = Bitio.Bitbuf.read_bits buf ~pos:!i ~width:w in
+    if byte <> 0 then
+      for j = 0 to w - 1 do
+        if (byte lsr (w - 1 - j)) land 1 = 1 then begin
+          let idx = !i + j in
+          words.(idx / word_bits) <-
+            words.(idx / word_bits) lor (1 lsl (idx mod word_bits))
+        end
+      done;
+    i := !i + w
   done;
-  of_posting ~n (Posting.of_sorted_array (Array.of_list !acc))
+  let rank_dir = build_dir words in
+  { n; words; rank_dir; total_ones = rank_dir.(Array.length words) }
 
 let length t = t.n
 let ones t = t.total_ones
@@ -95,11 +107,24 @@ let select0 t k =
     ~count_before:(fun w -> min t.n (w * word_bits) - t.rank_dir.(w))
     ~total:(t.n - t.total_ones) ~bit:false k
 
-let size_bits t = (Array.length t.words + Array.length t.rank_dir) * 63
+(* Both arrays store full native ints: [words] carry a 63-bit payload
+   in a 64-bit machine word, and [rank_dir] entries are word-sized
+   cumulative counts.  Charge each for the word it occupies. *)
+let size_bits t =
+  (Array.length t.words + Array.length t.rank_dir) * (Sys.int_size + 1)
 
 let to_posting t =
-  let acc = ref [] in
-  for i = t.n - 1 downto 0 do
-    if get t i then acc := i :: !acc
-  done;
-  Posting.of_sorted_array (Array.of_list !acc)
+  (* Direct array fill via lowest-set-bit extraction. *)
+  let arr = Array.make t.total_ones 0 in
+  let k = ref 0 in
+  Array.iteri
+    (fun w word ->
+      let x = ref word in
+      while !x <> 0 do
+        let b = Bitio.Bitops.ctz !x in
+        arr.(!k) <- (w * word_bits) + b;
+        incr k;
+        x := !x land (!x - 1)
+      done)
+    t.words;
+  Posting.of_sorted_array arr

@@ -36,7 +36,12 @@ val select1 : t -> int -> int
 (** [select0 t k] = position of the [k]-th zero. *)
 val select0 : t -> int -> int
 
-(** Size of the structure in bits (payload + directories). *)
+(** Size of the structure in bits, as actually stored: the payload
+    words (63 usable bits each, but occupying a full 64-bit machine
+    word) plus the rank directory (one word-sized cumulative count per
+    payload word).  Select needs no extra storage (binary search over
+    the rank directory).  [n] itself and the header are not
+    counted. *)
 val size_bits : t -> int
 
 val to_posting : t -> Posting.t

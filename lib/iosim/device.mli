@@ -59,6 +59,11 @@ val store : ?align_block:bool -> t -> Bitio.Bitbuf.t -> region
 (** Counted sequential read of a whole region into a fresh buffer. *)
 val read_region : t -> region -> Bitio.Bitbuf.t
 
+(** Per-bit reference implementation of {!read_region} (the seed
+    semantics), retained for differential tests and the [--wallclock]
+    benchmark gate.  Counts I/Os exactly like {!read_region}. *)
+val read_region_naive : t -> region -> Bitio.Bitbuf.t
+
 (** Sequential counted reader starting at absolute bit [pos]; seeks
     are allowed (each block entered is a counted access). *)
 val cursor : t -> pos:int -> Bitio.Reader.t

@@ -188,9 +188,261 @@ let prop_append_equiv =
       let expected = mk (xs @ ys) in
       Bitio.Bitbuf.equal a expected)
 
+(* --- differential tests: word-at-a-time engine vs the retained
+   per-bit reference (Bitops.Naive / write_bit-get_bit loops). --- *)
+
+let random_bytes_gen len =
+  QCheck.Gen.(map Bytes.of_string (string_size ~gen:char (return len)))
+
+(* Random (bytes, pos, width) with widths biased to include the 61/62
+   extreme and positions that cross two or more 8-byte words. *)
+let bits_case_gen =
+  QCheck.Gen.(
+    random_bytes_gen 40 >>= fun data ->
+    oneof [ int_range 0 62; int_range 61 62 ] >>= fun width ->
+    int_range 0 ((8 * 40) - width) >>= fun pos -> return (data, pos, width))
+
+let bits_case =
+  QCheck.make
+    ~print:(fun (data, pos, width) ->
+      Printf.sprintf "pos=%d width=%d data=%s" pos width
+        (String.concat "" (List.map (fun c -> Printf.sprintf "%02x" (Char.code c))
+           (List.of_seq (Bytes.to_seq data)))))
+    bits_case_gen
+
+let prop_bitops_get_matches_naive =
+  QCheck.Test.make ~count:2000 ~name:"Bitops.get_bits = Naive.get_bits"
+    bits_case
+    (fun (data, pos, width) ->
+      Bitio.Bitops.get_bits data ~pos ~width
+      = Bitio.Bitops.Naive.get_bits data ~pos ~width)
+
+let prop_bitops_set_matches_naive =
+  QCheck.Test.make ~count:2000 ~name:"Bitops.set_bits = Naive.set_bits"
+    QCheck.(pair bits_case (int_range 0 max_int))
+    (fun ((data, pos, width), v) ->
+      let v = if width = 0 then 0 else v land ((1 lsl width) - 1) in
+      let a = Bytes.copy data and b = Bytes.copy data in
+      Bitio.Bitops.set_bits a ~pos ~width v;
+      Bitio.Bitops.Naive.set_bits b ~pos ~width v;
+      Bytes.equal a b)
+
+let prop_bitops_blit_matches_naive =
+  QCheck.Test.make ~count:2000 ~name:"Bitops.blit = Naive.blit"
+    QCheck.(
+      make
+        Gen.(
+          random_bytes_gen 64 >>= fun src ->
+          random_bytes_gen 64 >>= fun dst ->
+          int_range 0 300 >>= fun len ->
+          int_range 0 ((8 * 64) - len) >>= fun src_pos ->
+          int_range 0 ((8 * 64) - len) >>= fun dst_pos ->
+          return (src, dst, src_pos, dst_pos, len)))
+    (fun (src, dst, src_pos, dst_pos, len) ->
+      let a = Bytes.copy dst and b = Bytes.copy dst in
+      Bitio.Bitops.blit src ~src_pos a ~dst_pos ~len;
+      Bitio.Bitops.Naive.blit src ~src_pos b ~dst_pos ~len;
+      Bytes.equal a b)
+
+let prop_popcount_matches_naive =
+  QCheck.Test.make ~count:2000 ~name:"SWAR popcount = naive popcount"
+    QCheck.(
+      oneof
+        [
+          int;
+          int_range 0 255;
+          always max_int;
+          always min_int;
+          always (-1);
+          always 0;
+        ])
+    (fun x -> Bitio.Bitops.popcount x = Bitio.Bitops.Naive.popcount x)
+
+let naive_bitbuf_read buf ~pos ~width =
+  let v = ref 0 in
+  for i = pos to pos + width - 1 do
+    v := (!v lsl 1) lor (if Bitio.Bitbuf.get_bit buf i then 1 else 0)
+  done;
+  !v
+
+(* A random buffer long enough that wide reads cross 2+ words. *)
+let random_buf_gen =
+  QCheck.Gen.(
+    list_size (int_range 1 40) (int_range 0 ((1 lsl 30) - 1)) >>= fun chunks ->
+    let buf = Bitio.Bitbuf.create () in
+    List.iter (fun v -> Bitio.Bitbuf.write_bits buf ~width:30 v) chunks;
+    return buf)
+
+let prop_bitbuf_read_matches_naive =
+  QCheck.Test.make ~count:1000
+    ~name:"Bitbuf.read_bits = per-bit assembly (widths up to 62)"
+    QCheck.(
+      make
+        Gen.(
+          random_buf_gen >>= fun buf ->
+          let n = Bitio.Bitbuf.length buf in
+          int_range 0 (min 62 n) >>= fun width ->
+          int_range 0 (n - width) >>= fun pos -> return (buf, pos, width)))
+    (fun (buf, pos, width) ->
+      Bitio.Bitbuf.read_bits buf ~pos ~width = naive_bitbuf_read buf ~pos ~width)
+
+let prop_bitbuf_write_matches_naive =
+  QCheck.Test.make ~count:500
+    ~name:"Bitbuf.write_bits = per-bit write_bit (random widths/alignment)"
+    QCheck.(list (pair (int_range 0 62) (int_range 0 max_int)))
+    (fun items ->
+      let items =
+        List.map
+          (fun (w, v) -> (w, if w = 0 then 0 else v land ((1 lsl w) - 1)))
+          items
+      in
+      let a = Bitio.Bitbuf.create () and b = Bitio.Bitbuf.create () in
+      List.iter
+        (fun (w, v) ->
+          Bitio.Bitbuf.write_bits a ~width:w v;
+          for j = w - 1 downto 0 do
+            Bitio.Bitbuf.write_bit b ((v lsr j) land 1 = 1)
+          done)
+        items;
+      Bitio.Bitbuf.equal a b)
+
+let prop_bitbuf_blit_matches_naive =
+  QCheck.Test.make ~count:1000 ~name:"Bitbuf.blit = per-bit copy"
+    QCheck.(
+      make
+        Gen.(
+          random_buf_gen >>= fun src ->
+          random_buf_gen >>= fun dst ->
+          let sn = Bitio.Bitbuf.length src and dn = Bitio.Bitbuf.length dst in
+          int_range 0 sn >>= fun len ->
+          int_range 0 (sn - len) >>= fun src_bit ->
+          int_range 0 dn >>= fun dst_bit ->
+          return (src, dst, src_bit, dst_bit, len)))
+    (fun (src, dst, src_bit, dst_bit, len) ->
+      let expected = Bitio.Bitbuf.create () in
+      let dn = Bitio.Bitbuf.length dst in
+      for i = 0 to max dn (dst_bit + len) - 1 do
+        if i >= dst_bit && i < dst_bit + len then
+          Bitio.Bitbuf.write_bit expected
+            (Bitio.Bitbuf.get_bit src (src_bit + (i - dst_bit)))
+        else if i < dn then
+          Bitio.Bitbuf.write_bit expected (Bitio.Bitbuf.get_bit dst i)
+        else Bitio.Bitbuf.write_bit expected false
+      done;
+      Bitio.Bitbuf.blit src ~src_bit dst ~dst_bit ~len;
+      Bitio.Bitbuf.equal dst expected)
+
+let prop_blit_to_bytes_matches_naive =
+  QCheck.Test.make ~count:1000
+    ~name:"blit_to_bytes = per-bit merge at any alignment"
+    QCheck.(
+      make
+        Gen.(
+          random_buf_gen >>= fun buf ->
+          random_bytes_gen 200 >>= fun dst ->
+          int_range 0 ((8 * 200) - Bitio.Bitbuf.length buf) >>= fun dst_bit ->
+          return (buf, dst, dst_bit)))
+    (fun (buf, dst, dst_bit) ->
+      let a = Bytes.copy dst and b = Bytes.copy dst in
+      Bitio.Bitbuf.blit_to_bytes buf a ~dst_bit;
+      for i = 0 to Bitio.Bitbuf.length buf - 1 do
+        Bitio.Bitops.Naive.set_bit b (dst_bit + i) (Bitio.Bitbuf.get_bit buf i)
+      done;
+      Bytes.equal a b)
+
+let prop_append_bytes =
+  QCheck.Test.make ~count:1000
+    ~name:"append_bytes agrees with per-bit append"
+    QCheck.(
+      make
+        Gen.(
+          random_bytes_gen 64 >>= fun src ->
+          int_range 0 200 >>= fun len ->
+          int_range 0 ((8 * 64) - len) >>= fun src_bit ->
+          int_range 0 20 >>= fun prefix ->
+          return (src, src_bit, len, prefix)))
+    (fun (src, src_bit, len, prefix) ->
+      let a = Bitio.Bitbuf.create () and b = Bitio.Bitbuf.create () in
+      for i = 0 to prefix - 1 do
+        Bitio.Bitbuf.write_bit a (i land 1 = 0);
+        Bitio.Bitbuf.write_bit b (i land 1 = 0)
+      done;
+      Bitio.Bitbuf.append_bytes a src ~src_bit ~len;
+      for i = 0 to len - 1 do
+        Bitio.Bitbuf.write_bit b (Bitio.Bitops.Naive.get_bit src (src_bit + i))
+      done;
+      Bitio.Bitbuf.equal a b)
+
+let prop_equal_matches_bitwise =
+  QCheck.Test.make ~count:1000 ~name:"byte-wise equal = bit-wise equal"
+    QCheck.(pair (list (int_range 0 1)) (list (int_range 0 1)))
+    (fun (xs, ys) ->
+      let mk bits =
+        let b = Bitio.Bitbuf.create () in
+        List.iter (fun v -> Bitio.Bitbuf.write_bit b (v = 1)) bits;
+        b
+      in
+      let a = mk xs and b = mk ys in
+      let bitwise =
+        List.length xs = List.length ys && List.for_all2 ( = ) xs ys
+      in
+      Bitio.Bitbuf.equal a b = bitwise)
+
+let test_width_61_62_crossing () =
+  (* Reads of width 61/62 that start mid-byte necessarily span 9 bytes
+     (2+ 64-bit words); check them against per-bit assembly. *)
+  let buf = Bitio.Bitbuf.create () in
+  for i = 0 to 40 do
+    Bitio.Bitbuf.write_bits buf ~width:31 ((i * 0x2C9277B5) land 0x7fffffff)
+  done;
+  List.iter
+    (fun width ->
+      List.iter
+        (fun pos ->
+          Alcotest.(check int)
+            (Printf.sprintf "pos=%d width=%d" pos width)
+            (naive_bitbuf_read buf ~pos ~width)
+            (Bitio.Bitbuf.read_bits buf ~pos ~width))
+        [ 0; 1; 7; 63; 65; 127; 130 ])
+    [ 61; 62 ]
+
+let test_append_self () =
+  let buf = Bitio.Bitbuf.of_int ~width:11 0b10110011101 in
+  Bitio.Bitbuf.append buf buf;
+  Alcotest.(check int) "len doubles" 22 (Bitio.Bitbuf.length buf);
+  Alcotest.(check int) "second copy" 0b10110011101
+    (Bitio.Bitbuf.read_bits buf ~pos:11 ~width:11)
+
+let test_blit_basic () =
+  let src = Bitio.Bitbuf.of_int ~width:12 0xabc in
+  let dst = Bitio.Bitbuf.of_int ~width:20 0 in
+  Bitio.Bitbuf.blit src ~src_bit:4 dst ~dst_bit:3 ~len:8;
+  Alcotest.(check int) "copied" 0xbc (Bitio.Bitbuf.read_bits dst ~pos:3 ~width:8);
+  Alcotest.(check int) "prefix preserved" 0
+    (Bitio.Bitbuf.read_bits dst ~pos:0 ~width:3);
+  Alcotest.(check int) "length unchanged" 20 (Bitio.Bitbuf.length dst);
+  (* Extending blit grows the buffer. *)
+  Bitio.Bitbuf.blit src ~src_bit:0 dst ~dst_bit:18 ~len:12;
+  Alcotest.(check int) "grown" 30 (Bitio.Bitbuf.length dst);
+  Alcotest.(check int) "tail" 0xabc (Bitio.Bitbuf.read_bits dst ~pos:18 ~width:12)
+
 let suite =
   [
     Alcotest.test_case "write/read bits" `Quick test_write_read_bits;
+    Alcotest.test_case "width 61/62 word crossings" `Quick
+      test_width_61_62_crossing;
+    Alcotest.test_case "append self" `Quick test_append_self;
+    Alcotest.test_case "blit basics" `Quick test_blit_basic;
+    qcheck prop_bitops_get_matches_naive;
+    qcheck prop_bitops_set_matches_naive;
+    qcheck prop_bitops_blit_matches_naive;
+    qcheck prop_popcount_matches_naive;
+    qcheck prop_bitbuf_read_matches_naive;
+    qcheck prop_bitbuf_write_matches_naive;
+    qcheck prop_bitbuf_blit_matches_naive;
+    qcheck prop_blit_to_bytes_matches_naive;
+    qcheck prop_append_bytes;
+    qcheck prop_equal_matches_bitwise;
     Alcotest.test_case "bit order msb-first" `Quick test_write_bit_order;
     Alcotest.test_case "append aligned" `Quick test_append_aligned;
     Alcotest.test_case "append unaligned" `Quick test_append_unaligned;

@@ -198,9 +198,207 @@ let prop_lru_matches_reference =
           hit = model_hit)
         accesses)
 
+(* --- differential tests across the word-at-a-time rewrite --- *)
+
+(* Reference model of the seed counter semantics: a range touches each
+   covering block once, every pool miss is a block read (plus a
+   read-modify-write read and a write for write misses). *)
+module Model = struct
+  type t = {
+    pool : Iosim.Buffer_pool.t;
+    stats : Iosim.Stats.t;
+    rbw : bool;
+    block_bits : int;
+  }
+
+  let create ?(rbw = true) ~block_bits ~capacity () =
+    {
+      pool = Iosim.Buffer_pool.create ~capacity_blocks:capacity ();
+      stats = Iosim.Stats.create ();
+      rbw;
+      block_bits;
+    }
+
+  let touch_range m ~pos ~len kind =
+    if len > 0 then begin
+      let first = pos / m.block_bits and last = (pos + len - 1) / m.block_bits in
+      for blk = first to last do
+        if Iosim.Buffer_pool.access m.pool blk then
+          m.stats.Iosim.Stats.pool_hits <- m.stats.Iosim.Stats.pool_hits + 1
+        else
+          match kind with
+          | `Read ->
+              m.stats.Iosim.Stats.block_reads <-
+                m.stats.Iosim.Stats.block_reads + 1
+          | `Write ->
+              if m.rbw then
+                m.stats.Iosim.Stats.block_reads <-
+                  m.stats.Iosim.Stats.block_reads + 1;
+              m.stats.Iosim.Stats.block_writes <-
+                m.stats.Iosim.Stats.block_writes + 1
+      done
+    end
+
+  let read m ~pos ~len =
+    touch_range m ~pos ~len `Read;
+    m.stats.Iosim.Stats.bits_read <- m.stats.Iosim.Stats.bits_read + len
+
+  let write m ~pos ~len =
+    touch_range m ~pos ~len `Write;
+    m.stats.Iosim.Stats.bits_written <- m.stats.Iosim.Stats.bits_written + len
+end
+
+let check_stats msg (expected : Iosim.Stats.t) (got : Iosim.Stats.t) =
+  Alcotest.(check (list int))
+    msg
+    [
+      expected.Iosim.Stats.block_reads;
+      expected.Iosim.Stats.block_writes;
+      expected.Iosim.Stats.pool_hits;
+      expected.Iosim.Stats.bits_read;
+      expected.Iosim.Stats.bits_written;
+    ]
+    [
+      got.Iosim.Stats.block_reads;
+      got.Iosim.Stats.block_writes;
+      got.Iosim.Stats.pool_hits;
+      got.Iosim.Stats.bits_read;
+      got.Iosim.Stats.bits_written;
+    ]
+
+(* A scripted access trace whose counters were computed by hand from
+   the seed (per-bit) implementation.  Any drift in the touch/counting
+   semantics of the word-level rewrite shows up here. *)
+let run_trace dev =
+  ignore (Iosim.Device.alloc dev 300);
+  Iosim.Device.write_bits dev ~pos:0 ~width:32 0xdeadbeef;
+  Iosim.Device.write_bits dev ~pos:60 ~width:8 0xa5;
+  ignore (Iosim.Device.read_bits dev ~pos:120 ~width:62);
+  ignore (Iosim.Device.read_bits dev ~pos:0 ~width:10);
+  let buf = Bitio.Bitbuf.create () in
+  for i = 0 to 74 do
+    Bitio.Bitbuf.write_bit buf (i land 3 = 0)
+  done;
+  let r = Iosim.Device.store dev buf in
+  ignore (Iosim.Device.read_region dev r);
+  ignore (Iosim.Device.read_region dev { Iosim.Device.off = 0; len = 300 })
+
+let test_trace_counters_pooled () =
+  let dev = device ~block_bits:64 ~mem_bits:(2 * 64) () in
+  run_trace dev;
+  let st = Iosim.Device.stats dev in
+  Alcotest.(check int) "block_reads" 11 st.Iosim.Stats.block_reads;
+  Alcotest.(check int) "block_writes" 4 st.Iosim.Stats.block_writes;
+  Alcotest.(check int) "pool_hits" 4 st.Iosim.Stats.pool_hits;
+  Alcotest.(check int) "bits_read" 447 st.Iosim.Stats.bits_read;
+  Alcotest.(check int) "bits_written" 115 st.Iosim.Stats.bits_written
+
+let test_trace_counters_no_pool () =
+  let dev = device ~block_bits:64 ~mem_bits:0 () in
+  run_trace dev;
+  let st = Iosim.Device.stats dev in
+  Alcotest.(check int) "block_reads" 15 st.Iosim.Stats.block_reads;
+  Alcotest.(check int) "block_writes" 5 st.Iosim.Stats.block_writes;
+  Alcotest.(check int) "pool_hits" 0 st.Iosim.Stats.pool_hits;
+  Alcotest.(check int) "bits_read" 447 st.Iosim.Stats.bits_read;
+  Alcotest.(check int) "bits_written" 115 st.Iosim.Stats.bits_written
+
+let test_trace_counters_no_rmw () =
+  let dev = device ~read_before_write:false ~block_bits:64 ~mem_bits:0 () in
+  run_trace dev;
+  let st = Iosim.Device.stats dev in
+  Alcotest.(check int) "block_reads" 10 st.Iosim.Stats.block_reads;
+  Alcotest.(check int) "block_writes" 5 st.Iosim.Stats.block_writes
+
+(* Random traces: the device counters must match the reference model
+   op for op, for pooled and pool-less devices alike. *)
+let prop_stats_match_model =
+  QCheck.Test.make ~count:300 ~name:"device counters match reference model"
+    QCheck.(
+      triple (int_range 0 3) bool
+        (list_of_size (Gen.int_range 1 40)
+           (triple (int_range 0 2) (int_range 0 1000) (int_range 0 62))))
+    (fun (capacity, rbw, ops) ->
+      let block_bits = 64 in
+      let dev =
+        device ~read_before_write:rbw ~block_bits
+          ~mem_bits:(capacity * block_bits) ()
+      in
+      let model = Model.create ~rbw ~block_bits ~capacity () in
+      ignore (Iosim.Device.alloc dev 1100);
+      List.for_all
+        (fun (kind, pos, width) ->
+          let pos = min pos (1100 - width) in
+          (match kind with
+          | 0 -> ignore (Iosim.Device.read_bits dev ~pos ~width);
+                 Model.read model ~pos ~len:width
+          | 1 ->
+              Iosim.Device.write_bits dev ~pos ~width
+                (if width = 62 then max_int lsr 1 else (1 lsl width) - 1);
+              Model.write model ~pos ~len:width
+          | _ ->
+              let len = min (3 * width) (1100 - pos) in
+              ignore
+                (Iosim.Device.read_region dev { Iosim.Device.off = pos; len });
+              Model.read model ~pos ~len);
+          let a = Iosim.Stats.snapshot (Iosim.Device.stats dev) in
+          let b = Iosim.Stats.snapshot model.Model.stats in
+          a = b)
+        ops)
+
+(* The word-level read_region must return the same bits and charge the
+   same I/Os as the retained per-bit reference. *)
+let prop_read_region_matches_naive =
+  QCheck.Test.make ~count:200
+    ~name:"read_region = read_region_naive (bits and counters)"
+    QCheck.(
+      triple (int_range 0 3) (int_range 0 100) (int_range 0 500))
+    (fun (capacity, off, len) ->
+      let mk () =
+        let dev = device ~block_bits:64 ~mem_bits:(capacity * 64) () in
+        ignore (Iosim.Device.alloc dev 700);
+        let rng = Hashing.Universal.Rng.create ~seed:(off + (len * 1000)) in
+        for i = 0 to 10 do
+          Iosim.Device.write_bits dev ~pos:(i * 60) ~width:50
+            (Hashing.Universal.Rng.below rng (1 lsl 50))
+        done;
+        dev
+      in
+      let d1 = mk () and d2 = mk () in
+      let region = { Iosim.Device.off; len } in
+      let b1 = Iosim.Device.read_region d1 region in
+      let b2 = Iosim.Device.read_region_naive d2 region in
+      Bitio.Bitbuf.equal b1 b2
+      && Iosim.Stats.snapshot (Iosim.Device.stats d1)
+         = Iosim.Stats.snapshot (Iosim.Device.stats d2))
+
+let test_model_sanity () =
+  (* The model itself reproduces a seed-era hand-check
+     (test_write_read_before_write shape). *)
+  let m = Model.create ~block_bits:64 ~capacity:0 () in
+  Model.write m ~pos:0 ~len:8;
+  check_stats "model rmw"
+    {
+      Iosim.Stats.block_reads = 1;
+      block_writes = 1;
+      pool_hits = 0;
+      bits_read = 0;
+      bits_written = 8;
+    }
+    m.Model.stats
+
 let suite =
   [
     Alcotest.test_case "lru basics" `Quick test_lru_basics;
+    Alcotest.test_case "scripted trace counters (pooled)" `Quick
+      test_trace_counters_pooled;
+    Alcotest.test_case "scripted trace counters (no pool)" `Quick
+      test_trace_counters_no_pool;
+    Alcotest.test_case "scripted trace counters (no rmw)" `Quick
+      test_trace_counters_no_rmw;
+    Alcotest.test_case "reference model sanity" `Quick test_model_sanity;
+    qcheck prop_stats_match_model;
+    qcheck prop_read_region_matches_naive;
     Alcotest.test_case "lru zero capacity" `Quick test_lru_zero_capacity;
     Alcotest.test_case "lru invalidate" `Quick test_lru_invalidate;
     Alcotest.test_case "store/read roundtrip" `Quick test_store_and_read;

@@ -78,6 +78,41 @@ let test_rs_of_bitbuf () =
   Alcotest.(check (list int)) "set bits" [ 0; 2; 3; 7 ]
     (Cbitmap.Posting.to_list (Cbitmap.Rank_select.to_posting rs))
 
+(* The direct-fill of_bitbuf must agree with the of_posting builder,
+   on buffers long enough to cross several 63-bit payload words. *)
+let prop_rs_of_bitbuf_matches_posting =
+  QCheck.Test.make ~count:150 ~name:"of_bitbuf = of_posting on the same bits"
+    QCheck.(pair (int_range 1 400) (list (int_range 0 399)))
+    (fun (n, elems) ->
+      let elems = List.filter (fun v -> v < n) elems in
+      let set = IntSet.of_list elems in
+      let buf = Bitio.Bitbuf.create () in
+      for i = 0 to n - 1 do
+        Bitio.Bitbuf.write_bit buf (IntSet.mem i set)
+      done;
+      let a = Cbitmap.Rank_select.of_bitbuf buf in
+      let b =
+        Cbitmap.Rank_select.of_posting ~n (Cbitmap.Posting.of_list elems)
+      in
+      Cbitmap.Rank_select.ones a = Cbitmap.Rank_select.ones b
+      && Cbitmap.Posting.equal
+           (Cbitmap.Rank_select.to_posting a)
+           (Cbitmap.Rank_select.to_posting b)
+      && List.for_all
+           (fun i -> Cbitmap.Rank_select.rank1 a i = Cbitmap.Rank_select.rank1 b i)
+           (List.init (n + 1) Fun.id))
+
+let test_rs_size_bits () =
+  (* 130 bits -> 3 payload words (+1 sentinel) and a 5-entry rank
+     directory, each stored as a full machine word. *)
+  let rs =
+    Cbitmap.Rank_select.of_posting ~n:130 (Cbitmap.Posting.of_list [ 0; 129 ])
+  in
+  let words = ((130 + 62) / 63) + 1 in
+  Alcotest.(check int) "actual machine words"
+    ((words + words + 1) * (Sys.int_size + 1))
+    (Cbitmap.Rank_select.size_bits rs)
+
 (* --- Elias–Fano --- *)
 
 let prop_ef_roundtrip =
@@ -227,6 +262,8 @@ let suite =
     Alcotest.test_case "select out of range" `Quick test_select_out_of_range;
     qcheck prop_rs_roundtrip;
     Alcotest.test_case "rank_select of bitbuf" `Quick test_rs_of_bitbuf;
+    qcheck prop_rs_of_bitbuf_matches_posting;
+    Alcotest.test_case "rank_select size accounting" `Quick test_rs_size_bits;
     qcheck prop_ef_roundtrip;
     qcheck prop_ef_get;
     qcheck prop_ef_successor;
