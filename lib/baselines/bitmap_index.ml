@@ -24,17 +24,21 @@ let build device ~sigma x =
   in
   { device; n; sigma; rows }
 
-(* Read a row through the device, or-ing set positions into [acc]. *)
+(* Read a row through the device, or-ing set positions into [acc].
+   Chunks of up to 32 bits keep the charged widths identical to the
+   seed; set bits inside a chunk are popped lowest-first with ctz
+   instead of testing all 32 positions. *)
 let scan_row t region acc =
-  let r = Iosim.Device.cursor t.device ~pos:region.Iosim.Device.off in
+  let d = Iosim.Device.decoder t.device ~pos:region.Iosim.Device.off in
   let i = ref 0 in
   while !i < t.n do
     let w = min 32 (t.n - !i) in
-    let bits = r.Bitio.Reader.read_bits w in
-    if bits <> 0 then
-      for k = 0 to w - 1 do
-        if bits land (1 lsl (w - 1 - k)) <> 0 then acc.(!i + k) <- true
-      done;
+    let bits = ref (Bitio.Decoder.read_bits d w) in
+    while !bits <> 0 do
+      let b = Bitio.Bitops.ctz !bits in
+      acc.(!i + w - 1 - b) <- true;
+      bits := !bits land (!bits - 1)
+    done;
     i := !i + w
   done
 

@@ -52,21 +52,21 @@ let write_node t block node =
 
 let read_node t block =
   let bb = Iosim.Device.block_bits t.device in
-  let r = Iosim.Device.cursor t.device ~pos:(block * bb) in
-  let is_leaf = r.Bitio.Reader.read_bits tag_bits = 1 in
-  let count = r.Bitio.Reader.read_bits count_bits in
+  let d = Iosim.Device.decoder t.device ~pos:(block * bb) in
+  let is_leaf = Bitio.Decoder.read_bits d tag_bits = 1 in
+  let count = Bitio.Decoder.read_bits d count_bits in
   if is_leaf then begin
-    let next = r.Bitio.Reader.read_bits child_bits in
+    let next = Bitio.Decoder.read_bits d child_bits in
     let keys =
-      Array.init count (fun _ -> r.Bitio.Reader.read_bits t.entry_bits)
+      Array.init count (fun _ -> Bitio.Decoder.read_bits d t.entry_bits)
     in
     Leaf { keys; next }
   end
   else begin
     let seps = Array.make count 0 and children = Array.make count 0 in
     for i = 0 to count - 1 do
-      seps.(i) <- r.Bitio.Reader.read_bits t.entry_bits;
-      children.(i) <- r.Bitio.Reader.read_bits child_bits
+      seps.(i) <- Bitio.Decoder.read_bits d t.entry_bits;
+      children.(i) <- Bitio.Decoder.read_bits d child_bits
     done;
     Internal { seps; children }
   end

@@ -19,24 +19,29 @@ let query t ~lo ~hi =
   if lo < 0 || hi >= t.sigma || lo > hi then invalid_arg "Range_encoded.query";
   (* Read row hi and (if lo > 0) row lo-1 in lockstep; emit positions
      set in the former but not the latter. *)
-  let r_hi = Iosim.Device.cursor t.device ~pos:t.rows.(hi).Iosim.Device.off in
-  let r_lo =
+  let d_hi = Iosim.Device.decoder t.device ~pos:t.rows.(hi).Iosim.Device.off in
+  let d_lo =
     if lo = 0 then None
     else
       Some
-        (Iosim.Device.cursor t.device ~pos:t.rows.(lo - 1).Iosim.Device.off)
+        (Iosim.Device.decoder t.device ~pos:t.rows.(lo - 1).Iosim.Device.off)
   in
   let out = ref [] in
   let i = ref 0 in
   while !i < t.n do
     let w = min 32 (t.n - !i) in
-    let a = r_hi.Bitio.Reader.read_bits w in
-    let b = match r_lo with None -> 0 | Some r -> r.Bitio.Reader.read_bits w in
-    let d = a land lnot b in
-    if d <> 0 then
-      for k = 0 to w - 1 do
-        if d land (1 lsl (w - 1 - k)) <> 0 then out := (!i + k) :: !out
-      done;
+    let a = Bitio.Decoder.read_bits d_hi w in
+    let b =
+      match d_lo with None -> 0 | Some d -> Bitio.Decoder.read_bits d w
+    in
+    (* Pop set bits highest-first: chunk bit (w - 1 - k) is position
+       [i + k], so the msb scan emits positions in ascending order. *)
+    let diff = ref (a land lnot b) in
+    while !diff <> 0 do
+      let bit = Bitio.Bitops.msb !diff in
+      out := (!i + w - 1 - bit) :: !out;
+      diff := !diff lxor (1 lsl bit)
+    done;
     i := !i + w
   done;
   Indexing.Answer.Direct

@@ -5,6 +5,7 @@ let create ?(capacity = 256) () =
   { data = Bytes.make bytes '\000'; len = 0 }
 
 let length t = t.len
+let backing t = t.data
 
 let ensure t extra_bits =
   let need = (t.len + extra_bits + 7) / 8 in

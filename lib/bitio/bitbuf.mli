@@ -14,6 +14,13 @@ val create : ?capacity:int -> unit -> t
 (** Number of bits written so far. *)
 val length : t -> int
 
+(** The live backing byte store (no copy).  Only the first [length t]
+    bits are meaningful; bits past the end are zero.  The reference is
+    invalidated by any subsequent write that grows the buffer (the
+    store is reallocated), so snapshot consumers such as
+    {!Decoder.of_bitbuf} must finish before further writes. *)
+val backing : t -> bytes
+
 (** Append a single bit. *)
 val write_bit : t -> bool -> unit
 

@@ -28,6 +28,18 @@ let popcount x =
 (* Index of the lowest set bit; [x] must be non-zero. *)
 let ctz x = popcount ((x land -x) - 1)
 
+(* Index of the highest set bit; [x] must be non-zero (returns -1 for
+   0).  Smears the MSB down into every lower position, then counts.
+   Used as the CLZ core of Decoder's zero-run scans. *)
+let msb x =
+  let x = x lor (x lsr 1) in
+  let x = x lor (x lsr 2) in
+  let x = x lor (x lsr 4) in
+  let x = x lor (x lsr 8) in
+  let x = x lor (x lsr 16) in
+  let x = x lor (x lsr 32) in
+  popcount x - 1
+
 (* --- word reads/writes --------------------------------------------- *)
 
 (* [get_bits data ~pos ~width] assembles bits [pos .. pos+width-1]
@@ -188,4 +200,8 @@ module Naive = struct
   let popcount x =
     let rec go x acc = if x = 0 then acc else go (x land (x - 1)) (acc + 1) in
     go x 0
+
+  let msb x =
+    let rec go x acc = if x = 0 then acc else go (x lsr 1) (acc + 1) in
+    go x (-1)
 end

@@ -19,6 +19,10 @@ val popcount : int -> int
 (** Index of the least significant set bit; [x] must be non-zero. *)
 val ctz : int -> int
 
+(** Index of the most significant set bit ([-1] for [0]).  Valid for
+    the full native int range; negative values report bit 62. *)
+val msb : int -> int
+
 (** [get_bits data ~pos ~width] reads [width] bits starting at bit
     [pos], most-significant first. *)
 val get_bits : bytes -> pos:int -> width:int -> int
@@ -45,4 +49,5 @@ module Naive : sig
   val set_bits : bytes -> pos:int -> width:int -> int -> unit
   val blit : bytes -> src_pos:int -> bytes -> dst_pos:int -> len:int -> unit
   val popcount : int -> int
+  val msb : int -> int
 end

@@ -1,39 +1,42 @@
 let floor_log2 v =
   if v < 1 then invalid_arg "Codes.floor_log2";
-  let rec go v acc = if v = 1 then acc else go (v lsr 1) (acc + 1) in
-  go v 0
+  Bitops.msb v
 
 let ceil_log2 v =
   if v < 1 then invalid_arg "Codes.ceil_log2";
   if v = 1 then 0 else floor_log2 (v - 1) + 1
 
+(* A full-width chunk of one bits.  [width = 62] bypasses
+   [Bitbuf.write_bits]'s range check by design, and [max_int] is
+   exactly 62 ones. *)
+let all_ones = max_int
+
 let encode_unary buf v =
   if v < 0 then invalid_arg "Codes.encode_unary";
-  for _ = 1 to v do
-    Bitbuf.write_bit buf true
+  let rem = ref v in
+  while !rem >= 62 do
+    Bitbuf.write_bits buf ~width:62 all_ones;
+    rem := !rem - 62
   done;
-  Bitbuf.write_bit buf false
+  (* [rem] ones then the terminating zero, in one write: rem <= 61 so
+     the shifted value fits 62 bits. *)
+  Bitbuf.write_bits buf ~width:(!rem + 1) (((1 lsl !rem) - 1) lsl 1)
 
-let decode_unary (r : Reader.t) =
-  let rec go acc = if Reader.read_bit r then go (acc + 1) else acc in
-  go 0
-
+let decode_unary d = Decoder.one_run d
 let unary_size v = v + 1
 
 (* Gamma: floor(lg v) zero-bits, then v in binary (whose leading bit is
-   a one and acts as the terminator of the zero run). *)
+   a one and acts as the terminator of the zero run).  Two [write_bits]
+   calls instead of a per-bit loop: k <= 61 zeros fit one chunk. *)
 let encode_gamma buf v =
   if v < 1 then invalid_arg "Codes.encode_gamma";
-  let k = floor_log2 v in
-  for _ = 1 to k do
-    Bitbuf.write_bit buf false
-  done;
+  let k = Bitops.msb v in
+  if k > 0 then Bitbuf.write_bits buf ~width:k 0;
   Bitbuf.write_bits buf ~width:(k + 1) v
 
-let decode_gamma (r : Reader.t) =
-  let rec zeros acc = if Reader.read_bit r then acc else zeros (acc + 1) in
-  let k = zeros 0 in
-  if k = 0 then 1 else (1 lsl k) lor r.Reader.read_bits k
+(* The fused fast path lives on the decoder itself (cache state in
+   registers); see [Decoder.gamma]. *)
+let decode_gamma = Decoder.gamma
 
 let gamma_size v =
   if v < 1 then invalid_arg "Codes.gamma_size";
@@ -41,13 +44,34 @@ let gamma_size v =
 
 let encode_delta buf v =
   if v < 1 then invalid_arg "Codes.encode_delta";
-  let k = floor_log2 v in
+  let k = Bitops.msb v in
   encode_gamma buf (k + 1);
   if k > 0 then Bitbuf.write_bits buf ~width:k (v land ((1 lsl k) - 1))
 
-let decode_delta (r : Reader.t) =
-  let k = decode_gamma r - 1 in
-  if k = 0 then 1 else (1 lsl k) lor r.Reader.read_bits k
+let decode_delta_slow d =
+  let k = decode_gamma d - 1 in
+  if k = 0 then 1 else (1 lsl k) lor Decoder.read_bits d k
+
+(* Fused delta: gamma length prefix and mantissa decoded out of one
+   cache window when both fit; nothing is consumed before the fast
+   path commits, so the fallback re-decodes from scratch. *)
+let decode_delta d =
+  let cache, avail = Decoder.window d in
+  if cache = 0 then decode_delta_slow d
+  else begin
+    let z = avail - 1 - Bitops.msb cache in
+    let glen = (z lsl 1) + 1 in
+    if glen > avail then decode_delta_slow d
+    else begin
+      let k = (cache lsr (avail - glen)) - 1 in
+      let len = glen + k in
+      if len <= avail then begin
+        Decoder.advance d len;
+        (1 lsl k) lor ((cache lsr (avail - len)) land ((1 lsl k) - 1))
+      end
+      else decode_delta_slow d
+    end
+  end
 
 let delta_size v =
   let k = floor_log2 v in
@@ -58,15 +82,33 @@ let encode_rice buf ~k v =
   encode_unary buf (v lsr k);
   if k > 0 then Bitbuf.write_bits buf ~width:k (v land ((1 lsl k) - 1))
 
-let decode_rice (r : Reader.t) ~k =
-  let q = decode_unary r in
-  let rem = if k = 0 then 0 else r.Reader.read_bits k in
+let decode_rice_slow d ~k =
+  let q = Decoder.one_run d in
+  let rem = if k = 0 then 0 else Decoder.read_bits d k in
   (q lsl k) lor rem
+
+(* Fused rice: invert the window to CLZ-locate the quotient's
+   terminating zero, then take the [k]-bit remainder from the same
+   window.  [(1 lsl avail) - 1] is a valid mask even at [avail = 62]
+   (wraps to [max_int], exactly 62 ones). *)
+let decode_rice d ~k =
+  let cache, avail = Decoder.window d in
+  let x = cache lxor ((1 lsl avail) - 1) in
+  if x = 0 then decode_rice_slow d ~k
+  else begin
+    let q = avail - 1 - Bitops.msb x in
+    let len = q + 1 + k in
+    if len <= avail then begin
+      Decoder.advance d len;
+      (q lsl k) lor ((cache lsr (avail - len)) land ((1 lsl k) - 1))
+    end
+    else decode_rice_slow d ~k
+  end
 
 let rice_size ~k v = (v lsr k) + 1 + k
 
 let encode_fixed buf ~width v = Bitbuf.write_bits buf ~width v
-let decode_fixed (r : Reader.t) ~width = r.Reader.read_bits width
+let decode_fixed d ~width = Decoder.read_bits d width
 let fixed_size ~width _ = width
 
 (* Fibonacci numbers F.(0) = 1, F.(1) = 2, F.(2) = 3, 5, 8, ... *)
@@ -74,33 +116,128 @@ let fibs =
   let rec go a b acc = if b > max_int / 2 then List.rev acc else go b (a + b) (b :: acc) in
   Array.of_list (go 1 1 [])
 
-let fibonacci_decomposition v =
-  (* Indices of the Zeckendorf terms, descending. *)
+(* One Zeckendorf decomposition serving encode, size and
+   [fibonacci_decomposition]: ascending term indices plus the top
+   index (saving the [fold_left max] re-scan). *)
+let zeckendorf v =
+  if v < 1 then invalid_arg "Codes.fibonacci";
   let rec largest i = if i + 1 < Array.length fibs && fibs.(i + 1) <= v then largest (i + 1) else i in
+  let top = largest 0 in
   let rec go v i acc =
     if v = 0 then acc
     else if fibs.(i) <= v then go (v - fibs.(i)) (i - 1) (i :: acc)
     else go v (i - 1) acc
   in
-  if v < 1 then invalid_arg "Codes.fibonacci";
-  go v (largest 0) []
+  (go v top [], top)
+
+let fibonacci_decomposition v = fst (zeckendorf v)
+
+(* Codewords can exceed one cache/write chunk (fibs go past F(80)), so
+   zero gaps between terms are emitted in <= 62-bit chunks. *)
+let write_zeros buf n =
+  let rem = ref n in
+  while !rem > 62 do
+    Bitbuf.write_bits buf ~width:62 0;
+    rem := !rem - 62
+  done;
+  if !rem > 0 then Bitbuf.write_bits buf ~width:!rem 0
 
 let encode_fibonacci buf v =
-  let terms = fibonacci_decomposition v in
-  let top = List.fold_left max 0 terms in
-  for i = 0 to top do
-    Bitbuf.write_bit buf (List.mem i terms)
-  done;
+  let terms, _top = zeckendorf v in
+  (* Zeckendorf terms are non-adjacent, so between consecutive one
+     bits there is at least one zero; emitting gap-by-gap is O(top)
+     total instead of the old O(top^2) [List.mem] scan. *)
+  let prev = ref (-1) in
+  List.iter
+    (fun i ->
+      write_zeros buf (i - !prev - 1);
+      Bitbuf.write_bit buf true;
+      prev := i)
+    terms;
   Bitbuf.write_bit buf true
 
-let decode_fibonacci (r : Reader.t) =
-  let rec go i prev acc =
-    let bit = Reader.read_bit r in
-    if bit && prev then acc
-    else go (i + 1) bit (if bit then acc + fibs.(i) else acc)
+let decode_fibonacci d =
+  (* Each zero-run scan lands on a one bit at index [prev + z + 1]; a
+     zero-length run after at least one term is the "11" terminator. *)
+  let rec go prev acc =
+    let z = Decoder.zero_run d in
+    if z = 0 && prev >= 0 then acc
+    else
+      let idx = prev + z + 1 in
+      go idx (acc + fibs.(idx))
   in
-  go 0 false 0
+  go (-1) 0
 
 let fibonacci_size v =
-  let terms = fibonacci_decomposition v in
-  List.fold_left max 0 terms + 2
+  let _, top = zeckendorf v in
+  top + 2
+
+(* --- retained per-bit reference ------------------------------------ *)
+
+(* The seed codec implementations, verbatim in spirit: one bit per
+   closure call through [Reader], per-bit encode loops.  Differential
+   property tests and the BENCH_PR2 wall-clock gate compare the word
+   paths above against these (same pattern as [Bitops.Naive]). *)
+module Naive = struct
+  let encode_unary buf v =
+    if v < 0 then invalid_arg "Codes.encode_unary";
+    for _ = 1 to v do
+      Bitbuf.write_bit buf true
+    done;
+    Bitbuf.write_bit buf false
+
+  let decode_unary (r : Reader.t) =
+    let rec go acc = if Reader.read_bit r then go (acc + 1) else acc in
+    go 0
+
+  let encode_gamma buf v =
+    if v < 1 then invalid_arg "Codes.encode_gamma";
+    let k = floor_log2 v in
+    for _ = 1 to k do
+      Bitbuf.write_bit buf false
+    done;
+    Bitbuf.write_bits buf ~width:(k + 1) v
+
+  let decode_gamma (r : Reader.t) =
+    let rec zeros acc = if Reader.read_bit r then acc else zeros (acc + 1) in
+    let k = zeros 0 in
+    if k = 0 then 1 else (1 lsl k) lor r.Reader.read_bits k
+
+  let encode_delta buf v =
+    if v < 1 then invalid_arg "Codes.encode_delta";
+    let k = floor_log2 v in
+    encode_gamma buf (k + 1);
+    if k > 0 then Bitbuf.write_bits buf ~width:k (v land ((1 lsl k) - 1))
+
+  let decode_delta (r : Reader.t) =
+    let k = decode_gamma r - 1 in
+    if k = 0 then 1 else (1 lsl k) lor r.Reader.read_bits k
+
+  let encode_rice buf ~k v =
+    if v < 0 || k < 0 then invalid_arg "Codes.encode_rice";
+    encode_unary buf (v lsr k);
+    if k > 0 then Bitbuf.write_bits buf ~width:k (v land ((1 lsl k) - 1))
+
+  let decode_rice (r : Reader.t) ~k =
+    let q = decode_unary r in
+    let rem = if k = 0 then 0 else r.Reader.read_bits k in
+    (q lsl k) lor rem
+
+  let decode_fixed (r : Reader.t) ~width = r.Reader.read_bits width
+
+  let encode_fibonacci buf v =
+    let terms = fibonacci_decomposition v in
+    let top = List.fold_left max 0 terms in
+    for i = 0 to top do
+      Bitbuf.write_bit buf (List.mem i terms)
+    done;
+    Bitbuf.write_bit buf true
+
+  let decode_fibonacci (r : Reader.t) =
+    let rec go i prev acc =
+      let bit = Reader.read_bit r in
+      if bit && prev then acc
+      else go (i + 1) bit (if bit then acc + fibs.(i) else acc)
+    in
+    go 0 false 0
+end

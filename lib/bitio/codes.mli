@@ -3,40 +3,46 @@
     The paper compresses bitmaps by gamma-coding run lengths / gaps
     (Elias [12]); we also provide delta, unary, Golomb–Rice and
     fixed-width codes for baselines and layout metadata.  Every code
-    comes as a triple: [encode_x buf v], [decode_x reader] and
+    comes as a triple: [encode_x buf v], [decode_x decoder] and
     [x_size v] (exact encoded length in bits), with
     [decode (encode v) = v] and [x_size v = ] number of bits written
-    by [encode_x]. *)
+    by [encode_x].
+
+    Since PR 2 the decoders run on the buffered {!Decoder} (zero/one
+    runs resolved by a CLZ scan of the cached word, mantissas by one
+    shift) and the encoders emit runs with [write_bits] chunks instead
+    of per-bit loops.  The seed per-bit implementations are retained
+    in {!Naive} as the differential reference. *)
 
 (** {1 Unary} — [v >= 0] encoded as [v] one-bits then a zero. *)
 
 val encode_unary : Bitbuf.t -> int -> unit
-val decode_unary : Reader.t -> int
+val decode_unary : Decoder.t -> int
 val unary_size : int -> int
 
 (** {1 Elias gamma} — [v >= 1]; [2*floor(lg v) + 1] bits. *)
 
 val encode_gamma : Bitbuf.t -> int -> unit
-val decode_gamma : Reader.t -> int
+val decode_gamma : Decoder.t -> int
 val gamma_size : int -> int
 
 (** {1 Elias delta} — [v >= 1]; asymptotically
     [lg v + 2 lg lg v + O(1)] bits. *)
 
 val encode_delta : Bitbuf.t -> int -> unit
-val decode_delta : Reader.t -> int
+val decode_delta : Decoder.t -> int
 val delta_size : int -> int
 
 (** {1 Golomb–Rice with parameter [k]} — [v >= 0]. *)
 
 val encode_rice : Bitbuf.t -> k:int -> int -> unit
-val decode_rice : Reader.t -> k:int -> int
+val decode_rice : Decoder.t -> k:int -> int
 val rice_size : k:int -> int -> int
 
 (** {1 Fixed width} — [width] bits, [0 <= v < 2^width]. *)
 
 val encode_fixed : Bitbuf.t -> width:int -> int -> unit
-val decode_fixed : Reader.t -> width:int -> int
+val decode_fixed : Decoder.t -> width:int -> int
 val fixed_size : width:int -> int -> int
 
 (** {1 Helpers} *)
@@ -53,5 +59,27 @@ val ceil_log2 : int -> int
     with delta for mid-sized gaps. *)
 
 val encode_fibonacci : Bitbuf.t -> int -> unit
-val decode_fibonacci : Reader.t -> int
+val decode_fibonacci : Decoder.t -> int
 val fibonacci_size : int -> int
+
+(** Ascending Zeckendorf term indices of [v >= 1]. *)
+val fibonacci_decomposition : int -> int list
+
+(** {1 Retained per-bit reference}
+
+    The seed codec implementations — decoders pulling one bit per
+    closure call through {!Reader}, per-bit encode loops.  Used by the
+    differential test suites and the BENCH_PR2 wall-clock gate. *)
+module Naive : sig
+  val encode_unary : Bitbuf.t -> int -> unit
+  val decode_unary : Reader.t -> int
+  val encode_gamma : Bitbuf.t -> int -> unit
+  val decode_gamma : Reader.t -> int
+  val encode_delta : Bitbuf.t -> int -> unit
+  val decode_delta : Reader.t -> int
+  val encode_rice : Bitbuf.t -> k:int -> int -> unit
+  val decode_rice : Reader.t -> k:int -> int
+  val decode_fixed : Reader.t -> width:int -> int
+  val encode_fibonacci : Bitbuf.t -> int -> unit
+  val decode_fibonacci : Reader.t -> int
+end

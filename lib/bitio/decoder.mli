@@ -1,0 +1,100 @@
+(** Buffered word-at-a-time bit decoder (reader side of the bit-I/O
+    substrate).
+
+    Holds up to 62 bits of the stream in a native-int cache refilled a
+    word at a time from the backing bytes ({!Bitops.get_bits}), so
+    fixed-width reads cost one shift and zero/one runs — the spine of
+    every Elias code in {!Codes} — resolve with a count-leading-zeros
+    scan instead of one closure call per bit.  This is the engine
+    behind all decode hot paths; the closure-based {!Reader} remains
+    only as a compatibility shim.
+
+    Bit convention matches {!Bitbuf}: bit [i] lives in byte [i / 8]
+    under mask [0x80 lsr (i mod 8)], most significant bit first.
+
+    A decoder snapshots the backing byte store without copying: it is
+    invalidated by any subsequent operation that may reallocate the
+    store (e.g. a [Bitbuf] write that grows the buffer). *)
+
+type t
+
+(** [of_bytes ?pos ?limit data] decodes [data] starting at bit [pos]
+    (default 0) up to the absolute bit bound [limit] (default the full
+    byte length).  Reads past [limit] raise [Invalid_argument]. *)
+val of_bytes : ?pos:int -> ?limit:int -> bytes -> t
+
+(** [of_bitbuf ?pos buf] decodes the bits written to [buf] so far.
+    Zero-copy; see the snapshot caveat above. *)
+val of_bitbuf : ?pos:int -> Bitbuf.t -> t
+
+(** [counted ~data ~pos ~limit ~charge] is a decoder that reports
+    every consumed bit range to [charge ~pos ~len] — ranges are
+    reported in stream order exactly once, on consumption (cache
+    refills are not charged).  This is how [Iosim.Device.decoder]
+    keeps simulator counters identical to per-bit semantics. *)
+val counted :
+  data:bytes -> pos:int -> limit:int -> charge:(pos:int -> len:int -> unit) -> t
+
+(** Absolute position (in bits) of the next unread bit. *)
+val bit_pos : t -> int
+
+(** Bits left before the limit. *)
+val remaining : t -> int
+
+(** Reposition to an absolute bit offset in [0 .. limit], discarding
+    the cache. *)
+val seek : t -> int -> unit
+
+(** [skip t n] advances [n >= 0] bits without reading (and without
+    charging, matching [Reader.skip]). *)
+val skip : t -> int -> unit
+
+(** [peek t w] returns the next [w] bits ([0 <= w <= 62]),
+    most-significant first, without advancing. *)
+val peek : t -> int -> int
+
+(** [consume t w] advances past [w] bits previously made available by
+    {!peek} (requires [w] not to exceed the peeked width). *)
+val consume : t -> int -> unit
+
+(** [read_bits t w] returns the next [w] bits ([0 <= w <= 62]),
+    most-significant first, and advances.  Raises [Invalid_argument]
+    past the limit. *)
+val read_bits : t -> int -> int
+
+val read_bit : t -> bool
+
+(** Length of the maximal run of zero bits at the current position;
+    consumes the run {e and} the terminating one bit.  Raises
+    [Invalid_argument] if the stream ends before a terminator. *)
+val zero_run : t -> int
+
+(** Same with the roles of zero and one swapped (unary's shape). *)
+val one_run : t -> int
+
+(** [window t] tops the cache up (when below half a window) and
+    returns [(cache, avail)]: the next [avail] stream bits,
+    right-aligned in [cache], with every higher bit zero.  Fused
+    decoders in {!Codes} CLZ-scan this window to locate a whole
+    codeword and retire it with one {!advance}; a codeword longer
+    than [avail] must fall back to {!zero_run}/{!read_bits}. *)
+val window : t -> int * int
+
+(** [advance t w] consumes [w] bits out of the window returned by
+    {!window} (requires [w <= avail]; charges like any read). *)
+val advance : t -> int -> unit
+
+(** Fused Elias-gamma decode — semantically [zero_run] followed by
+    reading the same number of mantissa bits, but retiring short
+    codewords in a single CLZ + consume.  {!Codes.decode_gamma} and
+    the bulk posting loops delegate here; it lives on the decoder so
+    the cache state never leaves registers on the hot path. *)
+val gamma : t -> int
+
+(** [gamma_prefix_into t ~prev ~count out] decodes [count] gamma
+    codewords and stores their running sums starting from [prev] into
+    [out.(0 .. count - 1)] — the bulk gap-decode loop behind
+    [Gap_codec.decode_into] with [prev] the predecessor position
+    ([-1] for none).  Charges exactly like [count] single {!gamma}
+    calls. *)
+val gamma_prefix_into : t -> prev:int -> count:int -> int array -> unit

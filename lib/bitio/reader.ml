@@ -23,17 +23,19 @@ let of_bytes ?(pos = 0) data =
   let p = ref pos in
   let read_bits w =
     if w < 0 || w > 62 then invalid_arg "Reader.of_bytes: width";
-    if !p + w > len then invalid_arg "Reader.of_bytes: past end";
-    let v = ref 0 in
-    for _ = 1 to w do
-      let byte = !p lsr 3 and off = !p land 7 in
-      let bit = Char.code (Bytes.unsafe_get data byte) land (0x80 lsr off) in
-      v := (!v lsl 1) lor (if bit <> 0 then 1 else 0);
-      incr p
-    done;
-    !v
+    if !p < 0 || !p + w > len then invalid_arg "Reader.of_bytes: past end";
+    let v = Bitops.get_bits data ~pos:!p ~width:w in
+    p := !p + w;
+    v
   in
   { read_bits; bit_pos = (fun () -> !p); seek = (fun q -> p := q) }
+
+let of_decoder d =
+  {
+    read_bits = (fun w -> Decoder.read_bits d w);
+    bit_pos = (fun () -> Decoder.bit_pos d);
+    seek = (fun q -> Decoder.seek d q);
+  }
 
 let skip t w =
   if w < 0 then invalid_arg "Reader.skip";

@@ -1,10 +1,10 @@
-(** Abstract sequential bit reader.
+(** Abstract sequential bit reader (compatibility shim).
 
-    Decoders in {!Bitio.Codes} are written against this interface so
-    that the same code path decodes from an in-memory {!Bitio.Bitbuf}
-    (during construction and in tests) and from a simulated disk
-    region (during queries, where every block touched is counted by
-    the I/O model in [Iosim]). *)
+    Since PR 2 the hot decode paths run on the concrete buffered
+    {!Decoder}; this closure record remains for callers that want an
+    abstract reader (and as the carrier of the retained per-bit
+    reference decoders in {!Codes.Naive}).  [of_decoder] adapts a
+    buffered decoder to the old interface. *)
 
 type t = {
   read_bits : int -> int;
@@ -20,8 +20,14 @@ val read_bit : t -> bool
 (** Reader over a bit buffer, starting at bit [pos] (default 0). *)
 val of_bitbuf : ?pos:int -> Bitbuf.t -> t
 
-(** Reader over raw bytes (MSB-first bit order), starting at [pos]. *)
+(** Reader over raw bytes (MSB-first bit order), starting at [pos].
+    [read_bits] is word-at-a-time ({!Bitops.get_bits}) with the
+    original width/bounds checks. *)
 val of_bytes : ?pos:int -> bytes -> t
+
+(** Adapt a buffered {!Decoder} to the closure interface.  The two
+    views share position state. *)
+val of_decoder : Decoder.t -> t
 
 (** [skip t w] discards the next [w] bits ([w >= 0], may exceed 62). *)
 val skip : t -> int -> unit

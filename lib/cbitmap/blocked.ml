@@ -64,8 +64,8 @@ let first t i = t.firsts.(i)
 let block t i = t.blocks.(i)
 
 let decode_block ?code t i =
-  let r = Bitio.Reader.of_bitbuf t.blocks.(i) in
-  Gap_codec.decode ?code r ~count:t.counts.(i)
+  let d = Bitio.Decoder.of_bitbuf t.blocks.(i) in
+  Gap_codec.decode ?code d ~count:t.counts.(i)
 
 let decode ?code t =
   let parts = List.init (block_count t) (decode_block ?code t) in

@@ -7,12 +7,12 @@ let encode_value code buf v =
   | Rice k -> Bitio.Codes.encode_rice buf ~k v
   | Fibonacci -> Bitio.Codes.encode_fibonacci buf v
 
-let decode_value code r =
+let decode_value code d =
   match code with
-  | Gamma -> Bitio.Codes.decode_gamma r
-  | Delta -> Bitio.Codes.decode_delta r
-  | Rice k -> Bitio.Codes.decode_rice r ~k
-  | Fibonacci -> Bitio.Codes.decode_fibonacci r
+  | Gamma -> Bitio.Codes.decode_gamma d
+  | Delta -> Bitio.Codes.decode_delta d
+  | Rice k -> Bitio.Codes.decode_rice d ~k
+  | Fibonacci -> Bitio.Codes.decode_fibonacci d
 
 let value_size code v =
   match code with
@@ -47,31 +47,84 @@ let encoded_size ?(code = Gamma) posting =
       acc + value_size code gap)
     0 posting
 
-let decode ?(code = Gamma) r ~count =
+(* Bulk decode into a caller-provided array of absolute positions —
+   the one-pass hot path under Theorem 2 queries.  Gamma (the paper's
+   canonical code) gets a monomorphic loop so the per-gap cost is the
+   decoder's CLZ scan and nothing else. *)
+let decode_into ?(code = Gamma) ?(last = -1) d ~count out =
+  if count < 0 || count > Array.length out then
+    invalid_arg "Gap_codec.decode_into";
+  (match code with
+  | Gamma ->
+      (* [gap - 1] for the first value is just [-1 + gap], so the
+         prefix-sum loop handles the no-predecessor case uniformly. *)
+      Bitio.Decoder.gamma_prefix_into d ~prev:last ~count out
+  | _ ->
+      let lastp = ref last in
+      for i = 0 to count - 1 do
+        let gap = decode_value code d in
+        let p = if !lastp < 0 then gap - 1 else !lastp + gap in
+        Array.unsafe_set out i p;
+        lastp := p
+      done)
+
+let decode ?code d ~count =
   let out = Array.make count 0 in
-  let last = ref (-1) in
-  for i = 0 to count - 1 do
-    let gap = decode_value code r in
-    let p = if !last < 0 then gap - 1 else !last + gap in
-    out.(i) <- p;
-    last := p
-  done;
+  decode_into ?code d ~count out;
   Posting.of_sorted_array out
 
-let stream_from ?(code = Gamma) r ~count ~last =
+let stream_from ?(code = Gamma) d ~count ~last =
   let remaining = ref count in
   let last = ref last in
   fun () ->
     if !remaining <= 0 then None
     else begin
       decr remaining;
-      let gap = decode_value code r in
+      let gap = decode_value code d in
       let p = if !last < 0 then gap - 1 else !last + gap in
       last := p;
       Some p
     end
 
-let stream ?code r ~count = stream_from ?code r ~count ~last:(-1)
+let stream ?code d ~count = stream_from ?code d ~count ~last:(-1)
+
+(* --- retained per-bit reference ------------------------------------ *)
+
+(* Seed decode paths over the closure [Reader] and [Codes.Naive],
+   kept for differential tests, the Stats-parity regression and the
+   BENCH_PR2 before/after comparison. *)
+let decode_value_ref code r =
+  match code with
+  | Gamma -> Bitio.Codes.Naive.decode_gamma r
+  | Delta -> Bitio.Codes.Naive.decode_delta r
+  | Rice k -> Bitio.Codes.Naive.decode_rice r ~k
+  | Fibonacci -> Bitio.Codes.Naive.decode_fibonacci r
+
+let decode_ref ?(code = Gamma) r ~count =
+  let out = Array.make count 0 in
+  let last = ref (-1) in
+  for i = 0 to count - 1 do
+    let gap = decode_value_ref code r in
+    let p = if !last < 0 then gap - 1 else !last + gap in
+    out.(i) <- p;
+    last := p
+  done;
+  Posting.of_sorted_array out
+
+let stream_from_ref ?(code = Gamma) r ~count ~last =
+  let remaining = ref count in
+  let last = ref last in
+  fun () ->
+    if !remaining <= 0 then None
+    else begin
+      decr remaining;
+      let gap = decode_value_ref code r in
+      let p = if !last < 0 then gap - 1 else !last + gap in
+      last := p;
+      Some p
+    end
+
+let stream_ref ?code r ~count = stream_from_ref ?code r ~count ~last:(-1)
 
 let append_size ?(code = Gamma) ~last p =
   let gap = if last < 0 then p + 1 else p - last in

@@ -22,18 +22,37 @@ val to_buf : ?code:code -> Posting.t -> Bitio.Bitbuf.t
 (** Exact encoded size in bits. *)
 val encoded_size : ?code:code -> Posting.t -> int
 
-(** [decode reader ~count] reads back [count] positions. *)
-val decode : ?code:code -> Bitio.Reader.t -> count:int -> Posting.t
+(** [decode decoder ~count] reads back [count] positions. *)
+val decode : ?code:code -> Bitio.Decoder.t -> count:int -> Posting.t
 
-(** [stream reader ~count] is a pull-based decoder: each call returns
+(** [decode_into decoder ~count out] fills [out.(0 .. count-1)] with
+    absolute positions in one pass, with no [Posting] intermediate —
+    the bulk decode hot path.  [last] (default [-1]) continues an
+    existing sequence, as in {!stream_from}. *)
+val decode_into :
+  ?code:code -> ?last:int -> Bitio.Decoder.t -> count:int -> int array -> unit
+
+(** [stream decoder ~count] is a pull-based decoder: each call returns
     the next position, or [None] after [count] of them.  Used for
     I/O-efficient k-way merging without materializing inputs. *)
-val stream : ?code:code -> Bitio.Reader.t -> count:int -> unit -> int option
+val stream : ?code:code -> Bitio.Decoder.t -> count:int -> unit -> int option
 
 (** Like {!stream} but decoding continues an existing sequence whose
     last emitted value was [last] ([-1] for "none") — used for append
     chains that extend a base encoding. *)
 val stream_from :
+  ?code:code -> Bitio.Decoder.t -> count:int -> last:int -> unit -> int option
+
+(** {2 Retained per-bit reference}
+
+    Seed decode paths over the closure {!Bitio.Reader} and
+    [Codes.Naive]; used by differential tests, the Stats-parity
+    regression and the BENCH_PR2 before/after gate. *)
+
+val decode_ref : ?code:code -> Bitio.Reader.t -> count:int -> Posting.t
+val stream_ref : ?code:code -> Bitio.Reader.t -> count:int -> unit -> int option
+
+val stream_from_ref :
   ?code:code -> Bitio.Reader.t -> count:int -> last:int -> unit -> int option
 
 (** Encode the positions with a fixed offset added (used when a node

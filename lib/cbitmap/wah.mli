@@ -35,4 +35,7 @@ val inter : t -> t -> t
 (** Serialize to / from a bit buffer (word stream, 32 bits each). *)
 val to_buf : t -> Bitio.Bitbuf.t
 
+val of_decoder : Bitio.Decoder.t -> words:int -> bit_length:int -> t
+
+(** Compatibility shim over the closure {!Bitio.Reader}. *)
 val of_reader : Bitio.Reader.t -> words:int -> bit_length:int -> t

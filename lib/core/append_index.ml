@@ -296,8 +296,8 @@ let node_streams t (st : storage) stream =
   let chain_streams =
     List.rev_map
       (fun blk ->
-        let r = Iosim.Device.cursor t.device ~pos:blk.cregion.Iosim.Device.off in
-        Cbitmap.Gap_codec.stream ~code:t.code r ~count:blk.ccount)
+        let d = Iosim.Device.decoder t.device ~pos:blk.cregion.Iosim.Device.off in
+        Cbitmap.Gap_codec.stream ~code:t.code d ~count:blk.ccount)
       ch.cblocks
   in
   base @ chain_streams

@@ -58,7 +58,7 @@ let read_leaf t l =
       Iosim.Device.read_region t.device { l.lregion with Iosim.Device.len = l.bits }
     in
     Cbitmap.Gap_codec.decode ~code:t.code
-      (Bitio.Reader.of_bitbuf buf)
+      (Bitio.Decoder.of_bitbuf buf)
       ~count:l.count
   end
 

@@ -56,9 +56,21 @@ let dir_entry t i =
 
 let count t i = snd (dir_entry t i)
 
+(* When set, payload streams are decoded through the retained per-bit
+   path (closure cursor + [Codes.Naive]) instead of the buffered word
+   decoder — the before/after switch for the BENCH_PR2 end-to-end
+   comparison and the Stats-parity regression test.  Counters other
+   than [pool_hits] are identical either way. *)
+let reference_decode = ref false
+
 let stream_of_entry t (off, count) =
-  let r = Iosim.Device.cursor t.device ~pos:(t.payload.Iosim.Device.off + off) in
-  Cbitmap.Gap_codec.stream ~code:t.code r ~count
+  let pos = t.payload.Iosim.Device.off + off in
+  if !reference_decode then
+    let r = Iosim.Device.cursor t.device ~pos in
+    Cbitmap.Gap_codec.stream_ref ~code:t.code r ~count
+  else
+    let d = Iosim.Device.decoder t.device ~pos in
+    Cbitmap.Gap_codec.stream ~code:t.code d ~count
 
 let read_one t i =
   let entry = dir_entry t i in

@@ -38,3 +38,10 @@ val size_bits : t -> int
 
 (** Payload only (sum of compressed stream sizes). *)
 val payload_bits : t -> int
+
+(** When [true], payload streams decode through the retained per-bit
+    reference (closure cursor + seed codecs) instead of the buffered
+    word decoder.  Used by the BENCH_PR2 before/after comparison and
+    the Stats-parity regression test; [block_reads]/[bits_read] are
+    identical in both modes.  Default [false]. *)
+val reference_decode : bool ref

@@ -162,6 +162,21 @@ let cursor t ~pos =
   in
   { Bitio.Reader.read_bits; bit_pos = (fun () -> !p); seek = (fun q -> p := q) }
 
+(* Buffered word-at-a-time decoder over the device.  Counting happens
+   in the charge callback, which the decoder invokes once per
+   *consumed* bit range (cache refills are free), so [bits_read] and
+   the touched-block sequence match the per-bit cursor semantics: the
+   same bits are charged, in stream order, exactly once.  The decoder
+   snapshots [t.data]; it is invalidated by any later [alloc]/write
+   that grows the device. *)
+let decoder t ~pos =
+  if pos < 0 || pos > t.used_bits then invalid_arg "Device.decoder";
+  let charge ~pos ~len =
+    touch_range t ~pos ~len `Read;
+    t.stats.Stats.bits_read <- t.stats.Stats.bits_read + len
+  in
+  Bitio.Decoder.counted ~data:t.data ~pos ~limit:t.used_bits ~charge
+
 let blocks_spanned t ~pos ~len =
   if len <= 0 then 0
   else (pos + len - 1) / t.block_bits - (pos / t.block_bits) + 1

@@ -68,5 +68,13 @@ val read_region_naive : t -> region -> Bitio.Bitbuf.t
     are allowed (each block entered is a counted access). *)
 val cursor : t -> pos:int -> Bitio.Reader.t
 
+(** Buffered word-at-a-time counted decoder starting at absolute bit
+    [pos] — the hot-path replacement for {!cursor}.  Charges on
+    consumption (never on cache refill), so [bits_read] and the
+    touched-block sequence are identical to per-bit reads of the same
+    stream.  Snapshots the backing store: invalidated by any
+    subsequent [alloc]/write that grows the device. *)
+val decoder : t -> pos:int -> Bitio.Decoder.t
+
 (** Blocks covered by a bit range: [blocks_spanned t ~pos ~len]. *)
 val blocks_spanned : t -> pos:int -> len:int -> int

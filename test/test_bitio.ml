@@ -64,7 +64,19 @@ let test_reader_of_bitbuf () =
 let test_reader_of_bytes () =
   let r = Bitio.Reader.of_bytes (Bytes.of_string "\xf0\x0f") in
   Alcotest.(check int) "first" 0xf0 (r.Bitio.Reader.read_bits 8);
-  Alcotest.(check int) "second" 0x0f (r.Bitio.Reader.read_bits 8)
+  Alcotest.(check int) "second" 0x0f (r.Bitio.Reader.read_bits 8);
+  (* Wide, unaligned reads go through Bitops.get_bits now; the
+     width/bounds checks must survive the rewrite. *)
+  let r = Bitio.Reader.of_bytes (Bytes.of_string "\xf0\x0f\xaa\x55\xc3") in
+  Bitio.Reader.skip r 3;
+  Alcotest.(check int) "wide unaligned" 0b10000000011111010101001010101
+    (r.Bitio.Reader.read_bits 29);
+  Alcotest.(check int) "pos" 32 (r.Bitio.Reader.bit_pos ());
+  Alcotest.check_raises "width > 62" (Invalid_argument "Reader.of_bytes: width")
+    (fun () -> ignore (r.Bitio.Reader.read_bits 63));
+  Alcotest.check_raises "past end"
+    (Invalid_argument "Reader.of_bytes: past end") (fun () ->
+      ignore (r.Bitio.Reader.read_bits 9))
 
 let test_gamma_known () =
   (* Known gamma codewords: 1 -> "1", 2 -> "010", 3 -> "011",
@@ -81,11 +93,11 @@ let test_gamma_known () =
 
 let test_unary_roundtrip () =
   let buf = Bitio.Bitbuf.create () in
-  List.iter (Bitio.Codes.encode_unary buf) [ 0; 3; 1; 7 ];
-  let r = Bitio.Reader.of_bitbuf buf in
+  List.iter (Bitio.Codes.encode_unary buf) [ 0; 3; 1; 7; 100 ];
+  let d = Bitio.Decoder.of_bitbuf buf in
   List.iter
-    (fun v -> Alcotest.(check int) "unary" v (Bitio.Codes.decode_unary r))
-    [ 0; 3; 1; 7 ]
+    (fun v -> Alcotest.(check int) "unary" v (Bitio.Codes.decode_unary d))
+    [ 0; 3; 1; 7; 100 ]
 
 let test_log2 () =
   Alcotest.(check int) "floor 1" 0 (Bitio.Codes.floor_log2 1);
@@ -106,8 +118,8 @@ let roundtrip_prop name gen encode decode size =
       List.iter (encode buf) vs;
       if Bitio.Bitbuf.length buf <> expected_bits then false
       else begin
-        let r = Bitio.Reader.of_bitbuf buf in
-        List.for_all (fun v -> decode r = v) vs
+        let d = Bitio.Decoder.of_bitbuf buf in
+        List.for_all (fun v -> decode d = v) vs
       end)
 
 let pos_gen = QCheck.int_range 1 (1 lsl 50)
@@ -149,14 +161,14 @@ let prop_mixed_stream =
           | 2 -> Bitio.Codes.encode_rice buf ~k:6 v
           | _ -> Bitio.Codes.encode_fixed buf ~width:21 (v land 0x1fffff))
         items;
-      let r = Bitio.Reader.of_bitbuf buf in
+      let d = Bitio.Decoder.of_bitbuf buf in
       List.for_all
         (fun (tag, v) ->
           match tag with
-          | 0 -> Bitio.Codes.decode_gamma r = v
-          | 1 -> Bitio.Codes.decode_delta r = v
-          | 2 -> Bitio.Codes.decode_rice r ~k:6 = v
-          | _ -> Bitio.Codes.decode_fixed r ~width:21 = v land 0x1fffff)
+          | 0 -> Bitio.Codes.decode_gamma d = v
+          | 1 -> Bitio.Codes.decode_delta d = v
+          | 2 -> Bitio.Codes.decode_rice d ~k:6 = v
+          | _ -> Bitio.Codes.decode_fixed d ~width:21 = v land 0x1fffff)
         items)
 
 let prop_write_read_bits =

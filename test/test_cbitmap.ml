@@ -79,9 +79,9 @@ let prop_gap_roundtrip =
       let buf = Cbitmap.Gap_codec.to_buf p in
       if Bitio.Bitbuf.length buf <> Cbitmap.Gap_codec.encoded_size p then false
       else begin
-        let r = Bitio.Reader.of_bitbuf buf in
+        let d = Bitio.Decoder.of_bitbuf buf in
         let q =
-          Cbitmap.Gap_codec.decode r ~count:(Cbitmap.Posting.cardinal p)
+          Cbitmap.Gap_codec.decode d ~count:(Cbitmap.Posting.cardinal p)
         in
         Cbitmap.Posting.equal p q
       end)
@@ -95,9 +95,9 @@ let prop_gap_roundtrip_codes =
         (fun code ->
           let buf = Bitio.Bitbuf.create () in
           Cbitmap.Gap_codec.encode ~code buf p;
-          let r = Bitio.Reader.of_bitbuf buf in
+          let d = Bitio.Decoder.of_bitbuf buf in
           Cbitmap.Posting.equal p
-            (Cbitmap.Gap_codec.decode ~code r
+            (Cbitmap.Gap_codec.decode ~code d
                ~count:(Cbitmap.Posting.cardinal p)))
         [ Cbitmap.Gap_codec.Delta; Cbitmap.Gap_codec.Rice 3 ])
 
@@ -108,7 +108,7 @@ let prop_gap_stream =
       let buf = Cbitmap.Gap_codec.to_buf p in
       let s =
         Cbitmap.Gap_codec.stream
-          (Bitio.Reader.of_bitbuf buf)
+          (Bitio.Decoder.of_bitbuf buf)
           ~count:(Cbitmap.Posting.cardinal p)
       in
       Cbitmap.Posting.equal p (Cbitmap.Merge.to_posting s))
@@ -120,8 +120,8 @@ let prop_gap_shifted =
       let p = posting xs in
       let buf = Bitio.Bitbuf.create () in
       Cbitmap.Gap_codec.encode_shifted ~shift buf p;
-      let r = Bitio.Reader.of_bitbuf buf in
-      let q = Cbitmap.Gap_codec.decode r ~count:(Cbitmap.Posting.cardinal p) in
+      let d = Bitio.Decoder.of_bitbuf buf in
+      let q = Cbitmap.Gap_codec.decode d ~count:(Cbitmap.Posting.cardinal p) in
       List.for_all2
         (fun a b -> a + shift = b)
         (Cbitmap.Posting.to_list p) (Cbitmap.Posting.to_list q))
@@ -139,8 +139,8 @@ let test_gap_append () =
         (Bitio.Bitbuf.length buf - before);
       last := p)
     values;
-  let r = Bitio.Reader.of_bitbuf buf in
-  let q = Cbitmap.Gap_codec.decode r ~count:4 in
+  let d = Bitio.Decoder.of_bitbuf buf in
+  let q = Cbitmap.Gap_codec.decode d ~count:4 in
   Alcotest.(check (list int)) "append decodes" values
     (Cbitmap.Posting.to_list q)
 
@@ -254,18 +254,25 @@ let prop_wah_boolean =
            (Cbitmap.Posting.inter a b))
 
 let prop_wah_serialize =
-  QCheck.Test.make ~count:100 ~name:"wah to_buf/of_reader roundtrip" sorted_gen
+  QCheck.Test.make ~count:100 ~name:"wah to_buf/of_decoder roundtrip"
+    sorted_gen
     (fun xs ->
       let p = posting xs in
       let n = 501 in
       let w = Cbitmap.Wah.encode ~n p in
       let buf = Cbitmap.Wah.to_buf w in
+      let words = Cbitmap.Wah.word_count w in
       let w' =
-        Cbitmap.Wah.of_reader
-          (Bitio.Reader.of_bitbuf buf)
-          ~words:(Cbitmap.Wah.word_count w) ~bit_length:n
+        Cbitmap.Wah.of_decoder
+          (Bitio.Decoder.of_bitbuf buf)
+          ~words ~bit_length:n
       in
-      Cbitmap.Posting.equal p (Cbitmap.Wah.decode w'))
+      (* The closure-reader shim must agree with the decoder path. *)
+      let w'' =
+        Cbitmap.Wah.of_reader (Bitio.Reader.of_bitbuf buf) ~words ~bit_length:n
+      in
+      Cbitmap.Posting.equal p (Cbitmap.Wah.decode w')
+      && Cbitmap.Posting.equal p (Cbitmap.Wah.decode w''))
 
 let test_entropy_uniform () =
   (* Uniform over 4 characters: H0 = 2 bits. *)

@@ -1,0 +1,338 @@
+(* Differential tests for the PR 2 codec engine: the buffered
+   word-at-a-time [Bitio.Decoder] + CLZ-based [Bitio.Codes] decode
+   paths and word-level encoders, pinned against the retained per-bit
+   reference ([Bitio.Codes.Naive] over the closure [Reader]) for all
+   five codes, across widths 1–62, unaligned start positions and
+   refill-boundary cases. *)
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+(* --- Bitops.msb ----------------------------------------------------- *)
+
+let prop_msb_matches_naive =
+  QCheck.Test.make ~count:2000 ~name:"Bitops.msb = Naive.msb"
+    QCheck.(
+      oneof
+        [
+          int;
+          int_range 0 1024;
+          always 0;
+          always 1;
+          always max_int;
+          always min_int;
+          always (-1);
+        ])
+    (fun x -> Bitio.Bitops.msb x = Bitio.Bitops.Naive.msb x)
+
+(* --- decoder primitives --------------------------------------------- *)
+
+let test_peek_consume () =
+  let buf = Bitio.Bitbuf.of_int ~width:20 0xabcde in
+  let d = Bitio.Decoder.of_bitbuf buf in
+  Alcotest.(check int) "peek 8" 0xab (Bitio.Decoder.peek d 8);
+  Alcotest.(check int) "peek does not advance" 0xab (Bitio.Decoder.peek d 8);
+  Alcotest.(check int) "wider peek" 0xabc (Bitio.Decoder.peek d 12);
+  Alcotest.(check int) "pos still 0" 0 (Bitio.Decoder.bit_pos d);
+  Bitio.Decoder.consume d 4;
+  Alcotest.(check int) "pos after consume" 4 (Bitio.Decoder.bit_pos d);
+  Alcotest.(check int) "peek after consume" 0xbc (Bitio.Decoder.peek d 8);
+  Alcotest.(check int) "read rest" 0xbcde (Bitio.Decoder.read_bits d 16);
+  Alcotest.(check int) "remaining" 0 (Bitio.Decoder.remaining d);
+  Bitio.Decoder.seek d 8;
+  Alcotest.(check int) "after seek" 0xcd (Bitio.Decoder.read_bits d 8);
+  Bitio.Decoder.skip d 1;
+  Alcotest.(check int) "after skip" 0b110 (Bitio.Decoder.read_bits d 3)
+
+let test_decoder_errors () =
+  let buf = Bitio.Bitbuf.of_int ~width:16 0xffff in
+  let d = Bitio.Decoder.of_bitbuf buf in
+  Alcotest.check_raises "width > 62"
+    (Invalid_argument "Decoder.read_bits: width") (fun () ->
+      ignore (Bitio.Decoder.read_bits d 63));
+  Alcotest.check_raises "past end"
+    (Invalid_argument "Decoder.read_bits: past end") (fun () ->
+      ignore (Bitio.Decoder.read_bits d 17));
+  Alcotest.check_raises "seek out of range" (Invalid_argument "Decoder.seek")
+    (fun () -> Bitio.Decoder.seek d 17);
+  ignore (Bitio.Decoder.read_bits d 16);
+  Alcotest.check_raises "exhausted"
+    (Invalid_argument "Decoder.read_bits: past end") (fun () ->
+      ignore (Bitio.Decoder.read_bits d 1));
+  (* A one-run that hits the limit before its terminating zero. *)
+  let d2 = Bitio.Decoder.of_bitbuf buf in
+  Alcotest.check_raises "unterminated run"
+    (Invalid_argument "Decoder: unterminated run") (fun () ->
+      ignore (Bitio.Decoder.one_run d2))
+
+let test_runs_across_windows () =
+  (* Runs longer than the 62-bit cache window force mid-run refills. *)
+  let buf = Bitio.Bitbuf.create () in
+  Bitio.Bitbuf.write_bits buf ~width:62 0;
+  Bitio.Bitbuf.write_bits buf ~width:62 0;
+  Bitio.Bitbuf.write_bits buf ~width:26 0;
+  Bitio.Bitbuf.write_bit buf true;
+  Bitio.Bitbuf.write_bits buf ~width:62 max_int;
+  Bitio.Bitbuf.write_bits buf ~width:8 0xff;
+  Bitio.Bitbuf.write_bit buf false;
+  let d = Bitio.Decoder.of_bitbuf buf in
+  Alcotest.(check int) "zero run 150" 150 (Bitio.Decoder.zero_run d);
+  Alcotest.(check int) "one run 70" 70 (Bitio.Decoder.one_run d);
+  Alcotest.(check int) "fully consumed" 0 (Bitio.Decoder.remaining d)
+
+let test_final_partial_byte () =
+  (* Decoding from raw bytes with an explicit bit limit inside the
+     last byte: the value ends exactly at the limit and the padding
+     bits beyond it are unreachable. *)
+  let buf = Bitio.Bitbuf.create () in
+  Bitio.Codes.encode_gamma buf 1000;
+  let bits = Bitio.Bitbuf.length buf in
+  Alcotest.(check int) "19-bit codeword" 19 bits;
+  let d = Bitio.Decoder.of_bytes ~limit:bits (Bitio.Bitbuf.to_bytes buf) in
+  Alcotest.(check int) "decodes" 1000 (Bitio.Codes.decode_gamma d);
+  Alcotest.(check int) "nothing left" 0 (Bitio.Decoder.remaining d);
+  Alcotest.check_raises "padding unreachable"
+    (Invalid_argument "Decoder.read_bits: past end") (fun () ->
+      ignore (Bitio.Decoder.read_bits d 1))
+
+(* --- per-code differential properties ------------------------------- *)
+
+let junk_prefix buf j =
+  for i = 0 to j - 1 do
+    Bitio.Bitbuf.write_bit buf (i land 1 = 1)
+  done
+
+(* For each code: (a) the word-level encoder emits bit-identical
+   output to the per-bit reference encoder, and (b) the buffered
+   decoder and the per-bit reference decoder both read the values
+   back, starting at an arbitrary (unaligned) bit offset. *)
+let diff_prop name value_gen ~encode_new ~encode_naive ~decode_new
+    ~decode_naive =
+  QCheck.Test.make ~count:400 ~name
+    QCheck.(
+      pair (int_range 0 70) (list_of_size (Gen.int_range 1 30) value_gen))
+    (fun (j, vs) ->
+      let a = Bitio.Bitbuf.create () and b = Bitio.Bitbuf.create () in
+      junk_prefix a j;
+      junk_prefix b j;
+      List.iter (encode_new a) vs;
+      List.iter (encode_naive b) vs;
+      Bitio.Bitbuf.equal a b
+      && (let d = Bitio.Decoder.of_bitbuf ~pos:j a in
+          List.for_all (fun v -> decode_new d = v) vs)
+      &&
+      let r = Bitio.Reader.of_bitbuf ~pos:j a in
+      List.for_all (fun v -> decode_naive r = v) vs)
+
+(* Magnitudes chosen so codewords regularly straddle the 62-bit cache
+   edge: gamma of a value near 2^55 is 111 bits long. *)
+let pos_value_gen =
+  QCheck.oneof
+    [
+      QCheck.int_range 1 16;
+      QCheck.int_range 1 (1 lsl 20);
+      QCheck.int_range (1 lsl 40) (1 lsl 55);
+    ]
+
+let prop_gamma_diff =
+  diff_prop "gamma: engine = per-bit reference" pos_value_gen
+    ~encode_new:Bitio.Codes.encode_gamma
+    ~encode_naive:Bitio.Codes.Naive.encode_gamma
+    ~decode_new:Bitio.Codes.decode_gamma
+    ~decode_naive:Bitio.Codes.Naive.decode_gamma
+
+let prop_delta_diff =
+  diff_prop "delta: engine = per-bit reference" pos_value_gen
+    ~encode_new:Bitio.Codes.encode_delta
+    ~encode_naive:Bitio.Codes.Naive.encode_delta
+    ~decode_new:Bitio.Codes.decode_delta
+    ~decode_naive:Bitio.Codes.Naive.decode_delta
+
+let prop_unary_diff =
+  diff_prop "unary: engine = per-bit reference (runs past one chunk)"
+    (QCheck.oneof [ QCheck.int_range 0 10; QCheck.int_range 50 300 ])
+    ~encode_new:Bitio.Codes.encode_unary
+    ~encode_naive:Bitio.Codes.Naive.encode_unary
+    ~decode_new:Bitio.Codes.decode_unary
+    ~decode_naive:Bitio.Codes.Naive.decode_unary
+
+let prop_rice_diff =
+  QCheck.Test.make ~count:400 ~name:"rice k=0..10: engine = per-bit reference"
+    QCheck.(
+      triple (int_range 0 70) (int_range 0 10)
+        (list_of_size (Gen.int_range 1 30)
+           (pair (int_range 0 2000) (int_range 0 (1 lsl 30)))))
+    (fun (j, k, qs) ->
+      (* Build values from a bounded unary quotient plus a k-bit
+         remainder, so small k cannot explode the codeword length. *)
+      let vs = List.map (fun (q, r) -> (q lsl k) lor (r land ((1 lsl k) - 1))) qs in
+      let a = Bitio.Bitbuf.create () and b = Bitio.Bitbuf.create () in
+      junk_prefix a j;
+      junk_prefix b j;
+      List.iter (Bitio.Codes.encode_rice a ~k) vs;
+      List.iter (Bitio.Codes.Naive.encode_rice b ~k) vs;
+      Bitio.Bitbuf.equal a b
+      && (let d = Bitio.Decoder.of_bitbuf ~pos:j a in
+          List.for_all (fun v -> Bitio.Codes.decode_rice d ~k = v) vs)
+      &&
+      let r = Bitio.Reader.of_bitbuf ~pos:j a in
+      List.for_all (fun v -> Bitio.Codes.Naive.decode_rice r ~k = v) vs)
+
+let prop_fixed_diff =
+  QCheck.Test.make ~count:400
+    ~name:"fixed widths 1..62: engine = per-bit reference"
+    QCheck.(
+      triple (int_range 0 70) (int_range 1 62)
+        (list_of_size (Gen.int_range 1 25) (int_range 0 max_int)))
+    (fun (j, w, vs) ->
+      let vs = List.map (fun v -> v land ((1 lsl w) - 1)) vs in
+      let buf = Bitio.Bitbuf.create () in
+      junk_prefix buf j;
+      List.iter (Bitio.Codes.encode_fixed buf ~width:w) vs;
+      (let d = Bitio.Decoder.of_bitbuf ~pos:j buf in
+       List.for_all (fun v -> Bitio.Codes.decode_fixed d ~width:w = v) vs)
+      &&
+      let r = Bitio.Reader.of_bitbuf ~pos:j buf in
+      List.for_all (fun v -> Bitio.Codes.Naive.decode_fixed r ~width:w = v) vs)
+
+let prop_fibonacci_diff =
+  diff_prop "fibonacci: engine = per-bit reference"
+    (QCheck.oneof [ QCheck.int_range 1 1000; QCheck.int_range 1 (1 lsl 40) ])
+    ~encode_new:Bitio.Codes.encode_fibonacci
+    ~encode_naive:Bitio.Codes.Naive.encode_fibonacci
+    ~decode_new:Bitio.Codes.decode_fibonacci
+    ~decode_naive:Bitio.Codes.Naive.decode_fibonacci
+
+let test_fibonacci_wide_codewords () =
+  (* Codewords longer than the 62-bit cache: v = F(k) has a single
+     Zeckendorf term, so its codeword is k zeros, a one and the
+     terminator — exercising the chunked zero emitter and the
+     multi-window zero-run scan. *)
+  let fibv n =
+    let a = ref 1 and b = ref 2 in
+    for _ = 1 to n do
+      let c = !a + !b in
+      a := !b;
+      b := c
+    done;
+    !a
+  in
+  let vs = [ fibv 80; fibv 80 + 1; fibv 75 + fibv 20 + 3; fibv 84 ] in
+  let a = Bitio.Bitbuf.create () and b = Bitio.Bitbuf.create () in
+  List.iter (Bitio.Codes.encode_fibonacci a) vs;
+  List.iter (Bitio.Codes.Naive.encode_fibonacci b) vs;
+  Alcotest.(check bool) "encoders agree" true (Bitio.Bitbuf.equal a b);
+  Alcotest.(check int) "F(80) codeword is 82 bits" 82
+    (Bitio.Codes.fibonacci_size (fibv 80));
+  let d = Bitio.Decoder.of_bitbuf a in
+  List.iter
+    (fun v ->
+      Alcotest.(check int) "roundtrip" v (Bitio.Codes.decode_fibonacci d))
+    vs
+
+(* --- Reader.of_bytes (satellite fix) -------------------------------- *)
+
+let prop_reader_of_bytes_diff =
+  QCheck.Test.make ~count:500
+    ~name:"Reader.of_bytes = per-bit assembly at any width/alignment"
+    QCheck.(
+      make
+        Gen.(
+          map Bytes.of_string (string_size ~gen:char (return 200))
+          >>= fun data ->
+          int_range 0 300 >>= fun pos0 ->
+          list_size (int_range 1 20) (int_range 0 62) >>= fun widths ->
+          return (data, pos0, widths)))
+    (fun (data, pos0, widths) ->
+      let total = List.fold_left ( + ) 0 widths in
+      QCheck.assume (pos0 + total <= 8 * Bytes.length data);
+      let r = Bitio.Reader.of_bytes ~pos:pos0 data in
+      let p = ref pos0 in
+      List.for_all
+        (fun w ->
+          let expect = Bitio.Bitops.Naive.get_bits data ~pos:!p ~width:w in
+          let got = r.Bitio.Reader.read_bits w in
+          p := !p + w;
+          got = expect)
+        widths)
+
+(* --- bulk gap decode ------------------------------------------------ *)
+
+let prop_bulk_decode_agree =
+  QCheck.Test.make ~count:300
+    ~name:"decode_into = decode = stream = per-bit decode_ref"
+    QCheck.(pair (int_range 0 3) (list (int_range 0 200_000)))
+    (fun (codei, xs) ->
+      let code =
+        match codei with
+        | 0 -> Cbitmap.Gap_codec.Gamma
+        | 1 -> Cbitmap.Gap_codec.Delta
+        | 2 -> Cbitmap.Gap_codec.Rice 4
+        | _ -> Cbitmap.Gap_codec.Fibonacci
+      in
+      let p = Cbitmap.Posting.of_list xs in
+      let count = Cbitmap.Posting.cardinal p in
+      let buf = Bitio.Bitbuf.create () in
+      Cbitmap.Gap_codec.encode ~code buf p;
+      let out = Array.make (count + 3) (-7) in
+      Cbitmap.Gap_codec.decode_into ~code
+        (Bitio.Decoder.of_bitbuf buf)
+        ~count out;
+      let by_into = Array.sub out 0 count in
+      let by_decode =
+        Cbitmap.Posting.to_array
+          (Cbitmap.Gap_codec.decode ~code (Bitio.Decoder.of_bitbuf buf) ~count)
+      in
+      let by_stream =
+        Cbitmap.Posting.to_array
+          (Cbitmap.Merge.to_posting
+             (Cbitmap.Gap_codec.stream ~code
+                (Bitio.Decoder.of_bitbuf buf)
+                ~count))
+      in
+      let by_ref =
+        Cbitmap.Posting.to_array
+          (Cbitmap.Gap_codec.decode_ref ~code
+             (Bitio.Reader.of_bitbuf buf)
+             ~count)
+      in
+      by_into = by_decode && by_decode = by_stream && by_stream = by_ref
+      && out.(count) = -7)
+
+let test_decode_into_continuation () =
+  let buf = Bitio.Bitbuf.create () in
+  let values = [ 10; 11; 50 ] in
+  let last = ref 9 in
+  List.iter
+    (fun p ->
+      Cbitmap.Gap_codec.encode_append ~last:!last buf p;
+      last := p)
+    values;
+  let out = Array.make 3 0 in
+  Cbitmap.Gap_codec.decode_into ~last:9 (Bitio.Decoder.of_bitbuf buf) ~count:3
+    out;
+  Alcotest.(check (array int)) "continues from last" [| 10; 11; 50 |] out;
+  Alcotest.check_raises "count exceeds out"
+    (Invalid_argument "Gap_codec.decode_into") (fun () ->
+      Cbitmap.Gap_codec.decode_into (Bitio.Decoder.of_bitbuf buf) ~count:4 out)
+
+let suite =
+  [
+    qcheck prop_msb_matches_naive;
+    Alcotest.test_case "peek/consume/seek/skip" `Quick test_peek_consume;
+    Alcotest.test_case "decoder error cases" `Quick test_decoder_errors;
+    Alcotest.test_case "runs across cache windows" `Quick
+      test_runs_across_windows;
+    Alcotest.test_case "final partial byte" `Quick test_final_partial_byte;
+    qcheck prop_gamma_diff;
+    qcheck prop_delta_diff;
+    qcheck prop_unary_diff;
+    qcheck prop_rice_diff;
+    qcheck prop_fixed_diff;
+    qcheck prop_fibonacci_diff;
+    Alcotest.test_case "fibonacci wide codewords" `Quick
+      test_fibonacci_wide_codewords;
+    qcheck prop_reader_of_bytes_diff;
+    qcheck prop_bulk_decode_agree;
+    Alcotest.test_case "decode_into continuation + bounds" `Quick
+      test_decode_into_continuation;
+  ]

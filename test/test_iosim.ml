@@ -105,7 +105,7 @@ let test_cursor_sequential () =
   let region = Iosim.Device.store dev buf in
   Iosim.Device.reset_stats dev;
   let r = Iosim.Device.cursor dev ~pos:region.Iosim.Device.off in
-  let decoded = List.init 5 (fun _ -> Bitio.Codes.decode_gamma r) in
+  let decoded = List.init 5 (fun _ -> Bitio.Codes.Naive.decode_gamma r) in
   Alcotest.(check (list int)) "decoded" [ 5; 1; 9; 100; 3 ] decoded;
   (* Sequential decode of a short stream should touch each block once:
      with no pool every bit-read re-touches, so enable a pool. *)
@@ -115,12 +115,33 @@ let test_cursor_sequential () =
   Iosim.Device.clear_pool dev2;
   let r2 = Iosim.Device.cursor dev2 ~pos:region2.Iosim.Device.off in
   for _ = 1 to 5 do
-    ignore (Bitio.Codes.decode_gamma r2)
+    ignore (Bitio.Codes.Naive.decode_gamma r2)
   done;
   let blocks = Iosim.Device.blocks_spanned dev2 ~pos:0 ~len:(Bitio.Bitbuf.length buf) in
   Alcotest.(check int) "touch each block once"
     blocks
     (Iosim.Device.stats dev2).Iosim.Stats.block_reads
+
+let test_decoder_sequential () =
+  (* Same shape as the cursor test, on the buffered word decoder: the
+     values and the block touches must not change. *)
+  let dev = device ~block_bits:64 ~mem_bits:(4 * 64) () in
+  let buf = Bitio.Bitbuf.create () in
+  List.iter (Bitio.Codes.encode_gamma buf) [ 5; 1; 9; 100; 3 ];
+  let region = Iosim.Device.store dev buf in
+  Iosim.Device.reset_stats dev;
+  Iosim.Device.clear_pool dev;
+  let d = Iosim.Device.decoder dev ~pos:region.Iosim.Device.off in
+  let decoded = List.init 5 (fun _ -> Bitio.Codes.decode_gamma d) in
+  Alcotest.(check (list int)) "decoded" [ 5; 1; 9; 100; 3 ] decoded;
+  let blocks =
+    Iosim.Device.blocks_spanned dev ~pos:0 ~len:(Bitio.Bitbuf.length buf)
+  in
+  Alcotest.(check int) "touch each block once" blocks
+    (Iosim.Device.stats dev).Iosim.Stats.block_reads;
+  Alcotest.(check int) "bits_read = stream length"
+    (Bitio.Bitbuf.length buf)
+    (Iosim.Device.stats dev).Iosim.Stats.bits_read
 
 let test_blocks_spanned () =
   let dev = device ~block_bits:128 () in
@@ -372,6 +393,95 @@ let prop_read_region_matches_naive =
       && Iosim.Stats.snapshot (Iosim.Device.stats d1)
          = Iosim.Stats.snapshot (Iosim.Device.stats d2))
 
+(* --- codec-rewrite regressions (PR 2) ------------------------------ *)
+
+(* Fixed-width reads through Device.decoder charge exactly like the
+   per-bit-era cursor at the same call widths: every counter agrees,
+   pool hits included. *)
+let test_decoder_matches_cursor_fixed_width () =
+  let mk () =
+    let dev = device ~block_bits:64 ~mem_bits:(2 * 64) () in
+    let buf = Bitio.Bitbuf.create () in
+    for i = 0 to 199 do
+      Bitio.Bitbuf.write_bits buf ~width:13 ((i * 541) land 0x1fff)
+    done;
+    let region = Iosim.Device.store dev buf in
+    Iosim.Device.reset_stats dev;
+    Iosim.Device.clear_pool dev;
+    (dev, region)
+  in
+  let dev1, r1 = mk () and dev2, r2 = mk () in
+  let d = Iosim.Device.decoder dev1 ~pos:r1.Iosim.Device.off in
+  let c = Iosim.Device.cursor dev2 ~pos:r2.Iosim.Device.off in
+  for _ = 0 to 199 do
+    Alcotest.(check int)
+      "value" (c.Bitio.Reader.read_bits 13)
+      (Bitio.Decoder.read_bits d 13)
+  done;
+  check_stats "identical counters (incl. pool hits)"
+    (Iosim.Device.stats dev2) (Iosim.Device.stats dev1)
+
+(* Run-based decode consumes in chunks instead of single bits, which
+   may only reduce [pool_hits]; [block_reads] and [bits_read] — the
+   quantities every experiment reports — must be identical to the
+   retained per-bit reference. *)
+let test_decoder_gamma_charges_like_cursor () =
+  let values = List.init 300 (fun i -> 1 + (i * 37 mod 1000)) in
+  let mk () =
+    let dev = device ~block_bits:64 ~mem_bits:(3 * 64) () in
+    let buf = Bitio.Bitbuf.create () in
+    List.iter (Bitio.Codes.encode_gamma buf) values;
+    let region = Iosim.Device.store dev buf in
+    Iosim.Device.reset_stats dev;
+    Iosim.Device.clear_pool dev;
+    (dev, region)
+  in
+  let dev1, r1 = mk () and dev2, r2 = mk () in
+  let d = Iosim.Device.decoder dev1 ~pos:r1.Iosim.Device.off in
+  let c = Iosim.Device.cursor dev2 ~pos:r2.Iosim.Device.off in
+  List.iter
+    (fun v ->
+      Alcotest.(check int) "new" v (Bitio.Codes.decode_gamma d);
+      Alcotest.(check int) "ref" v (Bitio.Codes.Naive.decode_gamma c))
+    values;
+  let s1 = Iosim.Device.stats dev1 and s2 = Iosim.Device.stats dev2 in
+  Alcotest.(check int) "block_reads" s2.Iosim.Stats.block_reads
+    s1.Iosim.Stats.block_reads;
+  Alcotest.(check int) "bits_read" s2.Iosim.Stats.bits_read
+    s1.Iosim.Stats.bits_read
+
+(* Scripted Theorem 2 query trace: answers, [block_reads] and
+   [bits_read] are byte-identical whether the payload streams decode
+   through the buffered word engine or the retained per-bit
+   reference.  Decode speed must not change what the simulator
+   charges. *)
+let test_theorem2_trace_codec_parity () =
+  let n = 3000 and sigma = 24 in
+  let data = Array.init n (fun i -> ((i * i) + (i / 7)) mod sigma) in
+  let queries = [ (0, sigma - 1); (3, 9); (7, 7); (0, 0); (20, 23) ] in
+  let run reference =
+    Indexing.Stream_table.reference_decode := reference;
+    Fun.protect
+      ~finally:(fun () -> Indexing.Stream_table.reference_decode := false)
+    @@ fun () ->
+    let dev = device ~block_bits:512 ~mem_bits:(16 * 512) () in
+    let inst = Secidx.Static_index.instance dev ~sigma data in
+    List.map
+      (fun (lo, hi) ->
+        let answer, st = Indexing.Instance.query_cold inst ~lo ~hi in
+        ( Cbitmap.Posting.cardinal (Indexing.Answer.to_posting ~n answer),
+          st.Iosim.Stats.block_reads,
+          st.Iosim.Stats.bits_read ))
+      queries
+  in
+  let before = run true and after = run false in
+  List.iter2
+    (fun (c1, br1, bits1) (c2, br2, bits2) ->
+      Alcotest.(check int) "answer cardinality" c1 c2;
+      Alcotest.(check int) "block_reads" br1 br2;
+      Alcotest.(check int) "bits_read" bits1 bits2)
+    before after
+
 let test_model_sanity () =
   (* The model itself reproduces a seed-era hand-check
      (test_write_read_before_write shape). *)
@@ -411,6 +521,14 @@ let suite =
     Alcotest.test_case "write without rmw" `Quick test_write_no_rmw;
     Alcotest.test_case "alloc alignment" `Quick test_alloc_alignment;
     Alcotest.test_case "cursor sequential decode" `Quick test_cursor_sequential;
+    Alcotest.test_case "decoder sequential decode" `Quick
+      test_decoder_sequential;
+    Alcotest.test_case "decoder = cursor (fixed-width counters)" `Quick
+      test_decoder_matches_cursor_fixed_width;
+    Alcotest.test_case "decoder gamma charges like cursor" `Quick
+      test_decoder_gamma_charges_like_cursor;
+    Alcotest.test_case "theorem 2 trace: codec rewrite stats parity" `Quick
+      test_theorem2_trace_codec_parity;
     Alcotest.test_case "blocks spanned" `Quick test_blocks_spanned;
     Alcotest.test_case "stats diff" `Quick test_stats_diff;
     qcheck prop_device_roundtrip;

@@ -2,6 +2,7 @@ let () =
   Alcotest.run "secidx_repro"
     [
       ("bitio", Test_bitio.suite);
+      ("codec-engine", Test_codec_engine.suite);
       ("iosim", Test_iosim.suite);
       ("cbitmap", Test_cbitmap.suite);
       ("hashing", Test_hashing.suite);

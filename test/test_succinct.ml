@@ -201,8 +201,8 @@ let prop_fibonacci_roundtrip =
       List.iter (Bitio.Codes.encode_fibonacci buf) vs;
       Bitio.Bitbuf.length buf = expected
       &&
-      let r = Bitio.Reader.of_bitbuf buf in
-      List.for_all (fun v -> Bitio.Codes.decode_fibonacci r = v) vs)
+      let d = Bitio.Decoder.of_bitbuf buf in
+      List.for_all (fun v -> Bitio.Codes.decode_fibonacci d = v) vs)
 
 let prop_gap_codec_fibonacci =
   QCheck.Test.make ~count:150 ~name:"gap codec with fibonacci code"
@@ -211,9 +211,9 @@ let prop_gap_codec_fibonacci =
       let p = Cbitmap.Posting.of_list xs in
       let buf = Bitio.Bitbuf.create () in
       Cbitmap.Gap_codec.encode ~code:Cbitmap.Gap_codec.Fibonacci buf p;
-      let r = Bitio.Reader.of_bitbuf buf in
+      let d = Bitio.Decoder.of_bitbuf buf in
       Cbitmap.Posting.equal p
-        (Cbitmap.Gap_codec.decode ~code:Cbitmap.Gap_codec.Fibonacci r
+        (Cbitmap.Gap_codec.decode ~code:Cbitmap.Gap_codec.Fibonacci d
            ~count:(Cbitmap.Posting.cardinal p)))
 
 let prop_stream_from =
@@ -235,7 +235,7 @@ let prop_stream_from =
         tail;
       let s =
         Cbitmap.Gap_codec.stream_from
-          (Bitio.Reader.of_bitbuf buf)
+          (Bitio.Decoder.of_bitbuf buf)
           ~count:(List.length tail) ~last:start
       in
       Cbitmap.Posting.to_list (Cbitmap.Merge.to_posting s) = tail)
