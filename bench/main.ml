@@ -1130,6 +1130,234 @@ let wallclock_pr2 ~smoke () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* --faults: seeded fault-injection campaign (PR 3).  Every trial
+   builds one index on a fresh device, injects one fault class (latent
+   bit flips, a torn multi-block write during build, or transient read
+   failures), runs detect-or-repair queries and classifies each answer
+   against the naive reference.  Emits BENCH_PR3.json.  The gate: zero
+   silent wrong answers across the whole campaign, and every
+   transient-read trial answers correctly under the bounded retry. *)
+
+type fault_kind = Flips | Torn | Transient
+
+let kind_name = function
+  | Flips -> "flips"
+  | Torn -> "torn"
+  | Transient -> "transient"
+
+let campaign_builders =
+  [
+    ("btree", fun dev ~sigma data -> Baselines.Btree.instance dev ~sigma data);
+    ( "btree-dynamic",
+      fun dev ~sigma data -> Baselines.Btree_dynamic.instance dev ~sigma data );
+    ("bitmap", fun dev ~sigma data -> Baselines.Bitmap_index.instance dev ~sigma data);
+    ("cbitmap", fun dev ~sigma data -> Baselines.Cbitmap_index.instance dev ~sigma data);
+    ( "binned",
+      fun dev ~sigma data -> Baselines.Binned_index.instance dev ~sigma ~w:3 data );
+    ( "multires",
+      fun dev ~sigma data -> Baselines.Multires_index.instance dev ~sigma ~w:2 data );
+    ( "range-encoded",
+      fun dev ~sigma data -> Baselines.Range_encoded.instance dev ~sigma data );
+    ( "alphabet-tree",
+      fun dev ~sigma data -> Secidx.Alphabet_tree.instance dev ~sigma data );
+    ( "alphabet-doubling",
+      fun dev ~sigma data ->
+        Secidx.Alphabet_tree.instance ~schedule:`Doubling dev ~sigma data );
+    ("static", fun dev ~sigma data -> Secidx.Static_index.instance dev ~sigma data);
+    ("append", fun dev ~sigma data -> Secidx.Append_index.instance dev ~sigma data);
+    ("dynamic", fun dev ~sigma data -> Secidx.Dynamic_index.instance dev ~sigma data);
+    ( "buffered-bitmap",
+      fun dev ~sigma data -> Secidx.Buffered_bitmap.instance dev ~sigma data );
+  ]
+
+type tally = {
+  mutable ok : int;
+  mutable repaired : int;
+  mutable corrupt : int;
+  mutable silent_wrong : int;
+  mutable io_failed : int;
+  mutable repair_ios : int;
+}
+
+let new_tally () =
+  { ok = 0; repaired = 0; corrupt = 0; silent_wrong = 0; io_failed = 0;
+    repair_ios = 0 }
+
+(* One trial: returns the worst classification over the query set plus
+   the summed repair cost in block I/Os. *)
+let fault_trial ~builder ~kind ~seed =
+  let n = 2048 and sigma = 16 in
+  let g = Workload.Gen.uniform ~seed ~n ~sigma in
+  let data = g.Workload.Gen.data in
+  let dev = device () in
+  let rng = Iosim.Fault.Rng.create ((seed * 7919) + 13) in
+  let built =
+    match kind with
+    | Torn -> (
+        (* Tear one of the first multi-block writes of the build: the
+           prefix lands, the tail stays zero.  A build that trips over
+           its own torn write with a typed error is a detection, never
+           a wrong answer. *)
+        let plan = Iosim.Fault.create () in
+        Iosim.Device.set_fault dev plan;
+        Iosim.Fault.arm_torn_write plan
+          ~nth:(1 + Iosim.Fault.Rng.int rng 6)
+          ~keep_blocks:(Iosim.Fault.Rng.int rng 2);
+        match builder dev ~sigma data with
+        | inst ->
+            Iosim.Device.clear_fault dev;
+            Some inst
+        | exception (Secidx_error.Corrupt _ | Invalid_argument _ | Assert_failure _) ->
+            Iosim.Device.clear_fault dev;
+            None)
+    | Flips | Transient -> Some (builder dev ~sigma data)
+  in
+  match built with
+  | None -> (`Corrupt, 0)
+  | Some inst ->
+      (match kind with
+      | Flips ->
+          ignore
+            (Iosim.Device.inject_bit_flips dev ~seed:((seed * 31) + 7) ~count:4);
+          (* Flips are latent medium corruption: drop the pool so reads
+             see the damaged backing store, not clean cached copies. *)
+          Iosim.Device.clear_pool dev
+      | Transient ->
+          Iosim.Device.clear_pool dev;
+          let plan = Iosim.Fault.create () in
+          Iosim.Device.set_fault dev plan;
+          let blocks =
+            max 1 (Iosim.Device.used_bits dev / Iosim.Device.block_bits dev)
+          in
+          Iosim.Fault.arm_transient_read plan
+            ~block:(Iosim.Fault.Rng.int rng blocks)
+            ~failures:(1 + Iosim.Fault.Rng.int rng 2)
+      | Torn -> ());
+      let worst = ref `Ok and cost = ref 0 in
+      let severity = function
+        | `Ok -> 0 | `Repaired -> 1 | `Corrupt -> 2 | `Io_failed -> 3
+        | `Silent_wrong -> 4
+      in
+      let note c = if severity c > severity !worst then worst := c in
+      List.iter
+        (fun (lo, hi) ->
+          let reference = Workload.Queries.naive_answer g { Workload.Queries.lo; hi } in
+          let agrees a =
+            Cbitmap.Posting.equal (Indexing.Answer.to_posting ~n a) reference
+          in
+          match Indexing.Instance.verified_query inst ~lo ~hi with
+          | exception Secidx_error.IO_error _ -> note `Io_failed
+          | Indexing.Instance.Corrupt _ -> note `Corrupt
+          | Indexing.Instance.Ok a ->
+              note (if agrees a then `Ok else `Silent_wrong)
+          | Indexing.Instance.Repaired (a, c) ->
+              cost := !cost + c;
+              note (if agrees a then `Repaired else `Silent_wrong))
+        [ (0, sigma - 1); (4, 11); (9, 9) ];
+      (!worst, !cost)
+
+let fault_campaign ~smoke () =
+  header "fault-injection campaign (--faults)";
+  let seeds = if smoke then [ 101; 102 ] else [ 101; 102; 103; 104; 105; 106 ] in
+  let kinds = [ Flips; Torn; Transient ] in
+  let results =
+    List.map
+      (fun (name, builder) ->
+        let per_kind =
+          List.map
+            (fun kind ->
+              let t = new_tally () in
+              List.iter
+                (fun seed ->
+                  let outcome, cost = fault_trial ~builder ~kind ~seed in
+                  t.repair_ios <- t.repair_ios + cost;
+                  match outcome with
+                  | `Ok -> t.ok <- t.ok + 1
+                  | `Repaired -> t.repaired <- t.repaired + 1
+                  | `Corrupt -> t.corrupt <- t.corrupt + 1
+                  | `Io_failed -> t.io_failed <- t.io_failed + 1
+                  | `Silent_wrong -> t.silent_wrong <- t.silent_wrong + 1)
+                seeds;
+              (kind, t))
+            kinds
+        in
+        (name, per_kind))
+      campaign_builders
+  in
+  let total f =
+    List.fold_left
+      (fun acc (_, per_kind) ->
+        List.fold_left (fun acc (_, t) -> acc + f t) acc per_kind)
+      0 results
+  in
+  let trials =
+    List.length campaign_builders * List.length kinds * List.length seeds
+  in
+  let silent_wrong = total (fun t -> t.silent_wrong) in
+  let transient_failures =
+    List.fold_left
+      (fun acc (_, per_kind) ->
+        List.fold_left
+          (fun acc (kind, t) ->
+            if kind = Transient then acc + t.corrupt + t.io_failed + t.silent_wrong
+            else acc)
+          acc per_kind)
+      0 results
+  in
+  table
+    ([ "index"; "kind"; "ok"; "repaired"; "corrupt"; "silent"; "io-fail";
+       "repair-IOs" ]
+    |> List.map String.lowercase_ascii)
+    (List.concat_map
+       (fun (name, per_kind) ->
+         List.map
+           (fun (kind, t) ->
+             [ name; kind_name kind; string_of_int t.ok;
+               string_of_int t.repaired; string_of_int t.corrupt;
+               string_of_int t.silent_wrong; string_of_int t.io_failed;
+               string_of_int t.repair_ios ])
+           per_kind)
+       results);
+  let pass = silent_wrong = 0 && transient_failures = 0 in
+  fmt "trials=%d silent_wrong=%d transient_failures=%d detected=%d repaired=%d\n"
+    trials silent_wrong transient_failures
+    (total (fun t -> t.corrupt))
+    (total (fun t -> t.repaired));
+  let oc = open_out "BENCH_PR3.json" in
+  let p fmt = Printf.fprintf oc fmt in
+  p "{\n";
+  p "  \"pr\": 3,\n";
+  p "  \"label\": \"fault-injected device, detect-or-repair queries\",\n";
+  p "  \"smoke\": %b,\n" smoke;
+  p "  \"trials\": %d,\n" trials;
+  p "  \"builders\": [\n";
+  List.iteri
+    (fun i (name, per_kind) ->
+      p "    {\"name\": \"%s\"" name;
+      List.iter
+        (fun (kind, t) ->
+          p ", \"%s\": {\"ok\": %d, \"repaired\": %d, \"corrupt\": %d, \"silent_wrong\": %d, \"io_failed\": %d, \"repair_ios\": %d}"
+            (kind_name kind) t.ok t.repaired t.corrupt t.silent_wrong
+            t.io_failed t.repair_ios)
+        per_kind;
+      p "}%s\n" (if i = List.length results - 1 then "" else ","))
+    results;
+  p "  ],\n";
+  p "  \"gate\": {\n";
+  p "    \"silent_wrong\": %d,\n" silent_wrong;
+  p "    \"transient_failures\": %d,\n" transient_failures;
+  p "    \"pass\": %b\n" pass;
+  p "  }\n";
+  p "}\n";
+  close_out oc;
+  fmt "wrote BENCH_PR3.json\n";
+  if not pass then begin
+    fmt "BENCH_PR3 gate FAILED: silent_wrong=%d transient_failures=%d\n"
+      silent_wrong transient_failures;
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -1143,14 +1371,17 @@ let () =
   let args = List.filter (fun a -> a <> "--") args in
   let want_bechamel = List.mem "--bechamel" args in
   let want_wallclock = List.mem "--wallclock" args in
+  let want_faults = List.mem "--faults" args in
   let smoke = List.mem "--smoke" args in
   let selected =
     List.filter
-      (fun a -> not (List.mem a [ "--bechamel"; "--wallclock"; "--smoke" ]))
+      (fun a ->
+        not (List.mem a [ "--bechamel"; "--wallclock"; "--faults"; "--smoke" ]))
       args
   in
   let to_run =
-    if selected = [] then if want_wallclock || want_bechamel then [] else experiments
+    if selected = [] then
+      if want_wallclock || want_bechamel || want_faults then [] else experiments
     else
       List.filter_map
         (fun name ->
@@ -1168,4 +1399,5 @@ let () =
     wallclock ~smoke ();
     wallclock_pr2 ~smoke ()
   end;
+  if want_faults then fault_campaign ~smoke ();
   fmt "\nbench: done\n"

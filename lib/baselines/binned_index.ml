@@ -24,8 +24,7 @@ let build ?code device ~sigma ~w x =
     sigma;
   }
 
-let query t ~lo ~hi =
-  if lo < 0 || hi >= t.sigma || lo > hi then invalid_arg "Binned_index.query";
+let query_clamped t ~lo ~hi =
   let w = t.w in
   (* Bins fully contained in [lo..hi]. *)
   let first_full = (lo + w - 1) / w in
@@ -51,6 +50,11 @@ let query t ~lo ~hi =
   in
   Indexing.Answer.Direct (Cbitmap.Merge.union_to_posting streams)
 
+let query t ~lo ~hi =
+  match Indexing.Common.clamp_range ~sigma:t.sigma ~lo ~hi with
+  | None -> Indexing.Answer.Direct Cbitmap.Posting.empty
+  | Some (lo, hi) -> query_clamped t ~lo ~hi
+
 let size_bits t = Indexing.Stream_table.size_bits t.chars + Indexing.Stream_table.size_bits t.bins
 
 let instance ?code device ~sigma ~w x =
@@ -62,4 +66,11 @@ let instance ?code device ~sigma ~w x =
     sigma;
     size_bits = size_bits t;
     query = (fun ~lo ~hi -> query t ~lo ~hi);
+    integrity =
+      Some
+        (Indexing.Integrity.combine
+           [
+             Indexing.Stream_table.integrity t.chars;
+             Indexing.Stream_table.integrity t.bins;
+           ]);
   }

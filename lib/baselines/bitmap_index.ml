@@ -3,26 +3,36 @@ type t = {
   n : int;
   sigma : int;
   rows : Iosim.Device.region array; (* one n-bit row per character *)
+  frames : Iosim.Frame.t array;
 }
+
+let row_magic = 0xB1A0
 
 let build device ~sigma x =
   let n = Array.length x in
   let postings = Indexing.Common.positions_by_char ~sigma x in
-  let rows =
+  let row_buf posting =
+    let buf = Bitio.Bitbuf.create ~capacity:n () in
+    let arr = Cbitmap.Posting.to_array posting in
+    let j = ref 0 in
+    for i = 0 to n - 1 do
+      let set = !j < Array.length arr && arr.(!j) = i in
+      if set then incr j;
+      Bitio.Bitbuf.write_bit buf set
+    done;
+    buf
+  in
+  (* Each row is a framed extent; the rebuild closure re-materializes
+     it from the retained position set (primary data). *)
+  let frames =
     Array.map
       (fun posting ->
-        let buf = Bitio.Bitbuf.create ~capacity:n () in
-        let arr = Cbitmap.Posting.to_array posting in
-        let j = ref 0 in
-        for i = 0 to n - 1 do
-          let set = !j < Array.length arr && arr.(!j) = i in
-          if set then incr j;
-          Bitio.Bitbuf.write_bit buf set
-        done;
-        Iosim.Device.store ~align_block:true device buf)
+        Iosim.Frame.store ~magic:row_magic ~align_block:true
+          ~rebuild:(fun () -> row_buf posting)
+          device (row_buf posting))
       postings
   in
-  { device; n; sigma; rows }
+  { device; n; sigma; rows = Array.map Iosim.Frame.payload frames; frames }
 
 (* Read a row through the device, or-ing set positions into [acc].
    Chunks of up to 32 bits keep the charged widths identical to the
@@ -43,17 +53,19 @@ let scan_row t region acc =
   done
 
 let query t ~lo ~hi =
-  if lo < 0 || hi >= t.sigma || lo > hi then invalid_arg "Bitmap_index.query";
-  let acc = Array.make t.n false in
-  for c = lo to hi do
-    scan_row t t.rows.(c) acc
-  done;
-  let out = ref [] in
-  for i = t.n - 1 downto 0 do
-    if acc.(i) then out := i :: !out
-  done;
-  Indexing.Answer.Direct
-    (Cbitmap.Posting.of_sorted_array (Array.of_list !out))
+  match Indexing.Common.clamp_range ~sigma:t.sigma ~lo ~hi with
+  | None -> Indexing.Answer.Direct Cbitmap.Posting.empty
+  | Some (lo, hi) ->
+      let acc = Array.make t.n false in
+      for c = lo to hi do
+        scan_row t t.rows.(c) acc
+      done;
+      let out = ref [] in
+      for i = t.n - 1 downto 0 do
+        if acc.(i) then out := i :: !out
+      done;
+      Indexing.Answer.Direct
+        (Cbitmap.Posting.of_sorted_array (Array.of_list !out))
 
 let size_bits t =
   (* Rows are block-aligned; charge the padded size. *)
@@ -71,4 +83,7 @@ let instance device ~sigma x =
     sigma;
     size_bits = size_bits t;
     query = (fun ~lo ~hi -> query t ~lo ~hi);
+    integrity =
+      Some
+        (Indexing.Integrity.of_frames (fun () -> Array.to_list t.frames));
   }

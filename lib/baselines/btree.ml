@@ -1,5 +1,6 @@
 let count_bits = 16
 let child_bits = 32
+let node_magic = 0xB7EE
 
 type t = {
   device : Iosim.Device.t;
@@ -12,6 +13,7 @@ type t = {
   leaf_count : int;
   height : int;
   node_count : int;
+  frames : Iosim.Frame.t list;
 }
 
 let key_of t ~c ~pos = (c lsl t.pos_bits) lor pos
@@ -50,8 +52,13 @@ let build device ~sigma x =
       leaf_count = 0;
       height = 1;
       node_count = 0;
+      frames = [];
     }
   in
+  (* Node blocks are recorded as they are written and sealed under
+     frames once the tree is complete — sealing between nodes would
+     break the consecutive-leaf-block layout the scan relies on. *)
+  let node_bufs = ref [] in
   (* Entries in (char, pos) order. *)
   let postings = Indexing.Common.positions_by_char ~sigma x in
   let entries = Array.make n 0 in
@@ -78,6 +85,7 @@ let build device ~sigma x =
     done;
     let block = alloc_node device in
     write_node device ~block buf;
+    node_bufs := (block, buf) :: !node_bufs;
     leaf_blocks.(l) <- block;
     leaf_max_keys.(l) <- (if stop > start then entries.(stop - 1) else 0)
   done;
@@ -100,6 +108,7 @@ let build device ~sigma x =
         done;
         let block = alloc_node device in
         write_node device ~block buf;
+        node_bufs := (block, buf) :: !node_bufs;
         pblocks.(p) <- block;
         pmax.(p) <- max_keys.(stop - 1)
       done;
@@ -109,6 +118,15 @@ let build device ~sigma x =
   let root_block, height, node_count =
     build_level leaf_blocks leaf_max_keys 1 nleaves
   in
+  let frames =
+    List.rev_map
+      (fun (block, buf) ->
+        Iosim.Frame.seal device ~magic:node_magic
+          ~rebuild:(fun () -> Iosim.Frame.padded ~len:bb buf)
+          ~image:(Iosim.Frame.padded ~len:bb buf)
+          { Iosim.Device.off = block * bb; len = bb })
+      !node_bufs
+  in
   {
     t0 with
     root_block;
@@ -116,6 +134,7 @@ let build device ~sigma x =
     leaf_count = nleaves;
     height;
     node_count;
+    frames;
   }
 
 let height t = t.height
@@ -152,8 +171,7 @@ let leaf_entries t ~block =
         ~pos:(base + (i * t.entry_bits))
         ~width:t.entry_bits)
 
-let query t ~lo ~hi =
-  if lo < 0 || hi >= t.sigma || lo > hi then invalid_arg "Btree.query";
+let query_clamped t ~lo ~hi =
   if t.n = 0 then Indexing.Answer.Direct Cbitmap.Posting.empty
   else begin
     let lo_key = key_of t ~c:lo ~pos:0 in
@@ -183,6 +201,11 @@ let query t ~lo ~hi =
     Indexing.Answer.Direct (Cbitmap.Posting.of_list !acc)
   end
 
+let query t ~lo ~hi =
+  match Indexing.Common.clamp_range ~sigma:t.sigma ~lo ~hi with
+  | None -> Indexing.Answer.Direct Cbitmap.Posting.empty
+  | Some (lo, hi) -> query_clamped t ~lo ~hi
+
 let size_bits t = t.node_count * Iosim.Device.block_bits t.device
 
 let instance device ~sigma x =
@@ -194,4 +217,5 @@ let instance device ~sigma x =
     sigma;
     size_bits = size_bits t;
     query = (fun ~lo ~hi -> query t ~lo ~hi);
+    integrity = Some (Indexing.Integrity.of_frames (fun () -> t.frames));
   }

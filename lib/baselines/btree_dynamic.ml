@@ -2,6 +2,7 @@ let tag_bits = 1
 let count_bits = 16
 let child_bits = 32
 let no_next = (1 lsl child_bits) - 1
+let node_magic = 0xB7ED
 
 type node =
   | Leaf of { keys : int array; next : int }
@@ -18,6 +19,12 @@ type t = {
   mutable nkeys : int;
   leaf_cap : int;
   internal_cap : int;
+  (* Integrity state: [mirror] holds each node block's full current
+     image (writes cover only a prefix of the block, so the image is
+     maintained by overlaying each write on the previous contents);
+     [frames] holds the checksummed frame per block once sealed. *)
+  mirror : (int, Bitio.Bitbuf.t) Hashtbl.t;
+  frames : (int, Iosim.Frame.t) Hashtbl.t;
 }
 
 let key_of t ~char_ ~pos = (char_ lsl t.pos_bits) lor pos
@@ -48,7 +55,22 @@ let write_node t block node =
         seps);
   Iosim.Device.write_buf t.device
     { Iosim.Device.off = block * bb; len = Bitio.Bitbuf.length buf }
-    buf
+    buf;
+  (* Keep the shadow image current: overlay the written prefix on the
+     block's previous contents (a fresh block starts zeroed). *)
+  let img =
+    match Hashtbl.find_opt t.mirror block with
+    | Some img -> img
+    | None ->
+        let img = Iosim.Frame.padded ~len:bb (Bitio.Bitbuf.create ()) in
+        Hashtbl.replace t.mirror block img;
+        img
+  in
+  Bitio.Bitbuf.blit buf ~src_bit:0 img ~dst_bit:0
+    ~len:(Bitio.Bitbuf.length buf);
+  match Hashtbl.find_opt t.frames block with
+  | Some f -> Iosim.Frame.invalidate f
+  | None -> ()
 
 let read_node t block =
   let bb = Iosim.Device.block_bits t.device in
@@ -92,6 +114,8 @@ let create device ~sigma ~n_hint =
       nkeys = 0;
       leaf_cap;
       internal_cap;
+      mirror = Hashtbl.create 64;
+      frames = Hashtbl.create 64;
     }
   in
   t.root <- alloc_node t;
@@ -210,13 +234,33 @@ let insert t ~char_ ~pos =
       t.root <- new_root;
       t.height <- t.height + 1
 
+(* Seal a frame over every mirrored block that lacks one.  Called when
+   the device contents are known-good (end of build, or inside the
+   integrity closure for blocks allocated by later inserts — those are
+   trusted at their first scrub, like any in-place mutation). *)
+let seal_unframed t =
+  let bb = Iosim.Device.block_bits t.device in
+  Hashtbl.iter
+    (fun block _ ->
+      if not (Hashtbl.mem t.frames block) then
+        Hashtbl.replace t.frames block
+          (Iosim.Frame.seal t.device ~magic:node_magic
+             ~rebuild:(fun () -> Hashtbl.find t.mirror block)
+             ~image:(Hashtbl.find t.mirror block)
+             { Iosim.Device.off = block * bb; len = bb }))
+    t.mirror
+
+let frame_list t =
+  seal_unframed t;
+  Hashtbl.fold (fun _ f acc -> f :: acc) t.frames []
+
 let build device ~sigma x =
   let t = create device ~sigma ~n_hint:(max 2 (Array.length x)) in
   Array.iteri (fun pos char_ -> insert t ~char_ ~pos) x;
+  seal_unframed t;
   t
 
-let query t ~lo ~hi =
-  if lo < 0 || hi >= t.sigma || lo > hi then invalid_arg "Btree_dynamic.query";
+let query_clamped t ~lo ~hi =
   let lo_key = key_of t ~char_:lo ~pos:0 in
   let hi_key = key_of t ~char_:hi ~pos:(pos_mask t) in
   (* Descend to the candidate leaf. *)
@@ -242,6 +286,11 @@ let query t ~lo ~hi =
   scan (descend t.root);
   Indexing.Answer.Direct (Cbitmap.Posting.of_list !acc)
 
+let query t ~lo ~hi =
+  match Indexing.Common.clamp_range ~sigma:t.sigma ~lo ~hi with
+  | None -> Indexing.Answer.Direct Cbitmap.Posting.empty
+  | Some (lo, hi) -> query_clamped t ~lo ~hi
+
 let size_bits t = t.nblocks * Iosim.Device.block_bits t.device
 
 let instance device ~sigma x =
@@ -253,4 +302,5 @@ let instance device ~sigma x =
     sigma;
     size_bits = size_bits t;
     query = (fun ~lo ~hi -> query t ~lo ~hi);
+    integrity = Some (Indexing.Integrity.of_frames (fun () -> frame_list t));
   }

@@ -5,8 +5,10 @@ let build ?code device ~sigma x =
   { table = Indexing.Stream_table.build ?code device postings; n = Array.length x; sigma }
 
 let query t ~lo ~hi =
-  if lo < 0 || hi >= t.sigma || lo > hi then invalid_arg "Cbitmap_index.query";
-  Indexing.Answer.Direct (Indexing.Stream_table.read_union t.table ~lo ~hi)
+  match Indexing.Common.clamp_range ~sigma:t.sigma ~lo ~hi with
+  | None -> Indexing.Answer.Direct Cbitmap.Posting.empty
+  | Some (lo, hi) ->
+      Indexing.Answer.Direct (Indexing.Stream_table.read_union t.table ~lo ~hi)
 
 let point_query t c = Indexing.Stream_table.read_one t.table c
 let size_bits t = Indexing.Stream_table.size_bits t.table
@@ -20,4 +22,5 @@ let instance ?code device ~sigma x =
     sigma;
     size_bits = size_bits t;
     query = (fun ~lo ~hi -> query t ~lo ~hi);
+    integrity = Some (Indexing.Stream_table.integrity t.table);
   }

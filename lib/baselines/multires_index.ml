@@ -66,8 +66,7 @@ let cover t ~lo ~hi =
   in
   go lo []
 
-let query t ~lo ~hi =
-  if lo < 0 || hi >= t.sigma || lo > hi then invalid_arg "Multires_index.query";
+let query_clamped t ~lo ~hi =
   let pieces = cover t ~lo ~hi in
   let streams =
     List.map (fun (k, b) -> Indexing.Stream_table.streams t.tables.(k) ~lo:b ~hi:b)
@@ -75,6 +74,11 @@ let query t ~lo ~hi =
   in
   Indexing.Answer.Direct
     (Cbitmap.Merge.union_to_posting (List.concat streams))
+
+let query t ~lo ~hi =
+  match Indexing.Common.clamp_range ~sigma:t.sigma ~lo ~hi with
+  | None -> Indexing.Answer.Direct Cbitmap.Posting.empty
+  | Some (lo, hi) -> query_clamped t ~lo ~hi
 
 let size_bits t =
   Array.fold_left (fun acc tab -> acc + Indexing.Stream_table.size_bits tab) 0 t.tables
@@ -88,4 +92,9 @@ let instance ?code device ~sigma ~w x =
     sigma;
     size_bits = size_bits t;
     query = (fun ~lo ~hi -> query t ~lo ~hi);
+    integrity =
+      Some
+        (Indexing.Integrity.combine
+           (Array.to_list
+              (Array.map Indexing.Stream_table.integrity t.tables)));
   }

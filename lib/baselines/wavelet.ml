@@ -177,8 +177,7 @@ let cover t ~lo ~hi =
 let node_segment t k p =
   (t.levels.(k).starts.(p), t.levels.(k).starts.(p + 1))
 
-let query t ~lo ~hi =
-  if lo < 0 || hi >= t.sigma || lo > hi then invalid_arg "Wavelet.query";
+let query_clamped t ~lo ~hi =
   let pieces = cover t ~lo ~hi in
   let acc = ref [] in
   List.iter
@@ -219,6 +218,11 @@ let query t ~lo ~hi =
     pieces;
   Indexing.Answer.Direct (Cbitmap.Posting.of_list !acc)
 
+let query t ~lo ~hi =
+  match Indexing.Common.clamp_range ~sigma:t.sigma ~lo ~hi with
+  | None -> Indexing.Answer.Direct Cbitmap.Posting.empty
+  | Some (lo, hi) -> query_clamped t ~lo ~hi
+
 let size_bits t =
   Array.fold_left
     (fun sum lv -> sum + lv.region.Iosim.Device.len)
@@ -233,4 +237,8 @@ let instance device ~sigma x =
     sigma;
     size_bits = size_bits t;
     query = (fun ~lo ~hi -> query t ~lo ~hi);
+    (* Answers are computed from the in-memory rank/select mirrors
+       (device touches only account the I/O cost), so device faults
+       cannot corrupt them: nothing to scrub. *)
+    integrity = None;
   }

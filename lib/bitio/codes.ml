@@ -50,6 +50,9 @@ let encode_delta buf v =
 
 let decode_delta_slow d =
   let k = decode_gamma d - 1 in
+  if k > 61 then
+    Secidx_error.corrupt "Codes.decode_delta: length prefix %d exceeds word"
+      k;
   if k = 0 then 1 else (1 lsl k) lor Decoder.read_bits d k
 
 (* Fused delta: gamma length prefix and mantissa decoded out of one
@@ -84,6 +87,8 @@ let encode_rice buf ~k v =
 
 let decode_rice_slow d ~k =
   let q = Decoder.one_run d in
+  if k > 0 && q > max_int lsr k then
+    Secidx_error.corrupt "Codes.decode_rice: quotient %d overflows word" q;
   let rem = if k = 0 then 0 else Decoder.read_bits d k in
   (q lsl k) lor rem
 
@@ -158,12 +163,20 @@ let encode_fibonacci buf v =
 
 let decode_fibonacci d =
   (* Each zero-run scan lands on a one bit at index [prev + z + 1]; a
-     zero-length run after at least one term is the "11" terminator. *)
+     zero-length run after at least one term is the "11" terminator.
+     Term indices past the table mean the value cannot fit the 62-bit
+     word bound (the table stops below [max_int / 2]) — typed
+     corruption, and the cap on the run scan keeps the work bounded
+     even on an adversarial all-zeros stream. *)
+  let nfibs = Array.length fibs in
   let rec go prev acc =
-    let z = Decoder.zero_run d in
+    let z = Decoder.zero_run ~max:nfibs d in
     if z = 0 && prev >= 0 then acc
     else
       let idx = prev + z + 1 in
+      if idx >= nfibs then
+        Secidx_error.corrupt
+          "Codes.decode_fibonacci: term F(%d) exceeds word bound" idx;
       go idx (acc + fibs.(idx))
   in
   go (-1) 0
@@ -199,7 +212,11 @@ module Naive = struct
     Bitbuf.write_bits buf ~width:(k + 1) v
 
   let decode_gamma (r : Reader.t) =
-    let rec zeros acc = if Reader.read_bit r then acc else zeros (acc + 1) in
+    let rec zeros acc =
+      if acc > 61 then
+        Secidx_error.corrupt "Codes.Naive.decode_gamma: run exceeds word";
+      if Reader.read_bit r then acc else zeros (acc + 1)
+    in
     let k = zeros 0 in
     if k = 0 then 1 else (1 lsl k) lor r.Reader.read_bits k
 
@@ -211,6 +228,9 @@ module Naive = struct
 
   let decode_delta (r : Reader.t) =
     let k = decode_gamma r - 1 in
+    if k > 61 then
+      Secidx_error.corrupt
+        "Codes.Naive.decode_delta: length prefix %d exceeds word" k;
     if k = 0 then 1 else (1 lsl k) lor r.Reader.read_bits k
 
   let encode_rice buf ~k v =
@@ -220,6 +240,9 @@ module Naive = struct
 
   let decode_rice (r : Reader.t) ~k =
     let q = decode_unary r in
+    if k > 0 && q > max_int lsr k then
+      Secidx_error.corrupt
+        "Codes.Naive.decode_rice: quotient %d overflows word" q;
     let rem = if k = 0 then 0 else r.Reader.read_bits k in
     (q lsl k) lor rem
 
@@ -234,7 +257,11 @@ module Naive = struct
     Bitbuf.write_bit buf true
 
   let decode_fibonacci (r : Reader.t) =
+    let nfibs = Array.length fibs in
     let rec go i prev acc =
+      if i >= nfibs then
+        Secidx_error.corrupt
+          "Codes.Naive.decode_fibonacci: term F(%d) exceeds word bound" i;
       let bit = Reader.read_bit r in
       if bit && prev then acc
       else go (i + 1) bit (if bit then acc + fibs.(i) else acc)

@@ -1,0 +1,58 @@
+(* CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) — the checksum
+   behind the on-device extent framing (see [Iosim.Frame]).  Streams
+   are bit-addressed, so the primitive works on a bit range: the
+   stream is split into 8-bit chunks (the final chunk left-aligned,
+   zero-padded), each fed to the byte-table update.  Two images of the
+   same bit string therefore hash identically whether they live in a
+   [Bitbuf] or unaligned on a device. *)
+
+let table =
+  let t = Array.make 256 0 in
+  for n = 0 to 255 do
+    let c = ref n in
+    for _ = 0 to 7 do
+      c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+    done;
+    t.(n) <- !c
+  done;
+  t
+
+let mask32 = 0xFFFFFFFF
+
+let update_byte crc b =
+  (table.((crc lxor b) land 0xFF) lxor (crc lsr 8)) land mask32
+
+let init = mask32
+let finish crc = crc lxor mask32 land mask32
+
+let of_bytes ?(crc = init) data ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > Bytes.length data then
+    invalid_arg "Crc.of_bytes";
+  let c = ref crc in
+  for i = pos to pos + len - 1 do
+    c := update_byte !c (Char.code (Bytes.unsafe_get data i))
+  done;
+  !c
+
+let of_string s = finish (of_bytes (Bytes.unsafe_of_string s) ~pos:0 ~len:(String.length s))
+
+(* Bit-addressed variant: chunks of up to 8 bits via [Bitops.get_bits],
+   the last chunk shifted left so a partial byte hashes like its
+   zero-padded image. *)
+let of_bits ?(crc = init) data ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > 8 * Bytes.length data then
+    invalid_arg "Crc.of_bits";
+  let c = ref crc in
+  let p = ref pos in
+  let rem = ref len in
+  while !rem > 0 do
+    let w = min 8 !rem in
+    let b = Bitops.get_bits data ~pos:!p ~width:w in
+    c := update_byte !c (b lsl (8 - w));
+    p := !p + w;
+    rem := !rem - w
+  done;
+  !c
+
+let of_bitbuf buf =
+  finish (of_bits (Bitbuf.backing buf) ~pos:0 ~len:(Bitbuf.length buf))

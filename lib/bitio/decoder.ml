@@ -149,8 +149,15 @@ let read_bit t = read_bits t 1 = 1
    up to and including the terminating one bit (the gamma/unary-zeros
    shape); [ones = true] counts leading ones up to and including the
    terminating zero.  Each loop iteration disposes of a full cache
-   window, so a run of length r costs O(r / 62) refills, not O(r). *)
-let rec run_scan t ~ones acc =
+   window, so a run of length r costs O(r / 62) refills, not O(r).
+
+   [max] is the decode budget: a run longer than [max] cannot belong
+   to any codeword whose value fits the 62-bit word bound for the
+   calling code, so it is typed corruption, not a programming error.
+   The scan raises as soon as the budget is exceeded — before
+   consuming the excess — so a malformed all-run stream costs O(max)
+   work, never O(stream). *)
+let rec run_scan t ~ones ~max acc =
   if t.avail = 0 then begin
     refill t;
     if t.avail = 0 then invalid_arg "Decoder: unterminated run"
@@ -160,17 +167,23 @@ let rec run_scan t ~ones acc =
   if x = 0 then begin
     (* whole window is run bits: swallow it and keep scanning *)
     let n = t.avail in
+    if acc + n > max then
+      Secidx_error.corrupt "Decoder: run exceeds budget (%d > %d)" (acc + n)
+        max;
     consume_unchecked t n;
-    run_scan t ~ones (acc + n)
+    run_scan t ~ones ~max (acc + n)
   end
   else begin
     let lead = t.avail - 1 - Bitops.msb x in
+    if acc + lead > max then
+      Secidx_error.corrupt "Decoder: run exceeds budget (%d > %d)"
+        (acc + lead) max;
     consume_unchecked t (lead + 1);
     acc + lead
   end
 
-let zero_run t = run_scan t ~ones:false 0
-let one_run t = run_scan t ~ones:true 0
+let zero_run ?(max = max_int) t = run_scan t ~ones:false ~max 0
+let one_run ?(max = max_int) t = run_scan t ~ones:true ~max 0
 
 (* Fused-decode support (see [Codes.decode_rice] etc.): expose the
    cache window so a caller can CLZ-scan a whole codeword and retire
@@ -194,7 +207,8 @@ let advance t w =
    in the window, the shift down past it *is* the value (the leading
    zeros contribute nothing above the mantissa). *)
 let gamma_slow t =
-  let k = zero_run t in
+  (* A gamma value fits 62 bits iff its zero run is at most 61. *)
+  let k = zero_run ~max:61 t in
   if k = 0 then 1 else (1 lsl k) lor read_bits t k
 
 (* Local copy of [Bitops.msb]'s smear + SWAR popcount (see there for

@@ -66,11 +66,17 @@ val read_bit : t -> bool
 
 (** Length of the maximal run of zero bits at the current position;
     consumes the run {e and} the terminating one bit.  Raises
-    [Invalid_argument] if the stream ends before a terminator. *)
-val zero_run : t -> int
+    [Invalid_argument] if the stream ends before a terminator.
+
+    [max] (default unlimited) is a decode budget: a run longer than
+    [max] raises [Secidx_error.Corrupt] without consuming the excess.
+    Codecs pass the largest run any 62-bit-representable value can
+    produce (61 for Elias codes), so adversarial bit patterns are
+    rejected in O(max) work. *)
+val zero_run : ?max:int -> t -> int
 
 (** Same with the roles of zero and one swapped (unary's shape). *)
-val one_run : t -> int
+val one_run : ?max:int -> t -> int
 
 (** [window t] tops the cache up (when below half a window) and
     returns [(cache, avail)]: the next [avail] stream bits,

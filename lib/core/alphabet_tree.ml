@@ -10,9 +10,12 @@ type t = {
      plus the leaves, reducing space to O(n lg sigma + sigma lg^2 n)
      at the price of merging runs of descendants for skipped levels. *)
   a_region : Iosim.Device.region;
+  a_frame : Iosim.Frame.t;
   pos_bits : int;
   complement : bool;
 }
+
+let a_magic = 0x5DA1
 
 let materialized_depths schedule nlevels =
   match schedule with
@@ -46,8 +49,13 @@ let build ?(complement = true) ?(schedule = `All) device ~sigma x =
   let pos_bits = Indexing.Common.bits_for (max 2 (n + 1)) in
   let a_buf = Bitio.Bitbuf.create () in
   Array.iter (fun v -> Bitio.Bitbuf.write_bits a_buf ~width:pos_bits v) a;
-  let a_region = Iosim.Device.store ~align_block:true device a_buf in
-  { device; n; sigma; sigma2; levels; a_region; pos_bits; complement }
+  let a_frame =
+    Iosim.Frame.store device ~magic:a_magic ~align_block:true
+      ~rebuild:(fun () -> a_buf)
+      a_buf
+  in
+  let a_region = Iosim.Frame.payload a_frame in
+  { device; n; sigma; sigma2; levels; a_region; a_frame; pos_bits; complement }
 
 let levels t = Array.length t.levels
 
@@ -105,8 +113,7 @@ let query_range t ~lo ~hi =
     Cbitmap.Merge.union_to_posting streams
   end
 
-let query t ~lo ~hi =
-  if lo < 0 || hi >= t.sigma || lo > hi then invalid_arg "Alphabet_tree.query";
+let query_checked t ~lo ~hi =
   let z = read_a t (hi + 1) - read_a t lo in
   if z = 0 then Indexing.Answer.Direct Cbitmap.Posting.empty
   else if t.complement && 2 * z > t.n then begin
@@ -115,6 +122,18 @@ let query t ~lo ~hi =
     Indexing.Answer.Complement (Cbitmap.Posting.union left right)
   end
   else Indexing.Answer.Direct (query_range t ~lo ~hi)
+
+let query t ~lo ~hi =
+  match Indexing.Common.clamp_range ~sigma:t.sigma ~lo ~hi with
+  | None -> Indexing.Answer.Direct Cbitmap.Posting.empty
+  | Some (lo, hi) -> query_checked t ~lo ~hi
+
+let integrity t =
+  Indexing.Integrity.combine
+    (Indexing.Integrity.of_frames (fun () -> [ t.a_frame ])
+    :: List.filter_map
+         (Option.map Indexing.Stream_table.integrity)
+         (Array.to_list t.levels))
 
 let size_bits t =
   Array.fold_left
@@ -135,4 +154,5 @@ let instance ?complement ?schedule device ~sigma x =
     sigma;
     size_bits = size_bits t;
     query = (fun ~lo ~hi -> query t ~lo ~hi);
+    integrity = Some (integrity t);
   }

@@ -2,6 +2,8 @@ type chain_block = {
   cregion : Iosim.Device.region;
   mutable cbits : int;
   mutable ccount : int;
+  cmirror : Bitio.Bitbuf.t; (* full-block shadow of the appended codewords *)
+  mutable cframe : Iosim.Frame.t option;
 }
 
 type chain = {
@@ -37,9 +39,14 @@ type t = {
   mutable buffer : (int * int) list; (* buffered appends, oldest first *)
   mutable buffer_len : int;
   buffer_cap : int;
+  mutable counts_frame : Iosim.Frame.t option;
+  mutable meta_frame : Iosim.Frame.t option;
 }
 
 let count_bits = 32
+let counts_magic = 0x5DC1
+let meta_magic = 0x5DC2
+let chain_magic = 0x5DC3
 
 let doubling_levels height =
   let rec go l acc = if l > height then acc else go (2 * l) (l :: acc) in
@@ -60,11 +67,22 @@ let make_storage ~code device postings =
         postings;
   }
 
-let write_counts t =
-  let buf = Bitio.Bitbuf.create () in
+let counts_buf t =
   let counts = Cbitmap.Entropy.counts ~sigma:t.sigma (Array.sub t.x 0 t.n) in
+  (* The device copy lags the in-memory string by the buffered batch. *)
+  List.iter (fun (ch, _) -> counts.(ch) <- counts.(ch) - 1) t.buffer;
+  let buf = Bitio.Bitbuf.create () in
   Array.iter (fun v -> Bitio.Bitbuf.write_bits buf ~width:count_bits v) counts;
-  t.counts_region <- Iosim.Device.store ~align_block:true t.device buf
+  buf
+
+let write_counts t =
+  let f =
+    Iosim.Frame.store t.device ~magic:counts_magic ~align_block:true
+      ~rebuild:(fun () -> counts_buf t)
+      (counts_buf t)
+  in
+  t.counts_frame <- Some f;
+  t.counts_region <- Iosim.Frame.payload f
 
 let write_meta t =
   (* Node weights, packed linearly by id; visited during descent for
@@ -76,7 +94,13 @@ let write_meta t =
   Array.iter
     (fun v -> Bitio.Bitbuf.write_bits buf ~width:pos_bits (Wbb.weight v))
     tree.Wbb.nodes;
-  t.meta_region <- Iosim.Device.store ~align_block:true t.device buf
+  let f =
+    Iosim.Frame.store t.device ~magic:meta_magic ~align_block:true
+      ~rebuild:(fun () -> buf)
+      buf
+  in
+  t.meta_frame <- Some f;
+  t.meta_region <- Iosim.Frame.payload f
 
 (* Construct the frozen view and per-level storages for [data]. *)
 let build_parts ~c ~code ~sigma device data =
@@ -142,6 +166,8 @@ let build ?(c = 8) ?(complement = true) ?(buffered = false)
       buffer = [];
       buffer_len = 0;
       buffer_cap = cap;
+      counts_frame = None;
+      meta_frame = None;
     }
   in
   write_counts t;
@@ -172,6 +198,11 @@ let chain_append t (st : storage) stream pos =
   (match ch.cblocks with
   | blk :: _ when blk.cbits + bits <= bb ->
       write_code t ~pos:(blk.cregion.Iosim.Device.off + blk.cbits) code_buf;
+      Bitio.Bitbuf.blit code_buf ~src_bit:0 blk.cmirror ~dst_bit:blk.cbits
+        ~len:bits;
+      (match blk.cframe with
+      | Some f -> Iosim.Frame.invalidate f
+      | None -> ());
       blk.cbits <- blk.cbits + bits;
       blk.ccount <- blk.ccount + 1
   | _ ->
@@ -182,8 +213,17 @@ let chain_append t (st : storage) stream pos =
       Cbitmap.Gap_codec.encode_append ~code:t.code ~last:(-1) code_buf pos;
       let region = Iosim.Device.alloc ~align_block:true t.device bb in
       write_code t ~pos:region.Iosim.Device.off code_buf;
+      let cmirror = Iosim.Frame.padded ~len:bb (Bitio.Bitbuf.create ()) in
+      Bitio.Bitbuf.blit code_buf ~src_bit:0 cmirror ~dst_bit:0
+        ~len:(Bitio.Bitbuf.length code_buf);
       ch.cblocks <-
-        { cregion = region; cbits = Bitio.Bitbuf.length code_buf; ccount = 1 }
+        {
+          cregion = region;
+          cbits = Bitio.Bitbuf.length code_buf;
+          ccount = 1;
+          cmirror;
+          cframe = None;
+        }
         :: ch.cblocks);
   ch.clast <- pos;
   ch.ctotal <- ch.ctotal + 1
@@ -191,7 +231,10 @@ let chain_append t (st : storage) stream pos =
 let bump_count t ch =
   let pos = t.counts_region.Iosim.Device.off + (ch * count_bits) in
   let v = Iosim.Device.read_bits t.device ~pos ~width:count_bits in
-  Iosim.Device.write_bits t.device ~pos ~width:count_bits (v + 1)
+  Iosim.Device.write_bits t.device ~pos ~width:count_bits (v + 1);
+  match t.counts_frame with
+  | Some f -> Iosim.Frame.invalidate f
+  | None -> ()
 
 let storage_of_node t (v : Wbb.node) =
   if Wbb.is_leaf v then Some (t.leaves, v.Wbb.leaf_index)
@@ -252,6 +295,9 @@ let flush_buffer t =
       let v = Iosim.Device.read_bits t.device ~pos ~width:count_bits in
       Iosim.Device.write_bits t.device ~pos ~width:count_bits (v + !delta))
     by_char;
+  (match t.counts_frame with
+  | Some f -> Iosim.Frame.invalidate f
+  | None -> ());
   t.buffer <- [];
   t.buffer_len <- 0
 
@@ -355,8 +401,7 @@ let answer_range t ~lo ~hi =
     Cbitmap.Posting.union_many (main :: buffered_hits :: filtered)
   end
 
-let query t ~lo ~hi =
-  if lo < 0 || hi >= t.sigma || lo > hi then invalid_arg "Append_index.query";
+let query_checked t ~lo ~hi =
   let z = ref 0 in
   for ch = lo to hi do
     z := !z + read_count t ch
@@ -368,6 +413,51 @@ let query t ~lo ~hi =
          (answer_range t ~lo:0 ~hi:(lo - 1))
          (answer_range t ~lo:(hi + 1) ~hi:(t.sigma - 1)))
   else Indexing.Answer.Direct (answer_range t ~lo ~hi)
+
+let query t ~lo ~hi =
+  match Indexing.Common.clamp_range ~sigma:t.sigma ~lo ~hi with
+  | None -> Indexing.Answer.Direct Cbitmap.Posting.empty
+  | Some (lo, hi) -> query_checked t ~lo ~hi
+
+(* Frames over the live chain blocks: blocks appended to since their
+   last seal were invalidated; blocks allocated since the last scrub
+   are sealed here, from contents the appender just wrote. *)
+let chain_frames t (st : storage) =
+  Array.fold_left
+    (fun acc ch ->
+      List.fold_left
+        (fun acc blk ->
+          match blk.cframe with
+          | Some f -> f :: acc
+          | None ->
+              let f =
+                Iosim.Frame.seal t.device ~magic:chain_magic
+                  ~rebuild:(fun () -> blk.cmirror)
+                  ~image:blk.cmirror blk.cregion
+              in
+              blk.cframe <- Some f;
+              f :: acc)
+        acc ch.cblocks)
+    [] st.chains
+
+(* The hooks re-resolve the storages on every call: a rebuild swaps
+   every substructure out, and the old extents are abandoned. *)
+let integrity t =
+  let current () =
+    let sts = t.leaves :: List.filter_map Fun.id (Array.to_list t.levels) in
+    Indexing.Integrity.combine
+      (Indexing.Integrity.of_frames (fun () ->
+           (match t.counts_frame with Some f -> [ f ] | None -> [])
+           @ (match t.meta_frame with Some f -> [ f ] | None -> [])
+           @ List.concat_map (fun st -> chain_frames t st) sts)
+      :: List.map
+           (fun (st : storage) -> Indexing.Stream_table.integrity st.table)
+           sts)
+  in
+  {
+    Indexing.Integrity.scrub = (fun () -> (current ()).Indexing.Integrity.scrub ());
+    repair = (fun () -> (current ()).Indexing.Integrity.repair ());
+  }
 
 let rebuilds t = t.rebuilds
 
@@ -397,4 +487,5 @@ let instance ?c ?complement ?buffered device ~sigma x =
     sigma;
     size_bits = size_bits t;
     query = (fun ~lo ~hi -> query t ~lo ~hi);
+    integrity = Some (integrity t);
   }

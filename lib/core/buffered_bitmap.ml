@@ -8,7 +8,11 @@ type leaf = {
   mutable count : int;
   mutable bits : int;
   mutable lregion : Iosim.Device.region;
+  mutable lmirror : Bitio.Bitbuf.t option; (* full-block shadow image *)
+  mutable lframe : Iosim.Frame.t option;
 }
+
+let leaf_magic = 0x5DB1
 
 type tree = Leaf of leaf | Node of inode
 
@@ -69,7 +73,22 @@ let write_leaf t l posting =
   assert (bits <= l.lregion.Iosim.Device.len);
   Iosim.Device.write_buf t.device { l.lregion with Iosim.Device.len = bits } buf;
   l.count <- Cbitmap.Posting.cardinal posting;
-  l.bits <- bits
+  l.bits <- bits;
+  (* Overlay the written prefix on the shadow image (a fresh block
+     starts zeroed; a rewrite keeps the old tail on the device too). *)
+  let img =
+    match l.lmirror with
+    | Some img -> img
+    | None ->
+        let img =
+          Iosim.Frame.padded ~len:l.lregion.Iosim.Device.len
+            (Bitio.Bitbuf.create ())
+        in
+        l.lmirror <- Some img;
+        img
+  in
+  Bitio.Bitbuf.blit buf ~src_bit:0 img ~dst_bit:0 ~len:bits;
+  match l.lframe with Some f -> Iosim.Frame.invalidate f | None -> ()
 
 let alloc_block device =
   Iosim.Device.alloc ~align_block:true device (Iosim.Device.block_bits device)
@@ -100,6 +119,36 @@ let touch_buffer_read t n =
      memory, so we only charge the transfer. *)
   ignore
     (Iosim.Device.read_bits t.device ~pos:n.nregion.Iosim.Device.off ~width:1)
+
+(* Shadow image of a leaf block; an unwritten leaf still holds its
+   alloc-time zeros. *)
+let leaf_image_of ~device (l : leaf) =
+  match l.lmirror with
+  | Some img -> img
+  | None ->
+      Iosim.Frame.padded
+        ~len:(Iosim.Device.block_bits device)
+        (Bitio.Bitbuf.create ())
+
+(* Seal a frame over every leaf that lacks one, from contents the
+   writer just produced.  Called at the end of [build] (a lazy first
+   seal at scrub time would bless whatever corruption preceded it) and
+   again from [frames] for leaves created by later splits. *)
+let seal_leaves t =
+  let rec go = function
+    | Node n -> Array.iter go n.children
+    | Leaf l -> (
+        match l.lframe with
+        | Some _ -> ()
+        | None ->
+            l.lframe <-
+              Some
+                (Iosim.Frame.seal t.device ~magic:leaf_magic
+                   ~rebuild:(fun () -> leaf_image_of ~device:t.device l)
+                   ~image:(leaf_image_of ~device:t.device l)
+                   l.lregion))
+  in
+  go (Node t.root)
 
 (* ---- build ---- *)
 
@@ -142,7 +191,15 @@ let build ?(c = 8) ?(pos_bits = 40) ?(code = Cbitmap.Gap_codec.Gamma) device
       let nblocks = Cbitmap.Blocked.block_count blocked in
       if nblocks = 0 then begin
         let l =
-          { lstream = s; low = 0; count = 0; bits = 0; lregion = alloc_block device }
+          {
+            lstream = s;
+            low = 0;
+            count = 0;
+            bits = 0;
+            lregion = alloc_block device;
+            lmirror = None;
+            lframe = None;
+          }
         in
         incr nleaves;
         leaves := l :: !leaves
@@ -158,6 +215,8 @@ let build ?(c = 8) ?(pos_bits = 40) ?(code = Cbitmap.Gap_codec.Gamma) device
               count = 0;
               bits = 0;
               lregion = alloc_block device;
+              lmirror = None;
+              lframe = None;
             }
           in
           write_leaf t_stub l piece;
@@ -201,7 +260,27 @@ let build ?(c = 8) ?(pos_bits = 40) ?(code = Cbitmap.Gap_codec.Gamma) device
     end
   in
   let root = group (Array.map (fun l -> Leaf l) leaves) in
-  { t_stub with root; nleaves = !nleaves; ninodes = !ninodes }
+  let t = { t_stub with root; nleaves = !nleaves; ninodes = !ninodes } in
+  seal_leaves t;
+  t
+
+(* ---- integrity ---- *)
+
+(* Frames over the current leaf set.  Leaves created since the last
+   call (splits) are sealed first; buffer blocks stay unframed — their
+   device copy only exists for I/O accounting, the in-memory buffer is
+   authoritative, so flips there cannot corrupt answers. *)
+let frames t =
+  seal_leaves t;
+  let acc = ref [] in
+  let rec go = function
+    | Node n -> Array.iter go n.children
+    | Leaf l -> ( match l.lframe with Some f -> acc := f :: !acc | None -> ())
+  in
+  go (Node t.root);
+  !acc
+
+let integrity t = Indexing.Integrity.of_frames (fun () -> frames t)
 
 (* ---- routing ---- *)
 
@@ -263,6 +342,8 @@ let apply_to_leaf t (l : leaf) records =
                   count = 0;
                   bits = 0;
                   lregion = alloc_block t.device;
+                  lmirror = None;
+                  lframe = None;
                 }
               in
               write_leaf t nl piece;
@@ -504,5 +585,10 @@ let instance ?c device ~sigma x =
     n = Array.length x;
     sigma;
     size_bits = size_bits t;
-    query = (fun ~lo ~hi -> Indexing.Answer.Direct (range_query t ~lo ~hi));
+    query =
+      (fun ~lo ~hi ->
+        match Indexing.Common.clamp_range ~sigma ~lo ~hi with
+        | None -> Indexing.Answer.Direct Cbitmap.Posting.empty
+        | Some (lo, hi) -> Indexing.Answer.Direct (range_query t ~lo ~hi));
+    integrity = Some (integrity t);
   }

@@ -52,6 +52,12 @@ val flush_all : t -> unit
 (** Blocks used (leaves + buffers), in bits. *)
 val size_bits : t -> int
 
+(** Detect-or-repair hooks over the leaf blocks: scrub verifies each
+    leaf's checksummed frame, repair rewrites corrupt leaves from
+    their in-memory shadow images.  Buffer blocks are not covered —
+    their device copy exists only for I/O accounting. *)
+val integrity : t -> Indexing.Integrity.t
+
 (** Number of leaf blocks. *)
 val leaf_count : t -> int
 

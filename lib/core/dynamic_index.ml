@@ -11,11 +11,13 @@ type t = {
   mutable level_bb : Buffered_bitmap.t option array;
   mutable leaf_bb : Buffered_bitmap.t;
   mutable counts_region : Iosim.Device.region;
+  mutable counts_frame : Iosim.Frame.t option;
   mutable changes : int;
   mutable rebuilds : int;
 }
 
 let count_bits = 32
+let counts_magic = 0x5DD1
 let infinity_char t = t.sigma
 
 let doubling_levels height =
@@ -45,13 +47,22 @@ let build_parts ~c ~sigma_total device data =
   in
   (frozen, mat, level_bb, leaf_bb)
 
-let write_counts t =
+let counts_buf t =
   let buf = Bitio.Bitbuf.create () in
   let counts =
     Cbitmap.Entropy.counts ~sigma:(t.sigma + 1) (Array.sub t.x 0 t.n)
   in
   Array.iter (fun v -> Bitio.Bitbuf.write_bits buf ~width:count_bits v) counts;
-  t.counts_region <- Iosim.Device.store ~align_block:true t.device buf
+  buf
+
+let write_counts t =
+  let f =
+    Iosim.Frame.store t.device ~magic:counts_magic ~align_block:true
+      ~rebuild:(fun () -> counts_buf t)
+      (counts_buf t)
+  in
+  t.counts_frame <- Some f;
+  t.counts_region <- Iosim.Frame.payload f
 
 let build ?(c = 8) ?(complement = true) device ~sigma x =
   if Array.length x = 0 then invalid_arg "Dynamic_index.build: empty string";
@@ -72,6 +83,7 @@ let build ?(c = 8) ?(complement = true) device ~sigma x =
       level_bb;
       leaf_bb;
       counts_region = { Iosim.Device.off = 0; len = 0 };
+      counts_frame = None;
       changes = 0;
       rebuilds = 0;
     }
@@ -116,7 +128,10 @@ let apply_update t op ch pos =
 let adjust_count t ch delta =
   let pos = t.counts_region.Iosim.Device.off + (ch * count_bits) in
   let v = Iosim.Device.read_bits t.device ~pos ~width:count_bits in
-  Iosim.Device.write_bits t.device ~pos ~width:count_bits (v + delta)
+  Iosim.Device.write_bits t.device ~pos ~width:count_bits (v + delta);
+  match t.counts_frame with
+  | Some f -> Iosim.Frame.invalidate f
+  | None -> ()
 
 let maybe_rebuild t =
   if t.changes >= max 64 (t.n0 / 2) || t.n >= 2 * t.n0 then rebuild t
@@ -210,8 +225,7 @@ let answer_range t ~lo ~hi =
     Cbitmap.Posting.union_many (main @ filtered)
   end
 
-let query t ~lo ~hi =
-  if lo < 0 || hi >= t.sigma || lo > hi then invalid_arg "Dynamic_index.query";
+let query_checked t ~lo ~hi =
   let z = ref 0 in
   for ch = lo to hi do
     z := !z + read_count t ch
@@ -226,6 +240,11 @@ let query t ~lo ~hi =
          (answer_range t ~lo:(hi + 1) ~hi:t.sigma))
   else Indexing.Answer.Direct (answer_range t ~lo ~hi)
 
+let query t ~lo ~hi =
+  match Indexing.Common.clamp_range ~sigma:t.sigma ~lo ~hi with
+  | None -> Indexing.Answer.Direct Cbitmap.Posting.empty
+  | Some (lo, hi) -> query_checked t ~lo ~hi
+
 let size_bits t =
   let levels =
     Array.fold_left
@@ -236,6 +255,24 @@ let size_bits t =
   in
   levels + Buffered_bitmap.size_bits t.leaf_bb + t.counts_region.Iosim.Device.len
 
+(* The hooks re-resolve the substructures on every call: a rebuild
+   swaps every buffered bitmap out, abandoning the old extents. *)
+let integrity t =
+  let current () =
+    Indexing.Integrity.combine
+      (Indexing.Integrity.of_frames (fun () ->
+           match t.counts_frame with Some f -> [ f ] | None -> [])
+      :: Buffered_bitmap.integrity t.leaf_bb
+      :: List.filter_map
+           (Option.map Buffered_bitmap.integrity)
+           (Array.to_list t.level_bb))
+  in
+  {
+    Indexing.Integrity.scrub =
+      (fun () -> (current ()).Indexing.Integrity.scrub ());
+    repair = (fun () -> (current ()).Indexing.Integrity.repair ());
+  }
+
 let instance ?c ?complement device ~sigma x =
   let t = build ?c ?complement device ~sigma x in
   {
@@ -245,4 +282,5 @@ let instance ?c ?complement device ~sigma x =
     sigma;
     size_bits = size_bits t;
     query = (fun ~lo ~hi -> query t ~lo ~hi);
+    integrity = Some (integrity t);
   }

@@ -9,12 +9,17 @@ type t = {
   level_tables : Indexing.Stream_table.t option array; (* per level, internal *)
   leaf_table : Indexing.Stream_table.t;
   a_region : Iosim.Device.region;
+  a_frame : Iosim.Frame.t;
   pos_bits : int;
   meta_bits : int;
   meta_block : int array; (* node id -> block id holding its metadata *)
   meta_slot : int array; (* node id -> absolute bit offset of its slot *)
   meta_total_bits : int;
+  meta_frames : Iosim.Frame.t list;
 }
+
+let a_magic = 0x5DA2
+let meta_magic = 0x5DA3
 
 type run = { storage : [ `Leaf | `Level of int ]; first : int; last : int }
 
@@ -39,6 +44,7 @@ let pack_metadata device (tree : Wbb.t) ~meta_bits ~pos_bits ~char_bits =
   let meta_block = Array.make nnodes 0 in
   let meta_slot = Array.make nnodes 0 in
   let total = ref 0 in
+  let written = ref [] in
   let roots = Queue.create () in
   Queue.add tree.Wbb.root roots;
   while not (Queue.is_empty roots) do
@@ -73,9 +79,21 @@ let pack_metadata device (tree : Wbb.t) ~meta_bits ~pos_bits ~char_bits =
     done;
     Iosim.Device.write_buf device
       { region with Iosim.Device.len = Bitio.Bitbuf.length buf }
-      buf
+      buf;
+    written := (region, buf) :: !written
   done;
-  (meta_block, meta_slot, !total)
+  (* Seal the metadata blocks only after the pack loop so the headers
+     do not interleave with the block allocations. *)
+  let frames =
+    List.rev_map
+      (fun ((region : Iosim.Device.region), buf) ->
+        Iosim.Frame.seal device ~magic:meta_magic
+          ~rebuild:(fun () -> Iosim.Frame.padded ~len:region.Iosim.Device.len buf)
+          ~image:(Iosim.Frame.padded ~len:region.Iosim.Device.len buf)
+          region)
+      !written
+  in
+  (meta_block, meta_slot, !total, frames)
 
 let build ?(c = 8) ?(complement = true) ?(schedule = `Doubling)
     ?(code = Cbitmap.Gap_codec.Gamma) device ~sigma x =
@@ -104,9 +122,14 @@ let build ?(c = 8) ?(complement = true) ?(schedule = `Doubling)
   Array.iter
     (fun v -> Bitio.Bitbuf.write_bits a_buf ~width:pos_bits v)
     tree.Wbb.char_start;
-  let a_region = Iosim.Device.store ~align_block:true device a_buf in
+  let a_frame =
+    Iosim.Frame.store device ~magic:a_magic ~align_block:true
+      ~rebuild:(fun () -> a_buf)
+      a_buf
+  in
+  let a_region = Iosim.Frame.payload a_frame in
   let meta_bits = pos_bits + (2 * char_bits) + 8 in
-  let meta_block, meta_slot, meta_total_bits =
+  let meta_block, meta_slot, meta_total_bits, meta_frames =
     pack_metadata device tree ~meta_bits ~pos_bits ~char_bits
   in
   {
@@ -118,11 +141,13 @@ let build ?(c = 8) ?(complement = true) ?(schedule = `Doubling)
     level_tables;
     leaf_table;
     a_region;
+    a_frame;
     pos_bits;
     meta_bits;
     meta_block;
     meta_slot;
     meta_total_bits;
+    meta_frames;
   }
 
 let tree t = t.tree
@@ -226,9 +251,7 @@ let query_entries t ~s ~e =
     Cbitmap.Merge.union_to_posting streams
   end
 
-let query t ~lo ~hi =
-  if lo < 0 || hi >= t.tree.Wbb.sigma || lo > hi then
-    invalid_arg "Static_index.query";
+let query_checked t ~lo ~hi =
   let s = read_a t lo and e = read_a t (hi + 1) in
   let z = e - s in
   let n = t.tree.Wbb.n in
@@ -239,6 +262,19 @@ let query t ~lo ~hi =
     Indexing.Answer.Complement (Cbitmap.Posting.union left right)
   end
   else Indexing.Answer.Direct (query_entries t ~s ~e)
+
+let query t ~lo ~hi =
+  match Indexing.Common.clamp_range ~sigma:t.tree.Wbb.sigma ~lo ~hi with
+  | None -> Indexing.Answer.Direct Cbitmap.Posting.empty
+  | Some (lo, hi) -> query_checked t ~lo ~hi
+
+let integrity t =
+  Indexing.Integrity.combine
+    (Indexing.Integrity.of_frames (fun () -> t.a_frame :: t.meta_frames)
+    :: Indexing.Stream_table.integrity t.leaf_table
+    :: List.filter_map
+         (Option.map Indexing.Stream_table.integrity)
+         (Array.to_list t.level_tables))
 
 let metadata_bits t = t.a_region.Iosim.Device.len + t.meta_total_bits
 
@@ -263,4 +299,5 @@ let instance ?c ?complement ?schedule ?code device ~sigma x =
     sigma;
     size_bits = size_bits t;
     query = (fun ~lo ~hi -> query t ~lo ~hi);
+    integrity = Some (integrity t);
   }

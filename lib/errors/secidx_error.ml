@@ -1,0 +1,5 @@
+exception Corrupt of string
+exception Stale_decoder of string
+exception IO_error of string
+
+let corrupt fmt = Printf.ksprintf (fun s -> raise (Corrupt s)) fmt

@@ -11,6 +11,15 @@ let positions_by_char ~sigma x =
 
 let bits_for v = max 1 (Bitio.Codes.ceil_log2 (max 2 v))
 
+(* The one range rule shared by every builder (PR 3 satellite): a
+   query range is clamped to the alphabet [0, sigma - 1]; if the
+   intersection is empty the query is answered with the empty set.
+   Callers therefore never raise on out-of-range bounds — all
+   thirteen builders agree on the same total query function. *)
+let clamp_range ~sigma ~lo ~hi =
+  let lo = max 0 lo and hi = min (sigma - 1) hi in
+  if lo > hi then None else Some (lo, hi)
+
 let prefix_counts ~sigma x =
   let a = Array.make (sigma + 1) 0 in
   Array.iter (fun c -> a.(c + 1) <- a.(c + 1) + 1) x;

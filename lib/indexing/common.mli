@@ -11,3 +11,10 @@ val bits_for : int -> int
 (** Prefix-count array [A] of §2.1: [A.(i)] is the number of positions
     with character [< i]; length [sigma + 1]. *)
 val prefix_counts : sigma:int -> int array -> int array
+
+(** The documented invalid-range rule shared by all builders: clamp
+    [lo, hi] to the alphabet [0, sigma - 1] and return the clamped
+    range, or [None] when the intersection is empty (negative [hi],
+    [lo >= sigma], or [lo > hi]) — in which case the query answer is
+    the empty set.  Queries never raise on out-of-range bounds. *)
+val clamp_range : sigma:int -> lo:int -> hi:int -> (int * int) option

@@ -5,6 +5,7 @@ type t = {
   sigma : int;
   size_bits : int;
   query : lo:int -> hi:int -> Answer.t;
+  integrity : Integrity.t option;
 }
 
 let query_cold t ~lo ~hi =
@@ -16,3 +17,39 @@ let query_cold t ~lo ~hi =
 let query_posting t ~lo ~hi =
   let answer, _ = query_cold t ~lo ~hi in
   Answer.to_posting ~n:t.n answer
+
+type outcome =
+  | Ok of Answer.t
+  | Repaired of Answer.t * int
+  | Corrupt of string
+
+(* Detect-or-repair query (PR 3): scrub first, repair what the scrub
+   found, re-scrub to confirm convergence, then answer on verified
+   extents.  The whole pass runs under the device's bounded-retry
+   policy so transient read faults surface as retries, not failures.
+   Every step is counted I/O: the verification reads, the repair
+   writes (reported as the [Repaired] cost in block I/Os) and the
+   query itself.  A typed [Corrupt] from an unrepairable extent or a
+   decode budget becomes the [Corrupt] outcome — never a wrong
+   answer. *)
+let verified_query ?(attempts = 3) t ~lo ~hi =
+  let dev = t.device in
+  let run () =
+    match t.integrity with
+    | None -> Ok (t.query ~lo ~hi)
+    | Some g ->
+        let corrupt = g.Integrity.scrub () in
+        if corrupt = 0 then Ok (t.query ~lo ~hi)
+        else begin
+          let before = Iosim.Stats.ios (Iosim.Device.stats dev) in
+          g.Integrity.repair ();
+          if g.Integrity.scrub () <> 0 then
+            Corrupt "repair did not converge"
+          else begin
+            let cost = Iosim.Stats.ios (Iosim.Device.stats dev) - before in
+            Repaired (t.query ~lo ~hi, cost)
+          end
+        end
+  in
+  try Iosim.Device.with_retries ~attempts dev run
+  with Secidx_error.Corrupt msg -> Corrupt msg

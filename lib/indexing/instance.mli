@@ -10,6 +10,10 @@ type t = {
   sigma : int;
   size_bits : int;  (** space used by the structure, in bits *)
   query : lo:int -> hi:int -> Answer.t;
+  integrity : Integrity.t option;
+      (** Detect-or-repair hooks over the structure's on-device
+          extents; [None] means the instance has no integrity layer
+          and {!verified_query} degrades to a plain query. *)
 }
 
 (** Run a query cold (pool cleared, counters reset) and return the
@@ -18,3 +22,18 @@ val query_cold : t -> lo:int -> hi:int -> Answer.t * Iosim.Stats.t
 
 (** Convenience: materialized positions of a cold query. *)
 val query_posting : t -> lo:int -> hi:int -> Cbitmap.Posting.t
+
+(** Outcome of a {!verified_query}: the answer over verified extents;
+    the answer after a successful counted repair (with the repair cost
+    in block I/Os); or typed, detected corruption.  Never a silently
+    wrong answer. *)
+type outcome =
+  | Ok of Answer.t
+  | Repaired of Answer.t * int
+  | Corrupt of string
+
+(** Scrub, repair what the scrub found, and answer — all under the
+    device's bounded-retry policy ([attempts], default 3) so transient
+    read faults are retried rather than fatal.  See DESIGN.md, "Fault
+    model and integrity". *)
+val verified_query : ?attempts:int -> t -> lo:int -> hi:int -> outcome

@@ -1,0 +1,21 @@
+(** Detect-or-repair hooks packaged with an index instance.
+
+    [scrub ()] runs a counted verification pass over every protected
+    extent and returns the number found corrupt (dirty extents are
+    resealed, not counted).  [repair ()] restores all corrupt extents
+    from primary data, charging the rebuild I/Os to the device stats;
+    it raises [Secidx_error.Corrupt] when an extent has no rebuild
+    source.  Used by [Instance.verified_query]. *)
+
+type t = { scrub : unit -> int; repair : unit -> unit }
+
+(** Integrity over a (dynamic) set of frames: scrub verifies each,
+    repair rewrites the corrupt ones from their rebuild closures. *)
+val of_frames : (unit -> Iosim.Frame.t list) -> t
+
+(** Compose the hooks of independent substructures. *)
+val combine : t list -> t
+
+(** Structure-level fallback: any corruption triggers one whole
+    rebuild from primary data. *)
+val rebuild_all : scrub:(unit -> int) -> rebuild:(unit -> unit) -> t

@@ -6,10 +6,23 @@ type t = {
   count_bits : int;
   dir : Iosim.Device.region; (* (offset, count) per stream *)
   payload : Iosim.Device.region;
+  dir_frame : Iosim.Frame.t;
+  payload_frame : Iosim.Frame.t;
 }
+
+(* Frame magics for the two extent kinds (see DESIGN.md). *)
+let dir_magic = 0x5D01
+let payload_magic = 0x5D02
 
 let build ?(code = Cbitmap.Gap_codec.Gamma) device postings =
   (* First pass: payload, recording offsets and counts. *)
+  let encode_payload () =
+    let payload_buf = Bitio.Bitbuf.create () in
+    Array.iter
+      (fun p -> Cbitmap.Gap_codec.encode ~code payload_buf p)
+      postings;
+    payload_buf
+  in
   let payload_buf = Bitio.Bitbuf.create () in
   let offs = Array.make (Array.length postings) 0 in
   let counts = Array.make (Array.length postings) 0 in
@@ -23,22 +36,37 @@ let build ?(code = Cbitmap.Gap_codec.Gamma) device postings =
   let off_bits = Common.bits_for (Bitio.Bitbuf.length payload_buf + 1) in
   let max_count = Array.fold_left max 0 counts in
   let count_bits = Common.bits_for (max_count + 1) in
-  let dir_buf = Bitio.Bitbuf.create () in
-  Array.iteri
-    (fun i _ ->
-      Bitio.Bitbuf.write_bits dir_buf ~width:off_bits offs.(i);
-      Bitio.Bitbuf.write_bits dir_buf ~width:count_bits counts.(i))
-    postings;
-  let dir = Iosim.Device.store ~align_block:true device dir_buf in
-  let payload = Iosim.Device.store ~align_block:true device payload_buf in
+  let encode_dir () =
+    let dir_buf = Bitio.Bitbuf.create () in
+    Array.iteri
+      (fun i _ ->
+        Bitio.Bitbuf.write_bits dir_buf ~width:off_bits offs.(i);
+        Bitio.Bitbuf.write_bits dir_buf ~width:count_bits counts.(i))
+      postings;
+    dir_buf
+  in
+  (* Both extents are framed (magic + length + CRC-32) and carry
+     rebuild closures: postings are derivable state, so a damaged
+     extent is re-encoded from the retained primary sets and rewritten
+     in place (the re-encode is deterministic, hence bit-identical). *)
+  let dir_frame =
+    Iosim.Frame.store ~magic:dir_magic ~align_block:true ~rebuild:encode_dir
+      device (encode_dir ())
+  in
+  let payload_frame =
+    Iosim.Frame.store ~magic:payload_magic ~align_block:true
+      ~rebuild:encode_payload device payload_buf
+  in
   {
     device;
     code;
     nstreams = Array.length postings;
     off_bits;
     count_bits;
-    dir;
-    payload;
+    dir = Iosim.Frame.payload dir_frame;
+    payload = Iosim.Frame.payload payload_frame;
+    dir_frame;
+    payload_frame;
   }
 
 let length t = t.nstreams
@@ -52,6 +80,13 @@ let dir_entry t i =
     Iosim.Device.read_bits t.device ~pos:(pos + t.off_bits)
       ~width:t.count_bits
   in
+  (* Defense in depth (the scrub normally catches damage first): an
+     offset outside the payload extent can only come from directory
+     corruption — refuse to chase it into unrelated extents. *)
+  if off > t.payload.Iosim.Device.len then
+    Secidx_error.corrupt
+      "Stream_table: directory entry %d points at %d, past payload end %d" i
+      off t.payload.Iosim.Device.len;
   (off, count)
 
 let count t i = snd (dir_entry t i)
@@ -84,5 +119,13 @@ let streams t ~lo ~hi =
 let read_union t ~lo ~hi =
   Cbitmap.Merge.union_to_posting (streams t ~lo ~hi)
 
+let frames t = [ t.dir_frame; t.payload_frame ]
+let scrub t = List.length (Iosim.Frame.scrub (frames t))
+let repair t = Iosim.Frame.repair_all (Iosim.Frame.scrub (frames t))
+let integrity t = Integrity.of_frames (fun () -> frames t)
+
+(* Structure sizes exclude the two 80-bit frame headers: the headers
+   are integrity overhead, constant per extent, and the experiments
+   compare payload economics. *)
 let size_bits t = t.dir.Iosim.Device.len + t.payload.Iosim.Device.len
 let payload_bits t = t.payload.Iosim.Device.len

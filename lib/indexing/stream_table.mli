@@ -33,6 +33,22 @@ val read_union : t -> lo:int -> hi:int -> Cbitmap.Posting.t
 (** Pull streams for external merging (e.g. across tables). *)
 val streams : t -> lo:int -> hi:int -> Cbitmap.Merge.stream list
 
+(** The table's two framed extents (directory, payload) — both carry
+    CRC-32 headers and rebuild closures (re-encode from the retained
+    postings, bit-identical). *)
+val frames : t -> Iosim.Frame.t list
+
+(** Counted verification of both extents; returns how many are
+    corrupt (0, 1 or 2). *)
+val scrub : t -> int
+
+(** Rewrite every corrupt extent from its rebuild closure (counted
+    writes), leaving the table verifiable again. *)
+val repair : t -> unit
+
+(** Packaged scrub/repair hooks for instance wiring. *)
+val integrity : t -> Integrity.t
+
 (** Directory plus payload size, in bits. *)
 val size_bits : t -> int
 

@@ -5,6 +5,10 @@ type t = {
   pool : Buffer_pool.t;
   stats : Stats.t;
   read_before_write : bool;
+  mutable generation : int;
+      (* bumped on every alloc/write; snapshotting readers (decoder,
+         cursor) refuse to read once it moves (Stale_decoder) *)
+  mutable fault : Fault.t option;
 }
 
 type region = { off : int; len : int }
@@ -20,11 +24,17 @@ let create ?(read_before_write = true) ~block_bits ~mem_bits () =
     pool = Buffer_pool.create ~capacity_blocks:(mem_bits / block_bits) ();
     stats = Stats.create ();
     read_before_write;
+    generation = 0;
+    fault = None;
   }
 
 let block_bits t = t.block_bits
 let stats t = t.stats
 let pool t = t.pool
+let generation t = t.generation
+let set_fault t f = t.fault <- Some f
+let clear_fault t = t.fault <- None
+let fault t = t.fault
 let reset_stats t = Stats.reset t.stats
 let clear_pool t = Buffer_pool.clear t.pool
 let used_bits t = t.used_bits
@@ -46,10 +56,25 @@ let alloc ?(align_block = false) t len =
     else t.used_bits
   in
   t.used_bits <- off + len;
+  t.generation <- t.generation + 1;
   ensure t t.used_bits;
   { off; len }
 
+(* A transient fault fails the access before the pool is consulted (so
+   the failed block is not cached and a bounded failure budget drains
+   access by access); the attempt is still charged as a block read. *)
+let check_transient t blk =
+  match t.fault with
+  | Some f when Fault.read_fails f ~block:blk ->
+      t.stats.Stats.block_reads <- t.stats.Stats.block_reads + 1;
+      t.stats.Stats.faults_injected <- t.stats.Stats.faults_injected + 1;
+      raise
+        (Secidx_error.IO_error
+           (Printf.sprintf "Device: transient read failure on block %d" blk))
+  | _ -> ()
+
 let touch_read t blk =
+  check_transient t blk;
   if Buffer_pool.access t.pool blk then
     t.stats.Stats.pool_hits <- t.stats.Stats.pool_hits + 1
   else t.stats.Stats.block_reads <- t.stats.Stats.block_reads + 1
@@ -70,7 +95,7 @@ let touch_write t blk =
 let touch_range t ~pos ~len kind =
   if len > 0 then begin
     let first = pos / t.block_bits and last = (pos + len - 1) / t.block_bits in
-    if Buffer_pool.capacity t.pool = 0 then begin
+    if Buffer_pool.capacity t.pool = 0 && t.fault = None then begin
       let nblocks = last - first + 1 in
       match kind with
       | `Read -> t.stats.Stats.block_reads <- t.stats.Stats.block_reads + nblocks
@@ -112,6 +137,7 @@ let read_bits t ~pos ~width =
 
 let write_bits t ~pos ~width v =
   check_range t ~pos ~width "Device.write_bits";
+  t.generation <- t.generation + 1;
   touch_range t ~pos ~len:width `Write;
   t.stats.Stats.bits_written <- t.stats.Stats.bits_written + width;
   raw_write_bits t ~pos ~width v
@@ -119,9 +145,36 @@ let write_bits t ~pos ~width v =
 let write_buf t region buf =
   let len = Bitio.Bitbuf.length buf in
   if len > region.len then invalid_arg "Device.write_buf: buffer too long";
+  t.generation <- t.generation + 1;
   touch_range t ~pos:region.off ~len `Write;
   t.stats.Stats.bits_written <- t.stats.Stats.bits_written + len;
-  Bitio.Bitbuf.blit_to_bytes buf t.data ~dst_bit:region.off
+  let nblocks =
+    if len = 0 then 0
+    else (region.off + len - 1) / t.block_bits - (region.off / t.block_bits) + 1
+  in
+  let tear =
+    match t.fault with
+    | Some f when nblocks > 1 -> Fault.note_multiblock_write f
+    | _ -> None
+  in
+  match tear with
+  | None -> Bitio.Bitbuf.blit_to_bytes buf t.data ~dst_bit:region.off
+  | Some keep_blocks ->
+      (* Torn write: the transfer was issued (and charged above), but
+         only the first [keep_blocks] blocks persist — the tail of the
+         extent keeps whatever it held before. *)
+      t.stats.Stats.faults_injected <- t.stats.Stats.faults_injected + 1;
+      let first = region.off / t.block_bits in
+      let kept_end = (first + keep_blocks) * t.block_bits in
+      let kept = max 0 (min len (kept_end - region.off)) in
+      let src = Bitio.Bitbuf.backing buf in
+      let i = ref 0 in
+      while !i < kept do
+        let w = min 62 (kept - !i) in
+        Bitio.Bitops.set_bits t.data ~pos:(region.off + !i) ~width:w
+          (Bitio.Bitops.get_bits src ~pos:!i ~width:w);
+        i := !i + w
+      done
 
 let store ?align_block t buf =
   let region = alloc ?align_block t (Bitio.Bitbuf.length buf) in
@@ -150,9 +203,19 @@ let read_region_naive t region =
   done;
   buf
 
+let stale gen t name =
+  if t.generation <> gen then
+    raise
+      (Secidx_error.Stale_decoder
+         (Printf.sprintf
+            "%s: device mutated since snapshot (generation %d, now %d)" name
+            gen t.generation))
+
 let cursor t ~pos =
   let p = ref pos in
+  let gen = t.generation in
   let read_bits w =
+    stale gen t "Device.cursor";
     check_range t ~pos:!p ~width:w "Device.cursor";
     touch_range t ~pos:!p ~len:w `Read;
     t.stats.Stats.bits_read <- t.stats.Stats.bits_read + w;
@@ -167,11 +230,16 @@ let cursor t ~pos =
    *consumed* bit range (cache refills are free), so [bits_read] and
    the touched-block sequence match the per-bit cursor semantics: the
    same bits are charged, in stream order, exactly once.  The decoder
-   snapshots [t.data]; it is invalidated by any later [alloc]/write
-   that grows the device. *)
+   snapshots [t.data] at the device's current generation; the charge
+   callback refuses to deliver bits once a later alloc/write moves the
+   generation (the snapshot may be a detached byte store), raising
+   [Secidx_error.Stale_decoder] instead of silently reading old
+   bytes. *)
 let decoder t ~pos =
   if pos < 0 || pos > t.used_bits then invalid_arg "Device.decoder";
+  let gen = t.generation in
   let charge ~pos ~len =
+    stale gen t "Device.decoder";
     touch_range t ~pos ~len `Read;
     t.stats.Stats.bits_read <- t.stats.Stats.bits_read + len
   in
@@ -180,3 +248,52 @@ let decoder t ~pos =
 let blocks_spanned t ~pos ~len =
   if len <= 0 then 0
   else (pos + len - 1) / t.block_bits - (pos / t.block_bits) + 1
+
+(* --- fault injection and recovery (PR 3) --------------------------- *)
+
+(* Latent corruption: flip [count] seeded pseudo-random bits anywhere
+   in the allocated space.  Applied raw (uncounted) — the damage is on
+   the medium, not an access.  Returns the flipped positions so tests
+   and campaigns can report where the damage landed. *)
+let inject_bit_flips t ~seed ~count =
+  if count < 0 then invalid_arg "Device.inject_bit_flips";
+  if t.used_bits = 0 then []
+  else begin
+    let rng = Fault.Rng.create seed in
+    let flips =
+      List.init count (fun _ -> Fault.Rng.int rng t.used_bits)
+    in
+    List.iter
+      (fun i ->
+        let b = i lsr 3 and m = 0x80 lsr (i land 7) in
+        Bytes.unsafe_set t.data b
+          (Char.unsafe_chr (Char.code (Bytes.unsafe_get t.data b) lxor m)))
+      flips;
+    t.stats.Stats.faults_injected <-
+      t.stats.Stats.faults_injected + List.length flips;
+    flips
+  end
+
+(* Bounded-retry policy for transient faults: re-run [f] after an
+   [IO_error], up to [attempts] total tries.  The backoff cost is
+   expressed in counted I/Os — every attempt's accesses (including the
+   charged failed access itself) land in [stats], and each re-run adds
+   one to [stats.retries]. *)
+let with_retries ?(attempts = 3) t f =
+  if attempts < 1 then invalid_arg "Device.with_retries";
+  let rec go k =
+    try f ()
+    with Secidx_error.IO_error _ when k < attempts ->
+      t.stats.Stats.retries <- t.stats.Stats.retries + 1;
+      go (k + 1)
+  in
+  go 1
+
+(* Uncounted CRC of a raw extent — used by [Frame] to seal content the
+   writer just produced (it had the bits in memory, so hashing them
+   costs no simulated I/O).  Verification, by contrast, goes through
+   counted reads. *)
+let raw_crc32 t ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > t.used_bits then
+    invalid_arg "Device.raw_crc32";
+  Bitio.Crc.finish (Bitio.Crc.of_bits t.data ~pos ~len)

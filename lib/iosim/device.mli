@@ -28,6 +28,20 @@ val block_bits : t -> int
 val stats : t -> Stats.t
 val pool : t -> Buffer_pool.t
 
+(** Mutation counter: bumped by every [alloc] and every write.
+    Snapshotting readers ({!decoder}, {!cursor}) record it at creation
+    and raise [Secidx_error.Stale_decoder] if it has moved by the time
+    they deliver bits. *)
+val generation : t -> int
+
+(** Attach / detach a fault plan (see {!Fault}).  While a plan is
+    attached the per-block access loop is always taken (fault checks
+    are per block), so counters remain exact. *)
+val set_fault : t -> Fault.t -> unit
+
+val clear_fault : t -> unit
+val fault : t -> Fault.t option
+
 (** Reset counters (leaves pool contents alone). *)
 val reset_stats : t -> unit
 
@@ -78,3 +92,19 @@ val decoder : t -> pos:int -> Bitio.Decoder.t
 
 (** Blocks covered by a bit range: [blocks_spanned t ~pos ~len]. *)
 val blocks_spanned : t -> pos:int -> len:int -> int
+
+(** Flip [count] seeded pseudo-random bits anywhere in the allocated
+    space (raw, uncounted — latent medium corruption).  Returns the
+    flipped bit positions; counts them in [Stats.faults_injected]. *)
+val inject_bit_flips : t -> seed:int -> count:int -> int list
+
+(** [with_retries ?attempts t f] runs [f], re-running it after a
+    [Secidx_error.IO_error] up to [attempts] (default 3) total tries —
+    the bounded-retry policy for transient read faults.  Each re-run
+    increments [Stats.retries]; the backoff cost is the re-executed
+    counted accesses themselves.  The last failure propagates. *)
+val with_retries : ?attempts:int -> t -> (unit -> 'a) -> 'a
+
+(** Uncounted CRC-32 of a raw extent — for {!Frame} to seal content
+    its writer just produced.  Verification uses counted reads. *)
+val raw_crc32 : t -> pos:int -> len:int -> int

@@ -1,0 +1,79 @@
+(* Deterministic, seeded fault plan attached to a device (PR 3).
+
+   Three fault classes, mirroring the classic storage fault model:
+
+   - bit flips: applied immediately to the raw backing store (latent
+     sector corruption — the damage sits there until something reads
+     or scrubs the extent);
+   - torn writes: the n-th multi-block [write_buf] persists only its
+     first k blocks (a crash mid-transfer); the write is still charged
+     in full, because the transfer was issued;
+   - transient read failures: the next f cache-miss accesses to a
+     chosen block raise [Secidx_error.IO_error] (and are charged as
+     attempted reads); subsequent accesses succeed, modelling a
+     retryable media error.
+
+   The plan itself holds no randomness — campaigns pick blocks/bits
+   with the seeded {!Rng} so every trial replays exactly. *)
+
+type torn = { nth : int; keep_blocks : int }
+
+type t = {
+  mutable torn : torn list;
+  mutable multiblock_writes : int; (* multi-block write_buf calls seen *)
+  transient : (int, int ref) Hashtbl.t; (* block -> remaining failures *)
+}
+
+let create () = { torn = []; multiblock_writes = 0; transient = Hashtbl.create 7 }
+
+let arm_torn_write t ~nth ~keep_blocks =
+  if nth < 1 || keep_blocks < 0 then invalid_arg "Fault.arm_torn_write";
+  t.torn <- { nth; keep_blocks } :: t.torn
+
+let arm_transient_read t ~block ~failures =
+  if block < 0 || failures < 1 then invalid_arg "Fault.arm_transient_read";
+  Hashtbl.replace t.transient block (ref failures)
+
+(* Called by [Device.write_buf] for every multi-block write; returns
+   [Some keep_blocks] when this write is scheduled to tear. *)
+let note_multiblock_write t =
+  t.multiblock_writes <- t.multiblock_writes + 1;
+  let n = t.multiblock_writes in
+  match List.find_opt (fun tr -> tr.nth = n) t.torn with
+  | Some tr -> Some tr.keep_blocks
+  | None -> None
+
+(* Called by the device on a cache-miss read of [block]; returns
+   [true] when this access must fail. *)
+let read_fails t ~block =
+  match Hashtbl.find_opt t.transient block with
+  | Some r when !r > 0 ->
+      decr r;
+      true
+  | _ -> false
+
+let pending_transients t =
+  Hashtbl.fold (fun _ r acc -> acc + max 0 !r) t.transient 0
+
+(* Small deterministic PRNG (xorshift64-star) for seeded fault campaigns:
+   the standard library's [Random] state would make trials depend on
+   global seeding order. *)
+module Rng = struct
+  type nonrec t = { mutable s : int64 }
+
+  let create seed =
+    { s = Int64.of_int (if seed = 0 then 0x9E3779B9 else seed) }
+
+  let next t =
+    let open Int64 in
+    let x = t.s in
+    let x = logxor x (shift_left x 13) in
+    let x = logxor x (shift_right_logical x 7) in
+    let x = logxor x (shift_left x 17) in
+    t.s <- x;
+    to_int (shift_right_logical (mul x 0x2545F4914F6CDD1DL) 2)
+
+  let int t bound =
+    if bound <= 0 then invalid_arg "Fault.Rng.int";
+    next t mod bound
+end

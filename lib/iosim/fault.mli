@@ -1,0 +1,44 @@
+(** Deterministic fault plan for a simulated device (see DESIGN.md,
+    "Fault model and integrity").
+
+    A plan is attached with [Device.set_fault]; the device then
+    consults it on every multi-block write (torn writes) and every
+    cache-miss read (transient failures).  Bit flips are applied
+    eagerly by [Device.inject_bit_flips] and need no plan state.
+    Every fault event increments [Stats.faults_injected]. *)
+
+type t
+
+val create : unit -> t
+
+(** Tear the [nth] multi-block [write_buf] (1-based, counted from plan
+    attachment): only its first [keep_blocks] blocks persist; the rest
+    of the extent keeps its previous contents.  The write is charged
+    in full. *)
+val arm_torn_write : t -> nth:int -> keep_blocks:int -> unit
+
+(** Fail the next [failures] cache-miss accesses to [block] with
+    [Secidx_error.IO_error]; later accesses succeed (retryable). *)
+val arm_transient_read : t -> block:int -> failures:int -> unit
+
+(** Device-side hooks (exposed for the model-based device tests). *)
+
+val note_multiblock_write : t -> int option
+val read_fails : t -> block:int -> bool
+
+(** Transient failures armed but not yet consumed. *)
+val pending_transients : t -> int
+
+(** Seeded xorshift64-star generator used by fault campaigns, so every
+    trial is replayable from its integer seed. *)
+module Rng : sig
+  type t
+
+  val create : int -> t
+
+  (** 60-bit nonnegative pseudo-random int. *)
+  val next : t -> int
+
+  (** Uniform-ish draw in [0, bound). *)
+  val int : t -> int -> int
+end

@@ -4,6 +4,9 @@ type t = {
   mutable pool_hits : int;
   mutable bits_read : int;
   mutable bits_written : int;
+  mutable faults_injected : int;
+  mutable faults_detected : int;
+  mutable retries : int;
 }
 
 let create () =
@@ -13,6 +16,9 @@ let create () =
     pool_hits = 0;
     bits_read = 0;
     bits_written = 0;
+    faults_injected = 0;
+    faults_detected = 0;
+    retries = 0;
   }
 
 let reset t =
@@ -20,7 +26,10 @@ let reset t =
   t.block_writes <- 0;
   t.pool_hits <- 0;
   t.bits_read <- 0;
-  t.bits_written <- 0
+  t.bits_written <- 0;
+  t.faults_injected <- 0;
+  t.faults_detected <- 0;
+  t.retries <- 0
 
 let snapshot t =
   {
@@ -29,6 +38,9 @@ let snapshot t =
     pool_hits = t.pool_hits;
     bits_read = t.bits_read;
     bits_written = t.bits_written;
+    faults_injected = t.faults_injected;
+    faults_detected = t.faults_detected;
+    retries = t.retries;
   }
 
 let diff ~before ~after =
@@ -38,6 +50,9 @@ let diff ~before ~after =
     pool_hits = after.pool_hits - before.pool_hits;
     bits_read = after.bits_read - before.bits_read;
     bits_written = after.bits_written - before.bits_written;
+    faults_injected = after.faults_injected - before.faults_injected;
+    faults_detected = after.faults_detected - before.faults_detected;
+    retries = after.retries - before.retries;
   }
 
 let ios t = t.block_reads + t.block_writes
@@ -45,4 +60,7 @@ let ios t = t.block_reads + t.block_writes
 let pp ppf t =
   Format.fprintf ppf
     "reads=%d writes=%d hits=%d bits_read=%d bits_written=%d" t.block_reads
-    t.block_writes t.pool_hits t.bits_read t.bits_written
+    t.block_writes t.pool_hits t.bits_read t.bits_written;
+  if t.faults_injected + t.faults_detected + t.retries > 0 then
+    Format.fprintf ppf " faults=%d/%d retries=%d" t.faults_detected
+      t.faults_injected t.retries

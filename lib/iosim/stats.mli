@@ -13,6 +13,15 @@ type t = {
   mutable pool_hits : int;
   mutable bits_read : int;
   mutable bits_written : int;
+  mutable faults_injected : int;
+      (** Fault events produced by the fault plan: bits flipped, torn
+          writes, transient read failures raised (see {!Fault}). *)
+  mutable faults_detected : int;
+      (** Integrity failures caught by framing / scrub (see {!Frame}). *)
+  mutable retries : int;
+      (** Accesses re-attempted by {!Device.with_retries}; the re-run
+          I/Os themselves are counted in the ordinary counters, so the
+          retry cost is visible in [block_reads] too. *)
 }
 
 val create : unit -> t

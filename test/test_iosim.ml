@@ -494,6 +494,9 @@ let test_model_sanity () =
       pool_hits = 0;
       bits_read = 0;
       bits_written = 8;
+      faults_injected = 0;
+      faults_detected = 0;
+      retries = 0;
     }
     m.Model.stats
 

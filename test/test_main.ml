@@ -15,4 +15,5 @@ let () =
       ("ridint", Test_ridint.suite);
       ("succinct", Test_succinct.suite);
       ("robustness", Test_robustness.suite);
+      ("integrity", Test_integrity.suite);
     ]

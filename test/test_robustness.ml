@@ -28,6 +28,16 @@ let all_builders =
     (fun dev ~sigma data -> Secidx.Buffered_bitmap.instance dev ~sigma data);
   ]
 
+(* Reference answer under the documented clamping rule: bounds are
+   clamped to [0, sigma-1]; an empty clamped range answers empty. *)
+let clamped_reference ~sigma data ~lo ~hi =
+  match Indexing.Common.clamp_range ~sigma ~lo ~hi with
+  | None -> Cbitmap.Posting.empty
+  | Some (lo, hi) ->
+      Workload.Queries.naive_answer
+        { Workload.Gen.sigma; data }
+        { Workload.Queries.lo; hi }
+
 let prop_all_indexes_agree =
   QCheck.Test.make ~count:40 ~name:"all thirteen indexes agree"
     QCheck.(
@@ -36,18 +46,16 @@ let prop_all_indexes_agree =
           Printf.sprintf "sigma=%d n=%d lo=%d hi=%d" sigma (Array.length data)
             lo hi)
         Gen.(
+          (* lo/hi deliberately range outside [0, sigma-1] (and may be
+             inverted): every builder must apply the same clamping. *)
           int_range 1 12 >>= fun sigma ->
           int_range 1 120 >>= fun n ->
           array_size (return n) (int_range 0 (sigma - 1)) >>= fun data ->
-          int_range 0 (sigma - 1) >>= fun a ->
-          int_range 0 (sigma - 1) >>= fun b ->
-          return (sigma, data, min a b, max a b)))
+          int_range (-2) (sigma + 1) >>= fun lo ->
+          int_range (-2) (sigma + 1) >>= fun hi ->
+          return (sigma, data, lo, hi)))
     (fun (sigma, data, lo, hi) ->
-      let reference =
-        Workload.Queries.naive_answer
-          { Workload.Gen.sigma; data }
-          { Workload.Queries.lo; hi }
-      in
+      let reference = clamped_reference ~sigma data ~lo ~hi in
       List.for_all
         (fun build ->
           let inst : Indexing.Instance.t = build (device ()) ~sigma data in
@@ -63,16 +71,28 @@ let raises_invalid f =
   | exception Invalid_argument _ -> true
   | _ -> false
 
-let test_query_bounds_rejected () =
-  let dev = device () in
-  let inst = Secidx.Static_index.instance dev ~sigma:4 [| 0; 1; 2; 3 |] in
+(* Out-of-range and inverted bounds are not errors: every builder
+   clamps them with Indexing.Common.clamp_range and answers the
+   clamped (possibly empty) range. *)
+let test_query_bounds_clamped () =
+  let sigma = 4 in
+  let data = [| 0; 1; 2; 3; 1; 2 |] in
   List.iter
-    (fun (lo, hi) ->
-      if
-        not
-          (raises_invalid (fun () -> inst.Indexing.Instance.query ~lo ~hi))
-      then Alcotest.failf "query (%d,%d) accepted" lo hi)
-    [ (-1, 0); (0, 4); (3, 1) ]
+    (fun build ->
+      let inst : Indexing.Instance.t = build (device ()) ~sigma data in
+      let name = inst.Indexing.Instance.name in
+      List.iter
+        (fun (lo, hi) ->
+          let got =
+            try Indexing.Instance.query_posting inst ~lo ~hi
+            with Invalid_argument m ->
+              Alcotest.failf "%s: query (%d,%d) raised %s" name lo hi m
+          in
+          let want = clamped_reference ~sigma data ~lo ~hi in
+          if not (Cbitmap.Posting.equal got want) then
+            Alcotest.failf "%s: query (%d,%d) wrong under clamping" name lo hi)
+        [ (-1, 0); (0, sigma); (-5, 50); (3, 1); (sigma, sigma + 3); (-4, -2) ])
+    all_builders
 
 let test_empty_string_rejected () =
   let dev = device () in
@@ -197,8 +217,8 @@ let prop_dynamic_mixed_ops =
 let suite =
   [
     qcheck prop_all_indexes_agree;
-    Alcotest.test_case "query bounds rejected" `Quick
-      test_query_bounds_rejected;
+    Alcotest.test_case "query bounds clamped" `Quick
+      test_query_bounds_clamped;
     Alcotest.test_case "empty string rejected" `Quick
       test_empty_string_rejected;
     Alcotest.test_case "bad characters rejected" `Quick
