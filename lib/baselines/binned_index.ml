@@ -48,7 +48,9 @@ let query_clamped t ~lo ~hi =
       left @ middle @ right
     end
   in
-  Indexing.Answer.Direct (Cbitmap.Merge.union_to_posting streams)
+  Indexing.Answer.Direct
+    (Obs.Trace.with_span ~cat:"phase" "payload" (fun () ->
+         Cbitmap.Merge.union_to_posting streams))
 
 let query t ~lo ~hi =
   match Indexing.Common.clamp_range ~sigma:t.sigma ~lo ~hi with

@@ -25,12 +25,13 @@ let build device ~sigma x =
   (* Each row is a framed extent; the rebuild closure re-materializes
      it from the retained position set (primary data). *)
   let frames =
-    Array.map
-      (fun posting ->
-        Iosim.Frame.store ~magic:row_magic ~align_block:true
-          ~rebuild:(fun () -> row_buf posting)
-          device (row_buf posting))
-      postings
+    Iosim.Device.with_component device "payload" (fun () ->
+        Array.map
+          (fun posting ->
+            Iosim.Frame.store ~magic:row_magic ~align_block:true
+              ~rebuild:(fun () -> row_buf posting)
+              device (row_buf posting))
+          postings)
   in
   { device; n; sigma; rows = Array.map Iosim.Frame.payload frames; frames }
 
@@ -57,9 +58,10 @@ let query t ~lo ~hi =
   | None -> Indexing.Answer.Direct Cbitmap.Posting.empty
   | Some (lo, hi) ->
       let acc = Array.make t.n false in
-      for c = lo to hi do
-        scan_row t t.rows.(c) acc
-      done;
+      Obs.Trace.with_span ~cat:"phase" "payload" (fun () ->
+          for c = lo to hi do
+            scan_row t t.rows.(c) acc
+          done);
       let out = ref [] in
       for i = t.n - 1 downto 0 do
         if acc.(i) then out := i :: !out

@@ -83,7 +83,10 @@ let build device ~sigma x =
     for i = start to stop - 1 do
       Bitio.Bitbuf.write_bits buf ~width:entry_bits entries.(i)
     done;
-    let block = alloc_node device in
+    let block =
+      Iosim.Device.with_component device "payload" (fun () ->
+          alloc_node device)
+    in
     write_node device ~block buf;
     node_bufs := (block, buf) :: !node_bufs;
     leaf_blocks.(l) <- block;
@@ -106,7 +109,10 @@ let build device ~sigma x =
           Bitio.Bitbuf.write_bits buf ~width:entry_bits max_keys.(i);
           Bitio.Bitbuf.write_bits buf ~width:child_bits blocks.(i)
         done;
-        let block = alloc_node device in
+        let block =
+          Iosim.Device.with_component device "directory" (fun () ->
+              alloc_node device)
+        in
         write_node device ~block buf;
         node_bufs := (block, buf) :: !node_bufs;
         pblocks.(p) <- block;
@@ -181,7 +187,10 @@ let query_clamped t ~lo ~hi =
       if level = t.height then block
       else descend (descend_step t ~block lo_key) (level + 1)
     in
-    let leaf = descend t.root_block 1 in
+    let leaf =
+      Obs.Trace.with_span ~cat:"phase" "directory" (fun () ->
+          descend t.root_block 1)
+    in
     let last_leaf = t.first_leaf_block + t.leaf_count - 1 in
     let pos_mask = (1 lsl t.pos_bits) - 1 in
     let acc = ref [] in
@@ -197,7 +206,7 @@ let query_clamped t ~lo ~hi =
         if not !past_end then scan (block + 1)
       end
     in
-    scan leaf;
+    Obs.Trace.with_span ~cat:"phase" "payload" (fun () -> scan leaf);
     Indexing.Answer.Direct (Cbitmap.Posting.of_list !acc)
   end
 

@@ -118,7 +118,8 @@ let create device ~sigma ~n_hint =
       frames = Hashtbl.create 64;
     }
   in
-  t.root <- alloc_node t;
+  t.root <-
+    Iosim.Device.with_component device "payload" (fun () -> alloc_node t);
   write_node t t.root (Leaf { keys = [||]; next = no_next });
   t
 
@@ -165,7 +166,10 @@ let rec ins t block key =
           let half = n / 2 in
           let left = Array.sub keys 0 half in
           let right = Array.sub keys half (n - half) in
-          let rb = alloc_node t in
+          let rb =
+            Iosim.Device.with_component t.device "payload" (fun () ->
+                alloc_node t)
+          in
           write_node t rb (Leaf { keys = right; next });
           write_node t block (Leaf { keys = left; next = rb });
           {
@@ -206,7 +210,10 @@ let rec ins t block key =
             and lchildren = Array.sub children' 0 half in
             let rseps = Array.sub seps' half (n + 1 - half)
             and rchildren = Array.sub children' half (n + 1 - half) in
-            let rb = alloc_node t in
+            let rb =
+              Iosim.Device.with_component t.device "directory" (fun () ->
+                  alloc_node t)
+            in
             write_node t rb (Internal { seps = rseps; children = rchildren });
             write_node t block (Internal { seps = lseps; children = lchildren });
             {
@@ -224,7 +231,10 @@ let insert t ~char_ ~pos =
   match r.split with
   | None -> ()
   | Some (right_max, right_block) ->
-      let new_root = alloc_node t in
+      let new_root =
+        Iosim.Device.with_component t.device "directory" (fun () ->
+            alloc_node t)
+      in
       write_node t new_root
         (Internal
            {
@@ -283,7 +293,10 @@ let query_clamped t ~lo ~hi =
             keys;
           if not !past then scan next
   in
-  scan (descend t.root);
+  let leaf =
+    Obs.Trace.with_span ~cat:"phase" "directory" (fun () -> descend t.root)
+  in
+  Obs.Trace.with_span ~cat:"phase" "payload" (fun () -> scan leaf);
   Indexing.Answer.Direct (Cbitmap.Posting.of_list !acc)
 
 let query t ~lo ~hi =

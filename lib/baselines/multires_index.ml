@@ -73,7 +73,8 @@ let query_clamped t ~lo ~hi =
       pieces
   in
   Indexing.Answer.Direct
-    (Cbitmap.Merge.union_to_posting (List.concat streams))
+    (Obs.Trace.with_span ~cat:"phase" "payload" (fun () ->
+         Cbitmap.Merge.union_to_posting (List.concat streams)))
 
 let query t ~lo ~hi =
   match Indexing.Common.clamp_range ~sigma:t.sigma ~lo ~hi with

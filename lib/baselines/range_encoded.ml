@@ -18,10 +18,11 @@ let build device ~sigma x =
   (* Framed rows; rebuilding re-derives the <= a bitmap from the
      retained string. *)
   let frames =
-    Array.init sigma (fun a ->
-        Iosim.Frame.store ~magic:row_magic ~align_block:true
-          ~rebuild:(fun () -> row_buf a)
-          device (row_buf a))
+    Iosim.Device.with_component device "payload" (fun () ->
+        Array.init sigma (fun a ->
+            Iosim.Frame.store ~magic:row_magic ~align_block:true
+              ~rebuild:(fun () -> row_buf a)
+              device (row_buf a)))
   in
   { device; n; sigma; rows = Array.map Iosim.Frame.payload frames; frames }
 
@@ -42,23 +43,27 @@ let query t ~lo ~hi =
                ~pos:t.rows.(lo - 1).Iosim.Device.off)
       in
       let out = ref [] in
-      let i = ref 0 in
-      while !i < t.n do
-        let w = min 32 (t.n - !i) in
-        let a = Bitio.Decoder.read_bits d_hi w in
-        let b =
-          match d_lo with None -> 0 | Some d -> Bitio.Decoder.read_bits d w
-        in
-        (* Pop set bits highest-first: chunk bit (w - 1 - k) is position
-           [i + k], so the msb scan emits positions in ascending order. *)
-        let diff = ref (a land lnot b) in
-        while !diff <> 0 do
-          let bit = Bitio.Bitops.msb !diff in
-          out := (!i + w - 1 - bit) :: !out;
-          diff := !diff lxor (1 lsl bit)
-        done;
-        i := !i + w
-      done;
+      Obs.Trace.with_span ~cat:"phase" "payload" (fun () ->
+          let i = ref 0 in
+          while !i < t.n do
+            let w = min 32 (t.n - !i) in
+            let a = Bitio.Decoder.read_bits d_hi w in
+            let b =
+              match d_lo with
+              | None -> 0
+              | Some d -> Bitio.Decoder.read_bits d w
+            in
+            (* Pop set bits highest-first: chunk bit (w - 1 - k) is
+               position [i + k], so the msb scan emits positions in
+               ascending order. *)
+            let diff = ref (a land lnot b) in
+            while !diff <> 0 do
+              let bit = Bitio.Bitops.msb !diff in
+              out := (!i + w - 1 - bit) :: !out;
+              diff := !diff lxor (1 lsl bit)
+            done;
+            i := !i + w
+          done);
       Indexing.Answer.Direct
         (Cbitmap.Posting.of_sorted_array (Array.of_list (List.rev !out)))
 

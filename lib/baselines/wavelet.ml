@@ -65,7 +65,9 @@ let build device ~sigma x =
         current := next;
         {
           rs = Cbitmap.Rank_select.of_bitbuf buf;
-          region = Iosim.Device.store ~align_block:true device buf;
+          region =
+            Iosim.Device.with_component device "rank_select" (fun () ->
+                Iosim.Device.store ~align_block:true device buf);
           starts;
         })
   in
@@ -180,6 +182,7 @@ let node_segment t k p =
 let query_clamped t ~lo ~hi =
   let pieces = cover t ~lo ~hi in
   let acc = ref [] in
+  Obs.Trace.with_span ~cat:"phase" "rank_select" (fun () ->
   List.iter
     (fun (k, p) ->
       if k < t.nlevels then begin
@@ -215,7 +218,7 @@ let query_clamped t ~lo ~hi =
           acc := map_up t (t.nlevels - 1) idx :: !acc
         done
       end)
-    pieces;
+    pieces);
   Indexing.Answer.Direct (Cbitmap.Posting.of_list !acc)
 
 let query t ~lo ~hi =

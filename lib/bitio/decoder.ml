@@ -27,6 +27,11 @@ type t = {
   mutable cache : int; (* right-aligned window of fetched, unread bits *)
   mutable avail : int; (* number of valid bits in [cache], <= 62 *)
   charge : (pos:int -> len:int -> unit) option;
+  mutable on_refill : (pos:int -> len:int -> unit) option;
+      (* observation hook (tracing): called after each cache top-up
+         with the absolute position and width of the loaded bits.
+         [None] by default — the cost when unused is one branch per
+         refill, not per bit. *)
 }
 
 let cache_bits = 62
@@ -35,7 +40,7 @@ let make ~data ~pos ~limit ~charge =
   if limit < 0 || limit > 8 * Bytes.length data then
     invalid_arg "Decoder: limit out of range";
   if pos < 0 || pos > limit then invalid_arg "Decoder: pos out of range";
-  { data; limit; fetch = pos; cache = 0; avail = 0; charge }
+  { data; limit; fetch = pos; cache = 0; avail = 0; charge; on_refill = None }
 
 let of_bytes ?(pos = 0) ?limit data =
   let limit =
@@ -47,6 +52,11 @@ let of_bitbuf ?(pos = 0) buf =
   make ~data:(Bitbuf.backing buf) ~pos ~limit:(Bitbuf.length buf) ~charge:None
 
 let counted ~data ~pos ~limit ~charge = make ~data ~pos ~limit ~charge:(Some charge)
+
+let set_on_refill t f = t.on_refill <- Some f
+
+let note_refill t ~pos ~len =
+  match t.on_refill with Some f -> f ~pos ~len | None -> ()
 
 let bit_pos t = t.fetch - t.avail
 let remaining t = t.limit - bit_pos t
@@ -85,7 +95,8 @@ let refill t =
     in
     t.cache <- (t.cache lsl take) lor ((w lsr (56 - off - take)) land ((1 lsl take) - 1));
     t.fetch <- fetch + take;
-    t.avail <- avail + take
+    t.avail <- avail + take;
+    note_refill t ~pos:fetch ~len:take
   end
   else begin
     let take = min (cache_bits - avail) (t.limit - fetch) in
@@ -93,7 +104,8 @@ let refill t =
       t.cache <-
         (t.cache lsl take) lor Bitops.get_bits t.data ~pos:fetch ~width:take;
       t.fetch <- fetch + take;
-      t.avail <- avail + take
+      t.avail <- avail + take;
+      note_refill t ~pos:fetch ~len:take
     end
   end
 

@@ -35,6 +35,13 @@ val of_bitbuf : ?pos:int -> Bitbuf.t -> t
 val counted :
   data:bytes -> pos:int -> limit:int -> charge:(pos:int -> len:int -> unit) -> t
 
+(** [set_on_refill t f] installs an observation hook called after each
+    cache top-up with the absolute bit position and width of the
+    loaded range.  Refills stay uncharged; this is for tracing only
+    ([Iosim.Device.decoder] wires it to [Obs.Trace] when tracing is
+    on).  When no hook is installed the cost is one branch per refill. *)
+val set_on_refill : t -> (pos:int -> len:int -> unit) -> unit
+
 (** Absolute position (in bits) of the next unread bit. *)
 val bit_pos : t -> int
 

@@ -50,9 +50,10 @@ let build ?(complement = true) ?(schedule = `All) device ~sigma x =
   let a_buf = Bitio.Bitbuf.create () in
   Array.iter (fun v -> Bitio.Bitbuf.write_bits a_buf ~width:pos_bits v) a;
   let a_frame =
-    Iosim.Frame.store device ~magic:a_magic ~align_block:true
-      ~rebuild:(fun () -> a_buf)
-      a_buf
+    Iosim.Device.with_component device "directory" (fun () ->
+        Iosim.Frame.store device ~magic:a_magic ~align_block:true
+          ~rebuild:(fun () -> a_buf)
+          a_buf)
   in
   let a_region = Iosim.Frame.payload a_frame in
   { device; n; sigma; sigma2; levels; a_region; a_frame; pos_bits; complement }
@@ -114,7 +115,12 @@ let query_range t ~lo ~hi =
   end
 
 let query_checked t ~lo ~hi =
-  let z = read_a t (hi + 1) - read_a t lo in
+  (* The A-array probe sizes the answer before touching any bitmap —
+     the rank part of the paper's rank/select phase. *)
+  let z =
+    Obs.Trace.with_span ~cat:"phase" "rank_select" (fun () ->
+        read_a t (hi + 1) - read_a t lo)
+  in
   if z = 0 then Indexing.Answer.Direct Cbitmap.Posting.empty
   else if t.complement && 2 * z > t.n then begin
     let left = query_range t ~lo:0 ~hi:(lo - 1) in

@@ -77,9 +77,10 @@ let counts_buf t =
 
 let write_counts t =
   let f =
-    Iosim.Frame.store t.device ~magic:counts_magic ~align_block:true
-      ~rebuild:(fun () -> counts_buf t)
-      (counts_buf t)
+    Iosim.Device.with_component t.device "directory" (fun () ->
+        Iosim.Frame.store t.device ~magic:counts_magic ~align_block:true
+          ~rebuild:(fun () -> counts_buf t)
+          (counts_buf t))
   in
   t.counts_frame <- Some f;
   t.counts_region <- Iosim.Frame.payload f
@@ -95,9 +96,10 @@ let write_meta t =
     (fun v -> Bitio.Bitbuf.write_bits buf ~width:pos_bits (Wbb.weight v))
     tree.Wbb.nodes;
   let f =
-    Iosim.Frame.store t.device ~magic:meta_magic ~align_block:true
-      ~rebuild:(fun () -> buf)
-      buf
+    Iosim.Device.with_component t.device "directory" (fun () ->
+        Iosim.Frame.store t.device ~magic:meta_magic ~align_block:true
+          ~rebuild:(fun () -> buf)
+          buf)
   in
   t.meta_frame <- Some f;
   t.meta_region <- Iosim.Frame.payload f
@@ -211,7 +213,10 @@ let chain_append t (st : storage) stream pos =
          boundaries within the chain. *)
       let code_buf = Bitio.Bitbuf.create () in
       Cbitmap.Gap_codec.encode_append ~code:t.code ~last:(-1) code_buf pos;
-      let region = Iosim.Device.alloc ~align_block:true t.device bb in
+      let region =
+        Iosim.Device.with_component t.device "chains" (fun () ->
+            Iosim.Device.alloc ~align_block:true t.device bb)
+      in
       write_code t ~pos:region.Iosim.Device.off code_buf;
       let cmirror = Iosim.Frame.padded ~len:bb (Bitio.Bitbuf.create ()) in
       Bitio.Bitbuf.blit code_buf ~src_bit:0 cmirror ~dst_bit:0
@@ -354,8 +359,9 @@ let answer_range t ~lo ~hi =
     let canon, partial, spine =
       Frozen.decompose t.frozen ~klo:(lo, 0) ~khi:(hi + 1, 0)
     in
-    List.iter (touch_meta t) spine;
-    List.iter (touch_meta t) canon;
+    Obs.Trace.with_span ~cat:"phase" "directory" (fun () ->
+        List.iter (touch_meta t) spine;
+        List.iter (touch_meta t) canon);
     let stored v =
       Wbb.is_leaf v
       || (v.Wbb.level < Array.length t.mat && t.mat.(v.Wbb.level))
@@ -373,7 +379,10 @@ let answer_range t ~lo ~hi =
           | None -> [])
         needs
     in
-    let main = Cbitmap.Merge.union_to_posting streams in
+    let main =
+      Obs.Trace.with_span ~cat:"phase" "payload" (fun () ->
+          Cbitmap.Merge.union_to_posting streams)
+    in
     (* Boundary leaves: read and filter by the current character. *)
     let filtered =
       List.map
@@ -403,9 +412,10 @@ let answer_range t ~lo ~hi =
 
 let query_checked t ~lo ~hi =
   let z = ref 0 in
-  for ch = lo to hi do
-    z := !z + read_count t ch
-  done;
+  Obs.Trace.with_span ~cat:"phase" "rank_select" (fun () ->
+      for ch = lo to hi do
+        z := !z + read_count t ch
+      done);
   if !z = 0 && not t.buffered then Indexing.Answer.Direct Cbitmap.Posting.empty
   else if t.complement && 2 * !z > t.n then
     Indexing.Answer.Complement

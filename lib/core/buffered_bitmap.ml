@@ -90,8 +90,11 @@ let write_leaf t l posting =
   Bitio.Bitbuf.blit buf ~src_bit:0 img ~dst_bit:0 ~len:bits;
   match l.lframe with Some f -> Iosim.Frame.invalidate f | None -> ()
 
-let alloc_block device =
-  Iosim.Device.alloc ~align_block:true device (Iosim.Device.block_bits device)
+(* Leaf blocks hold gap-coded payload; inode blocks hold write
+   buffers, ledgered separately as "buffers". *)
+let alloc_block ?(component = "payload") device =
+  Iosim.Device.with_component device component (fun () ->
+      Iosim.Device.alloc ~align_block:true device (Iosim.Device.block_bits device))
 
 (* ---- buffer serialization (content written for realism; the cost
    accounting is the block write itself) ---- *)
@@ -237,7 +240,7 @@ let build ?(c = 8) ?(pos_bits = 40) ?(code = Cbitmap.Gap_codec.Gamma) device
             buffer = [];
             buf_len = 0;
             nkey = key nodes.(0);
-            nregion = alloc_block device;
+            nregion = alloc_block ~component:"buffers" device;
           }
     else begin
       let parts = (Array.length nodes + c - 1) / c in
@@ -253,7 +256,7 @@ let build ?(c = 8) ?(pos_bits = 40) ?(code = Cbitmap.Gap_codec.Gamma) device
                 buffer = [];
                 buf_len = 0;
                 nkey = key children.(0);
-                nregion = alloc_block device;
+                nregion = alloc_block ~component:"buffers" device;
               })
       in
       group parents
@@ -378,7 +381,7 @@ let split_inode t n =
       buffer = [];
       buf_len = 0;
       nkey = key right_children.(0);
-      nregion = alloc_block t.device;
+      nregion = alloc_block ~component:"buffers" t.device;
     }
   in
   t.ninodes <- t.ninodes + 1;
@@ -466,7 +469,7 @@ let rec maybe_flush_root t =
           buffer = [];
           buf_len = 0;
           nkey = key (Node left);
-          nregion = alloc_block t.device;
+          nregion = alloc_block ~component:"buffers" t.device;
         }
       in
       t.ninodes <- t.ninodes + 1;
@@ -518,7 +521,7 @@ let range_query t ~lo ~hi =
             if upper_ok && lower_ok then go ch (depth + 1))
           n.children
   in
-  go (Node t.root) 0;
+  Obs.Trace.with_span ~cat:"phase" "payload" (fun () -> go (Node t.root) 0);
   (* Updates are per-stream: a Remove on stream B must not cancel the
      same position held by stream A, so keep (stream, pos) keys until
      the final union. *)
@@ -570,7 +573,7 @@ let flush_all t =
         buffer = [];
         buf_len = 0;
         nkey = key (Node left);
-        nregion = alloc_block t.device;
+        nregion = alloc_block ~component:"buffers" t.device;
       }
     in
     t.ninodes <- t.ninodes + 1;

@@ -57,9 +57,10 @@ let counts_buf t =
 
 let write_counts t =
   let f =
-    Iosim.Frame.store t.device ~magic:counts_magic ~align_block:true
-      ~rebuild:(fun () -> counts_buf t)
-      (counts_buf t)
+    Iosim.Device.with_component t.device "directory" (fun () ->
+        Iosim.Frame.store t.device ~magic:counts_magic ~align_block:true
+          ~rebuild:(fun () -> counts_buf t)
+          (counts_buf t))
   in
   t.counts_frame <- Some f;
   t.counts_region <- Iosim.Frame.payload f
@@ -227,9 +228,10 @@ let answer_range t ~lo ~hi =
 
 let query_checked t ~lo ~hi =
   let z = ref 0 in
-  for ch = lo to hi do
-    z := !z + read_count t ch
-  done;
+  Obs.Trace.with_span ~cat:"phase" "rank_select" (fun () ->
+      for ch = lo to hi do
+        z := !z + read_count t ch
+      done);
   if !z = 0 then Indexing.Answer.Direct Cbitmap.Posting.empty
   else if t.complement && 2 * !z > t.n then
     (* The complement side must also cover the deletion character so

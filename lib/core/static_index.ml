@@ -52,7 +52,10 @@ let pack_metadata device (tree : Wbb.t) ~meta_bits ~pos_bits ~char_bits =
        root, then (if space remains) from further pending roots, so
        small subtrees near the leaves share blocks instead of each
        occupying one. *)
-    let region = Iosim.Device.alloc ~align_block:true device bb in
+    let region =
+      Iosim.Device.with_component device "directory" (fun () ->
+          Iosim.Device.alloc ~align_block:true device bb)
+    in
     total := !total + bb;
     let block = region.Iosim.Device.off / bb in
     let filled = ref 0 in
@@ -123,9 +126,10 @@ let build ?(c = 8) ?(complement = true) ?(schedule = `Doubling)
     (fun v -> Bitio.Bitbuf.write_bits a_buf ~width:pos_bits v)
     tree.Wbb.char_start;
   let a_frame =
-    Iosim.Frame.store device ~magic:a_magic ~align_block:true
-      ~rebuild:(fun () -> a_buf)
-      a_buf
+    Iosim.Device.with_component device "directory" (fun () ->
+        Iosim.Frame.store device ~magic:a_magic ~align_block:true
+          ~rebuild:(fun () -> a_buf)
+          a_buf)
   in
   let a_region = Iosim.Frame.payload a_frame in
   let meta_bits = pos_bits + (2 * char_bits) + 8 in
@@ -226,12 +230,12 @@ let entry_bounds t ~lo ~hi =
 
 let plan_charged t ~s ~e =
   if s >= e then []
-  else begin
-    let needs, spine, canon = plan_nodes t ~s ~e in
-    List.iter (touch_node t) spine;
-    List.iter (touch_node t) canon;
-    runs_of_needs needs
-  end
+  else
+    Obs.Trace.with_span ~cat:"phase" "directory" (fun () ->
+        let needs, spine, canon = plan_nodes t ~s ~e in
+        List.iter (touch_node t) spine;
+        List.iter (touch_node t) canon;
+        runs_of_needs needs)
 
 let query_entries t ~s ~e =
   if s >= e then Cbitmap.Posting.empty
@@ -248,11 +252,15 @@ let query_entries t ~s ~e =
                 ~lo:first ~hi:last)
         runs
     in
-    Cbitmap.Merge.union_to_posting streams
+    Obs.Trace.with_span ~cat:"phase" "payload" (fun () ->
+        Cbitmap.Merge.union_to_posting streams)
   end
 
 let query_checked t ~lo ~hi =
-  let s = read_a t lo and e = read_a t (hi + 1) in
+  let s, e =
+    Obs.Trace.with_span ~cat:"phase" "rank_select" (fun () ->
+        (read_a t lo, read_a t (hi + 1)))
+  in
   let z = e - s in
   let n = t.tree.Wbb.n in
   if z = 0 then Indexing.Answer.Direct Cbitmap.Posting.empty

@@ -17,6 +17,16 @@ let bits_for v = max 1 (Bitio.Codes.ceil_log2 (max 2 v))
    Callers therefore never raise on out-of-range bounds — all
    thirteen builders agree on the same total query function. *)
 let clamp_range ~sigma ~lo ~hi =
+  (* One instant here gives every builder its "clamp" phase marker. *)
+  if !Obs.Trace.on then
+    Obs.Trace.instant ~cat:"phase"
+      ~attrs:
+        [
+          ("lo", Obs.Trace.Int lo);
+          ("hi", Obs.Trace.Int hi);
+          ("sigma", Obs.Trace.Int sigma);
+        ]
+      "clamp";
   let lo = max 0 lo and hi = min (sigma - 1) hi in
   if lo > hi then None else Some (lo, hi)
 

@@ -8,10 +8,23 @@ type t = {
   integrity : Integrity.t option;
 }
 
+let traced_query t ~lo ~hi =
+  if not !Obs.Trace.on then t.query ~lo ~hi
+  else
+    Obs.Trace.with_span ~cat:"query"
+      ~attrs:
+        [
+          ("index", Obs.Trace.Str t.name);
+          ("lo", Obs.Trace.Int lo);
+          ("hi", Obs.Trace.Int hi);
+        ]
+      "query"
+      (fun () -> t.query ~lo ~hi)
+
 let query_cold t ~lo ~hi =
   Iosim.Device.clear_pool t.device;
   Iosim.Device.reset_stats t.device;
-  let answer = t.query ~lo ~hi in
+  let answer = traced_query t ~lo ~hi in
   (answer, Iosim.Stats.snapshot (Iosim.Device.stats t.device))
 
 let query_posting t ~lo ~hi =
@@ -34,20 +47,23 @@ type outcome =
    answer. *)
 let verified_query ?(attempts = 3) t ~lo ~hi =
   let dev = t.device in
+  let scrub g =
+    Obs.Trace.with_span ~cat:"phase" "verify" (fun () -> g.Integrity.scrub ())
+  in
   let run () =
     match t.integrity with
-    | None -> Ok (t.query ~lo ~hi)
+    | None -> Ok (traced_query t ~lo ~hi)
     | Some g ->
-        let corrupt = g.Integrity.scrub () in
-        if corrupt = 0 then Ok (t.query ~lo ~hi)
+        let corrupt = scrub g in
+        if corrupt = 0 then Ok (traced_query t ~lo ~hi)
         else begin
           let before = Iosim.Stats.ios (Iosim.Device.stats dev) in
-          g.Integrity.repair ();
-          if g.Integrity.scrub () <> 0 then
-            Corrupt "repair did not converge"
+          Obs.Trace.with_span ~cat:"phase" "repair" (fun () ->
+              g.Integrity.repair ());
+          if scrub g <> 0 then Corrupt "repair did not converge"
           else begin
             let cost = Iosim.Stats.ios (Iosim.Device.stats dev) - before in
-            Repaired (t.query ~lo ~hi, cost)
+            Repaired (traced_query t ~lo ~hi, cost)
           end
         end
   in

@@ -50,12 +50,14 @@ let build ?(code = Cbitmap.Gap_codec.Gamma) device postings =
      extent is re-encoded from the retained primary sets and rewritten
      in place (the re-encode is deterministic, hence bit-identical). *)
   let dir_frame =
-    Iosim.Frame.store ~magic:dir_magic ~align_block:true ~rebuild:encode_dir
-      device (encode_dir ())
+    Iosim.Device.with_component device "directory" (fun () ->
+        Iosim.Frame.store ~magic:dir_magic ~align_block:true
+          ~rebuild:encode_dir device (encode_dir ()))
   in
   let payload_frame =
-    Iosim.Frame.store ~magic:payload_magic ~align_block:true
-      ~rebuild:encode_payload device payload_buf
+    Iosim.Device.with_component device "payload" (fun () ->
+        Iosim.Frame.store ~magic:payload_magic ~align_block:true
+          ~rebuild:encode_payload device payload_buf)
   in
   {
     device;
@@ -107,17 +109,29 @@ let stream_of_entry t (off, count) =
     let d = Iosim.Device.decoder t.device ~pos in
     Cbitmap.Gap_codec.stream ~code:t.code d ~count
 
+(* Phase spans: directory entries are decoded eagerly (the "directory"
+   phase); the payload streams decode lazily inside the merge, so the
+   merge span carries the "payload" decode I/O. *)
 let read_one t i =
-  let entry = dir_entry t i in
-  Cbitmap.Merge.to_posting (stream_of_entry t entry)
+  let entry =
+    Obs.Trace.with_span ~cat:"phase" "directory" (fun () -> dir_entry t i)
+  in
+  Obs.Trace.with_span ~cat:"phase" "payload" (fun () ->
+      Cbitmap.Merge.to_posting (stream_of_entry t entry))
 
 let streams t ~lo ~hi =
   if lo < 0 || hi >= t.nstreams || lo > hi then
     invalid_arg "Stream_table.streams";
-  List.init (hi - lo + 1) (fun k -> stream_of_entry t (dir_entry t (lo + k)))
+  let entries =
+    Obs.Trace.with_span ~cat:"phase" "directory" (fun () ->
+        List.init (hi - lo + 1) (fun k -> dir_entry t (lo + k)))
+  in
+  List.map (stream_of_entry t) entries
 
 let read_union t ~lo ~hi =
-  Cbitmap.Merge.union_to_posting (streams t ~lo ~hi)
+  let ss = streams t ~lo ~hi in
+  Obs.Trace.with_span ~cat:"phase" "payload" (fun () ->
+      Cbitmap.Merge.union_to_posting ss)
 
 let frames t = [ t.dir_frame; t.payload_frame ]
 let scrub t = List.length (Iosim.Frame.scrub (frames t))

@@ -50,7 +50,11 @@ let evict_lru t =
   | None -> ()
   | Some n ->
       unlink t n;
-      Hashtbl.remove t.table n.blk
+      Hashtbl.remove t.table n.blk;
+      if !Obs.Trace.on then
+        Obs.Trace.instant ~cat:"dev"
+          ~attrs:[ ("block", Obs.Trace.Int n.blk) ]
+          "evict"
 
 let access t blk =
   if t.capacity = 0 then false

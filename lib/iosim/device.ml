@@ -9,6 +9,11 @@ type t = {
       (* bumped on every alloc/write; snapshotting readers (decoder,
          cursor) refuse to read once it moves (Stale_decoder) *)
   mutable fault : Fault.t option;
+  mutable last_block : int;
+      (* last block transferred (pool miss) since the last stats
+         reset; [min_int] = no transfer yet, so the first transfer of
+         a run always counts one seek *)
+  mutable ledger : Obs.Ledger.t option;
 }
 
 type region = { off : int; len : int }
@@ -26,6 +31,8 @@ let create ?(read_before_write = true) ~block_bits ~mem_bits () =
     read_before_write;
     generation = 0;
     fault = None;
+    last_block = min_int;
+    ledger = None;
   }
 
 let block_bits t = t.block_bits
@@ -35,7 +42,18 @@ let generation t = t.generation
 let set_fault t f = t.fault <- Some f
 let clear_fault t = t.fault <- None
 let fault t = t.fault
-let reset_stats t = Stats.reset t.stats
+let reset_stats t =
+  Stats.reset t.stats;
+  t.last_block <- min_int
+
+let set_ledger t l = t.ledger <- Some l
+let clear_ledger t = t.ledger <- None
+let ledger t = t.ledger
+
+let with_component t name f =
+  match t.ledger with
+  | None -> f ()
+  | Some l -> Obs.Ledger.with_component l name f
 let clear_pool t = Buffer_pool.clear t.pool
 let used_bits t = t.used_bits
 
@@ -55,10 +73,30 @@ let alloc ?(align_block = false) t len =
       (t.used_bits + t.block_bits - 1) / t.block_bits * t.block_bits
     else t.used_bits
   in
+  let before = t.used_bits in
   t.used_bits <- off + len;
+  (* Charge the full used-bits delta — length plus any alignment
+     padding — so the ledger components sum to [used_bits] exactly. *)
+  (match t.ledger with
+  | Some l -> Obs.Ledger.add l (t.used_bits - before)
+  | None -> ());
   t.generation <- t.generation + 1;
   ensure t t.used_bits;
   { off; len }
+
+(* Seek accounting over transfers that missed the pool: entering block
+   [blk] after a transfer to anything other than [blk] or [blk - 1]
+   costs one seek, and so does the first transfer after [reset_stats]
+   (every run of contiguous transfers pays one seek at its start).
+   Pool hits move no data, so they leave the head position alone. *)
+let note_seek t blk =
+  if blk <> t.last_block && blk <> t.last_block + 1 then
+    t.stats.Stats.seeks <- t.stats.Stats.seeks + 1;
+  t.last_block <- blk
+
+let block_event name blk =
+  if !Obs.Trace.on then
+    Obs.Trace.instant ~cat:"dev" ~attrs:[ ("block", Obs.Trace.Int blk) ] name
 
 (* A transient fault fails the access before the pool is consulted (so
    the failed block is not cached and a bounded failure budget drains
@@ -68,6 +106,8 @@ let check_transient t blk =
   | Some f when Fault.read_fails f ~block:blk ->
       t.stats.Stats.block_reads <- t.stats.Stats.block_reads + 1;
       t.stats.Stats.faults_injected <- t.stats.Stats.faults_injected + 1;
+      note_seek t blk;
+      block_event "fault" blk;
       raise
         (Secidx_error.IO_error
            (Printf.sprintf "Device: transient read failure on block %d" blk))
@@ -75,17 +115,27 @@ let check_transient t blk =
 
 let touch_read t blk =
   check_transient t blk;
-  if Buffer_pool.access t.pool blk then
-    t.stats.Stats.pool_hits <- t.stats.Stats.pool_hits + 1
-  else t.stats.Stats.block_reads <- t.stats.Stats.block_reads + 1
+  if Buffer_pool.access t.pool blk then begin
+    t.stats.Stats.pool_hits <- t.stats.Stats.pool_hits + 1;
+    block_event "hit" blk
+  end
+  else begin
+    t.stats.Stats.block_reads <- t.stats.Stats.block_reads + 1;
+    note_seek t blk;
+    block_event "read" blk
+  end
 
 let touch_write t blk =
-  if Buffer_pool.access t.pool blk then
-    t.stats.Stats.pool_hits <- t.stats.Stats.pool_hits + 1
+  if Buffer_pool.access t.pool blk then begin
+    t.stats.Stats.pool_hits <- t.stats.Stats.pool_hits + 1;
+    block_event "hit" blk
+  end
   else begin
     if t.read_before_write then
       t.stats.Stats.block_reads <- t.stats.Stats.block_reads + 1;
-    t.stats.Stats.block_writes <- t.stats.Stats.block_writes + 1
+    t.stats.Stats.block_writes <- t.stats.Stats.block_writes + 1;
+    note_seek t blk;
+    block_event "write" blk
   end
 
 (* A range touches each covering block exactly once per call.  When
@@ -97,12 +147,23 @@ let touch_range t ~pos ~len kind =
     let first = pos / t.block_bits and last = (pos + len - 1) / t.block_bits in
     if Buffer_pool.capacity t.pool = 0 && t.fault = None then begin
       let nblocks = last - first + 1 in
-      match kind with
+      (match kind with
       | `Read -> t.stats.Stats.block_reads <- t.stats.Stats.block_reads + nblocks
       | `Write ->
           if t.read_before_write then
             t.stats.Stats.block_reads <- t.stats.Stats.block_reads + nblocks;
-          t.stats.Stats.block_writes <- t.stats.Stats.block_writes + nblocks
+          t.stats.Stats.block_writes <- t.stats.Stats.block_writes + nblocks);
+      (* Same seek rule as the per-block loop, arithmetically: blocks
+         inside the range are contiguous, so the only candidate seek
+         is at [first]. *)
+      if first <> t.last_block && first <> t.last_block + 1 then
+        t.stats.Stats.seeks <- t.stats.Stats.seeks + 1;
+      t.last_block <- last;
+      if !Obs.Trace.on then
+        let name = match kind with `Read -> "read" | `Write -> "write" in
+        for blk = first to last do
+          block_event name blk
+        done
     end
     else
       match kind with
@@ -243,7 +304,15 @@ let decoder t ~pos =
     touch_range t ~pos ~len `Read;
     t.stats.Stats.bits_read <- t.stats.Stats.bits_read + len
   in
-  Bitio.Decoder.counted ~data:t.data ~pos ~limit:t.used_bits ~charge
+  let d = Bitio.Decoder.counted ~data:t.data ~pos ~limit:t.used_bits ~charge in
+  (* Refill observation: installed only when tracing is already on, so
+     an untraced decode pays exactly one [None] branch per refill. *)
+  if !Obs.Trace.on then
+    Bitio.Decoder.set_on_refill d (fun ~pos ~len ->
+        Obs.Trace.instant ~cat:"dec"
+          ~attrs:[ ("pos", Obs.Trace.Int pos); ("len", Obs.Trace.Int len) ]
+          "refill");
+  d
 
 let blocks_spanned t ~pos ~len =
   if len <= 0 then 0

@@ -42,8 +42,22 @@ val set_fault : t -> Fault.t -> unit
 val clear_fault : t -> unit
 val fault : t -> Fault.t option
 
-(** Reset counters (leaves pool contents alone). *)
+(** Reset counters (leaves pool contents alone).  Also forgets the
+    last transferred block, so the next transfer counts one seek. *)
 val reset_stats : t -> unit
+
+(** Attach a space ledger: every subsequent {!alloc} charges its full
+    used-bits delta (length plus alignment padding) to the ledger's
+    current component, so [Obs.Ledger.total] tracks {!used_bits}
+    growth exactly. *)
+val set_ledger : t -> Obs.Ledger.t -> unit
+
+val clear_ledger : t -> unit
+val ledger : t -> Obs.Ledger.t option
+
+(** [with_component t name f] scopes the attached ledger's current
+    component around [f] (no-op without a ledger). *)
+val with_component : t -> string -> (unit -> 'a) -> 'a
 
 (** Empty the buffer pool — use before a query to measure a cold-cache
     cost. *)

@@ -74,7 +74,12 @@ let reseal t =
 let seal device ~magic ?rebuild ?image region =
   if magic < 0 || magic > 0xFFFF then invalid_arg "Frame.seal: magic";
   if region.Device.len > 1 lsl 30 then invalid_arg "Frame.seal: payload";
-  let header = Device.alloc device header_bits in
+  (* Header bits are framing overhead whatever the payload is — charge
+     them to the ledger's "frames" component, not the enclosing one. *)
+  let header =
+    Device.with_component device "frames" (fun () ->
+        Device.alloc device header_bits)
+  in
   let t = { device; magic; payload = region; header; rebuild; dirty = true } in
   (match image with
   | None -> reseal t

@@ -2,6 +2,7 @@ type t = {
   mutable block_reads : int;
   mutable block_writes : int;
   mutable pool_hits : int;
+  mutable seeks : int;
   mutable bits_read : int;
   mutable bits_written : int;
   mutable faults_injected : int;
@@ -9,11 +10,36 @@ type t = {
   mutable retries : int;
 }
 
+(* The single source of truth for the counter set.  [reset],
+   [snapshot], [diff], [to_json] and [equal] are all derived from this
+   list, so adding a counter means adding exactly one row here (plus
+   the record field) — the PR 3 drift where [diff] silently ignored
+   new fields cannot recur: [test_obs] checks the list length against
+   the record via [to_json]. *)
+let fields :
+    (string * (t -> int) * (t -> int -> unit)) list =
+  [
+    ("block_reads", (fun t -> t.block_reads), fun t v -> t.block_reads <- v);
+    ("block_writes", (fun t -> t.block_writes), fun t v -> t.block_writes <- v);
+    ("pool_hits", (fun t -> t.pool_hits), fun t v -> t.pool_hits <- v);
+    ("seeks", (fun t -> t.seeks), fun t v -> t.seeks <- v);
+    ("bits_read", (fun t -> t.bits_read), fun t v -> t.bits_read <- v);
+    ("bits_written", (fun t -> t.bits_written), fun t v -> t.bits_written <- v);
+    ( "faults_injected",
+      (fun t -> t.faults_injected),
+      fun t v -> t.faults_injected <- v );
+    ( "faults_detected",
+      (fun t -> t.faults_detected),
+      fun t v -> t.faults_detected <- v );
+    ("retries", (fun t -> t.retries), fun t v -> t.retries <- v);
+  ]
+
 let create () =
   {
     block_reads = 0;
     block_writes = 0;
     pool_hits = 0;
+    seeks = 0;
     bits_read = 0;
     bits_written = 0;
     faults_injected = 0;
@@ -21,46 +47,29 @@ let create () =
     retries = 0;
   }
 
-let reset t =
-  t.block_reads <- 0;
-  t.block_writes <- 0;
-  t.pool_hits <- 0;
-  t.bits_read <- 0;
-  t.bits_written <- 0;
-  t.faults_injected <- 0;
-  t.faults_detected <- 0;
-  t.retries <- 0
+let reset t = List.iter (fun (_, _, set) -> set t 0) fields
 
 let snapshot t =
-  {
-    block_reads = t.block_reads;
-    block_writes = t.block_writes;
-    pool_hits = t.pool_hits;
-    bits_read = t.bits_read;
-    bits_written = t.bits_written;
-    faults_injected = t.faults_injected;
-    faults_detected = t.faults_detected;
-    retries = t.retries;
-  }
+  let s = create () in
+  List.iter (fun (_, get, set) -> set s (get t)) fields;
+  s
 
 let diff ~before ~after =
-  {
-    block_reads = after.block_reads - before.block_reads;
-    block_writes = after.block_writes - before.block_writes;
-    pool_hits = after.pool_hits - before.pool_hits;
-    bits_read = after.bits_read - before.bits_read;
-    bits_written = after.bits_written - before.bits_written;
-    faults_injected = after.faults_injected - before.faults_injected;
-    faults_detected = after.faults_detected - before.faults_detected;
-    retries = after.retries - before.retries;
-  }
+  let d = create () in
+  List.iter (fun (_, get, set) -> set d (get after - get before)) fields;
+  d
+
+let equal a b = List.for_all (fun (_, get, _) -> get a = get b) fields
 
 let ios t = t.block_reads + t.block_writes
 
+let to_json t =
+  Obs.Json.Obj (List.map (fun (name, get, _) -> (name, Obs.Json.Int (get t))) fields)
+
 let pp ppf t =
   Format.fprintf ppf
-    "reads=%d writes=%d hits=%d bits_read=%d bits_written=%d" t.block_reads
-    t.block_writes t.pool_hits t.bits_read t.bits_written;
+    "reads=%d writes=%d hits=%d seeks=%d bits_read=%d bits_written=%d"
+    t.block_reads t.block_writes t.pool_hits t.seeks t.bits_read t.bits_written;
   if t.faults_injected + t.faults_detected + t.retries > 0 then
     Format.fprintf ppf " faults=%d/%d retries=%d" t.faults_detected
       t.faults_injected t.retries

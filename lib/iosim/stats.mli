@@ -11,6 +11,13 @@ type t = {
   mutable block_reads : int;
   mutable block_writes : int;
   mutable pool_hits : int;
+  mutable seeks : int;
+      (** Non-contiguous block transitions among transfers that missed
+          the pool: a transfer to block [b] after one to [b' ∉ {b-1, b}]
+          counts one seek, as does the first transfer after a stats
+          reset.  Distinguishes [z] scattered reads from a sequential
+          scan of [z] blocks — same [block_reads], very different cost
+          on a real disk. *)
   mutable bits_read : int;
   mutable bits_written : int;
   mutable faults_injected : int;
@@ -24,6 +31,12 @@ type t = {
           retry cost is visible in [block_reads] too. *)
 }
 
+val fields : (string * (t -> int) * (t -> int -> unit)) list
+(** The counter set as [(name, get, set)] rows — the single source of
+    truth from which {!reset}, {!snapshot}, {!diff}, {!equal} and
+    {!to_json} are derived, so a newly added counter cannot drift out
+    of any of them. *)
+
 val create : unit -> t
 val reset : t -> unit
 
@@ -34,7 +47,14 @@ val snapshot : t -> t
     ever grow, so all fields are non-negative). *)
 val diff : before:t -> after:t -> t
 
+(** Per-field equality over {!fields}. *)
+val equal : t -> t -> bool
+
 (** Total block I/Os, reads plus writes. *)
 val ios : t -> int
+
+(** All counters as a JSON object keyed by field name — the bench's
+    writer for per-query stats (replacing ad-hoc printf). *)
+val to_json : t -> Obs.Json.t
 
 val pp : Format.formatter -> t -> unit

@@ -1,0 +1,71 @@
+(* Theorem-envelope checker (PR 4).
+
+   Evaluates the paper's I/O and space bounds as concrete real-valued
+   envelopes so the bench can check every measured query against the
+   claimed cost *shape*.  Big-O hides a constant, so the check is
+   two-phase: [fit] computes the smallest constant c that covers a
+   calibration sample (max of measured/bound), then [within] flags any
+   later measurement exceeding c · slack · bound.  A violation means
+   the cost grew faster than the theorem allows relative to the
+   calibrated constant — exactly the per-phase regression the flat
+   counters could not see.
+
+   Bound shapes (theorem numbers per PAPER.md; DESIGN.md maps each
+   function to its statement):
+
+   - Theorem 1 (static compressed index, query): O(T/B + lg σ) I/Os
+     for an answer occupying T compressed bits.
+   - Theorem 2 / main query bound: O(z·lg(n/z)/B + lg_b n + lg lg n)
+     I/Os for z runs, with directory fan-out b = B / lg n.
+   - Theorem 2 space: n·H0 + O(n) + O(σ·lg²n) bits.
+   - Theorem 4 (dynamic appends): O(lg lg n) amortized I/Os.
+   - Theorem 5 (buffered appends): O((lg n)/b) amortized I/Os with
+     b = B / lg n, i.e. lg²n / B.
+
+   Every bound gets a "+ 1" floor: a one-block answer costs one I/O
+   regardless of how small the asymptotic terms get, and a zero bound
+   would make the fitted constant meaningless. *)
+
+let lg x = if x <= 2. then 1. else Float.log x /. Float.log 2.
+
+let thm1_ios ~block_bits ~sigma ~t_bits =
+  let b = float_of_int block_bits in
+  float_of_int t_bits /. b +. lg (float_of_int sigma) +. 1.
+
+let fan_out ~block_bits ~n =
+  Float.max 2. (float_of_int block_bits /. lg (float_of_int n))
+
+let thm2_ios ~block_bits ~n ~z =
+  let nf = float_of_int n in
+  let bbits = float_of_int block_bits in
+  let z = max z 1 in
+  let zf = float_of_int z in
+  let b = fan_out ~block_bits ~n in
+  (zf *. lg (nf /. zf) /. bbits) +. (lg nf /. lg b) +. lg (lg nf) +. 1.
+
+let thm4_append_ios ~n = lg (lg (float_of_int n)) +. 1.
+
+let thm5_append_ios ~block_bits ~n =
+  let l = lg (float_of_int n) in
+  (l *. l /. float_of_int block_bits) +. 1.
+
+let space_bound_bits ~n ~sigma ~h0_bits =
+  let l = lg (float_of_int n) in
+  h0_bits +. float_of_int n +. (float_of_int sigma *. l *. l)
+
+(* Smallest constant covering the calibration sample: max measured /
+   bound.  Floor 1e-9 keeps [within] meaningful on an empty sample. *)
+let fit samples =
+  List.fold_left
+    (fun acc (measured, bound) ->
+      if bound > 0. then Float.max acc (float_of_int measured /. bound)
+      else acc)
+    1e-9 samples
+
+let within ~c ~slack ~measured ~bound =
+  float_of_int measured <= (c *. slack *. bound) +. 1e-9
+
+let violations ~c ~slack samples =
+  List.filter
+    (fun (measured, bound) -> not (within ~c ~slack ~measured ~bound))
+    samples

@@ -1,0 +1,40 @@
+(** Per-query theorem checker: the paper's I/O and space bounds as
+    concrete envelopes.  {!fit} calibrates the hidden constant on a
+    sample; {!within} then flags measurements that exceed
+    [c · slack · bound].  DESIGN.md §6 maps each bound to its theorem
+    number in PAPER.md. *)
+
+val lg : float -> float
+(** Base-2 log, floored at 1 (so [lg] of tiny arguments never zeroes
+    out a bound term). *)
+
+val thm1_ios : block_bits:int -> sigma:int -> t_bits:int -> float
+(** Theorem 1 query bound [O(T/B + lg σ)] for an answer of [t_bits]
+    compressed bits, plus a one-I/O floor. *)
+
+val fan_out : block_bits:int -> n:int -> float
+(** Directory fan-out [b = B / lg n] (floored at 2). *)
+
+val thm2_ios : block_bits:int -> n:int -> z:int -> float
+(** Main query bound [O(z·lg(n/z)/B + lg_b n + lg lg n)] for an
+    answer of [z] runs, plus a one-I/O floor. *)
+
+val thm4_append_ios : n:int -> float
+(** Theorem 4 amortized append bound [O(lg lg n)]. *)
+
+val thm5_append_ios : block_bits:int -> n:int -> float
+(** Theorem 5 buffered-append bound [O((lg n)/b)] with [b = B/lg n],
+    i.e. [lg²n / B]. *)
+
+val space_bound_bits : n:int -> sigma:int -> h0_bits:float -> float
+(** Theorem 2 space envelope [n·H0 + n + σ·lg²n] in bits, taking the
+    measured empirical-entropy term [h0_bits = n·H0]. *)
+
+val fit : (int * float) list -> float
+(** [(measured, bound)] calibration sample → smallest covering
+    constant [max measured/bound]. *)
+
+val within : c:float -> slack:float -> measured:int -> bound:float -> bool
+
+val violations : c:float -> slack:float -> (int * float) list -> (int * float) list
+(** Sample entries with [measured > c · slack · bound]. *)

@@ -1,0 +1,123 @@
+(* Minimal JSON document + printer (PR 4).
+
+   One writer for every artifact the repo emits — BENCH_PR*.json,
+   Chrome traces, ledger tables — replacing the per-experiment
+   hand-rolled [Printf] strings that drifted between PRs 1–3.
+
+   The printer is deliberately plain: objects one key per line with
+   two-space indent, exactly the `"key": value` shape the CI greps
+   (`"pass": true`, `"silent_wrong": 0`) already match. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+let escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+(* JSON has no inf/nan; clamp them to something a parser accepts. *)
+let float_repr x =
+  if Float.is_nan x then "null"
+  else if x = Float.infinity then "1e308"
+  else if x = Float.neg_infinity then "-1e308"
+  else if Float.is_integer x && Float.abs x < 1e15 then
+    Printf.sprintf "%.1f" x
+  else Printf.sprintf "%.6g" x
+
+let atom = function
+  | Null -> Some "null"
+  | Bool b -> Some (if b then "true" else "false")
+  | Int i -> Some (string_of_int i)
+  | Float x -> Some (float_repr x)
+  | String s -> Some (Printf.sprintf "\"%s\"" (escape s))
+  | List [] -> Some "[]"
+  | Obj [] -> Some "{}"
+  | List _ | Obj _ -> None
+
+let rec write_pretty b ~indent t =
+  let pad n = String.make (2 * n) ' ' in
+  match atom t with
+  | Some s -> Buffer.add_string b s
+  | None -> (
+      match t with
+      | List items ->
+          Buffer.add_string b "[\n";
+          List.iteri
+            (fun i item ->
+              if i > 0 then Buffer.add_string b ",\n";
+              Buffer.add_string b (pad (indent + 1));
+              write_pretty b ~indent:(indent + 1) item)
+            items;
+          Buffer.add_char b '\n';
+          Buffer.add_string b (pad indent);
+          Buffer.add_char b ']'
+      | Obj fields ->
+          Buffer.add_string b "{\n";
+          List.iteri
+            (fun i (k, v) ->
+              if i > 0 then Buffer.add_string b ",\n";
+              Buffer.add_string b (pad (indent + 1));
+              Buffer.add_string b (Printf.sprintf "\"%s\": " (escape k));
+              write_pretty b ~indent:(indent + 1) v)
+            fields;
+          Buffer.add_char b '\n';
+          Buffer.add_string b (pad indent);
+          Buffer.add_char b '}'
+      | _ -> assert false)
+
+let rec write_minified b t =
+  match atom t with
+  | Some s -> Buffer.add_string b s
+  | None -> (
+      match t with
+      | List items ->
+          Buffer.add_char b '[';
+          List.iteri
+            (fun i item ->
+              if i > 0 then Buffer.add_char b ',';
+              write_minified b item)
+            items;
+          Buffer.add_char b ']'
+      | Obj fields ->
+          Buffer.add_char b '{';
+          List.iteri
+            (fun i (k, v) ->
+              if i > 0 then Buffer.add_char b ',';
+              Buffer.add_string b (Printf.sprintf "\"%s\":" (escape k));
+              write_minified b v)
+            fields;
+          Buffer.add_char b '}'
+      | _ -> assert false)
+
+let to_string ?(minify = false) t =
+  let b = Buffer.create 1024 in
+  if minify then write_minified b t else write_pretty b ~indent:0 t;
+  Buffer.contents b
+
+let to_channel ?minify oc t =
+  output_string oc (to_string ?minify t);
+  output_char oc '\n'
+
+let to_file ?minify path t =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> to_channel ?minify oc t)

@@ -1,0 +1,22 @@
+(** Minimal JSON document and printer — the single writer behind every
+    artifact the repo emits ([BENCH_PR*.json], Chrome traces, ledger
+    tables).  Objects print one key per line ([  "key": value]) so the
+    CI greps over bench output keep matching. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : ?minify:bool -> t -> string
+(** Pretty-printed by default (two-space indent); [~minify:true] emits
+    one line with no whitespace (used for JSONL trace export). *)
+
+val to_channel : ?minify:bool -> out_channel -> t -> unit
+(** [to_string] plus a trailing newline. *)
+
+val to_file : ?minify:bool -> string -> t -> unit

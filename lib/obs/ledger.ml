@@ -1,0 +1,51 @@
+(* Per-structure space ledger (PR 4).
+
+   Attributes every allocated extent to a named component so the bench
+   can report measured bits against the paper's n·H0 + n + σ·lg²n
+   space envelope term by term.  A ledger is attached to a device
+   ([Iosim.Device.set_ledger]); [Device.alloc] then records the *full*
+   used-bits delta of each allocation — requested length plus any
+   block-alignment padding — under the ledger's current component, so
+   the per-component bits sum to the device's allocated bits exactly
+   (the PR 4 bench gate).
+
+   Builders scope attribution with [with_component]: the previous
+   component is restored even if the build step raises, and nested
+   scopes behave like a stack. *)
+
+type t = {
+  tally : (string, int ref) Hashtbl.t;
+  mutable component : string;
+}
+
+let unattributed = "unattributed"
+
+let create () = { tally = Hashtbl.create 16; component = unattributed }
+
+let component t = t.component
+let set_component t name = t.component <- name
+
+let add_to t name bits =
+  if bits <> 0 then
+    match Hashtbl.find_opt t.tally name with
+    | Some r -> r := !r + bits
+    | None -> Hashtbl.add t.tally name (ref bits)
+
+let add t bits = add_to t t.component bits
+
+let with_component t name f =
+  let saved = t.component in
+  t.component <- name;
+  Fun.protect ~finally:(fun () -> t.component <- saved) f
+
+let total t = Hashtbl.fold (fun _ r acc -> acc + !r) t.tally 0
+
+let entries t =
+  Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.tally []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let find t name =
+  match Hashtbl.find_opt t.tally name with Some r -> !r | None -> 0
+
+let to_json t =
+  Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) (entries t))

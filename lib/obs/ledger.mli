@@ -1,0 +1,35 @@
+(** Per-structure space ledger: attributes every allocated extent to a
+    named component ("directory", "payload", "rank_select", "frames",
+    ...) so measured bits can be reported against the paper's
+    [n·H0 + n + σ·lg²n] envelope term by term.
+
+    Attach one to a device with [Iosim.Device.set_ledger]; every
+    subsequent [Device.alloc] records its full used-bits delta
+    (length + alignment padding) under the current component, so
+    {!total} equals the device's allocated bits exactly. *)
+
+type t
+
+val unattributed : string
+(** Component charged when no [with_component] scope is active. *)
+
+val create : unit -> t
+val component : t -> string
+val set_component : t -> string -> unit
+
+val with_component : t -> string -> (unit -> 'a) -> 'a
+(** Scope the current component; restores the previous one on exit,
+    exceptional or not.  Nests like a stack. *)
+
+val add : t -> int -> unit
+(** Charge bits to the current component. *)
+
+val add_to : t -> string -> int -> unit
+val total : t -> int
+val find : t -> string -> int
+(** Bits charged to a component (0 if never charged). *)
+
+val entries : t -> (string * int) list
+(** Sorted by component name. *)
+
+val to_json : t -> Json.t

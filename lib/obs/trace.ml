@@ -1,0 +1,206 @@
+(* Ring-buffered span/event tracer (PR 4).
+
+   Zero-cost-when-off contract: every call site guards on [!on] (a
+   single bool load) before building attrs, and [with_span] runs the
+   thunk directly when tracing is off.  No allocation, no clock read,
+   no probe call happens unless tracing was explicitly enabled — the
+   PR1/PR2 gated hot paths stay untouched (the bench re-verifies their
+   speedup gates with tracing disabled).
+
+   Events land in a fixed-capacity ring: when full, the oldest events
+   are overwritten and counted in [dropped].  Spans are reconstructed
+   from Begin/End pairs after the fact, so a long query can overflow
+   the ring without slowing down or aborting — the tail of the trace
+   survives, which is the part a phase histogram wants anyway.
+
+   Clock and I/O probe are pluggable.  The default clock is a
+   deterministic logical clock (monotone counter, 1 µs per event) so
+   tests and CI produce stable traces; the bench installs
+   [Unix.gettimeofday] for real wallclock and wires the probe to
+   [Iosim.Stats.ios] of the device under test, which turns span
+   deltas into per-phase I/O costs. *)
+
+type attr = Int of int | Float of float | Str of string | Bool of bool
+
+type kind = Begin | End | Instant
+
+type event = {
+  seq : int;
+  ts : float;
+  kind : kind;
+  name : string;
+  cat : string;
+  io : int;  (** probe reading when the event was emitted *)
+  attrs : (string * attr) list;
+}
+
+type span = {
+  span_name : string;
+  span_cat : string;
+  t0 : float;
+  t1 : float;
+  io_cost : int;  (** probe delta between Begin and End *)
+  nest : int;  (** 0 = outermost *)
+  span_attrs : (string * attr) list;
+}
+
+let on = ref false
+
+let dummy =
+  { seq = -1; ts = 0.; kind = Instant; name = ""; cat = ""; io = 0; attrs = [] }
+
+let ring : event array ref = ref [||]
+let cap = ref 0
+let emitted = ref 0
+let depth_ = ref 0
+let logical = ref 0.
+
+let default_clock () =
+  logical := !logical +. 1e-6;
+  !logical
+
+let clock = ref default_clock
+let probe = ref (fun () -> 0)
+let set_clock f = clock := f
+let set_io_probe f = probe := f
+let reset_io_probe () = probe := fun () -> 0
+
+let clear () =
+  emitted := 0;
+  depth_ := 0;
+  logical := 0.;
+  Array.fill !ring 0 (Array.length !ring) dummy
+
+let enable ?(capacity = 1 lsl 16) () =
+  if capacity < 1 then invalid_arg "Trace.enable: capacity";
+  ring := Array.make capacity dummy;
+  cap := capacity;
+  clear ();
+  on := true
+
+let disable () = on := false
+let enabled () = !on
+let depth () = !depth_
+let dropped () = max 0 (!emitted - !cap)
+
+let emit kind name cat attrs =
+  if !on && !cap > 0 then begin
+    let seq = !emitted in
+    incr emitted;
+    let e = { seq; ts = !clock (); kind; name; cat; io = !probe (); attrs } in
+    !ring.(seq mod !cap) <- e
+  end
+
+let begin_span ?(cat = "span") ?(attrs = []) name =
+  emit Begin name cat attrs;
+  incr depth_
+
+let end_span ?(cat = "span") ?(attrs = []) name =
+  decr depth_;
+  emit End name cat attrs
+
+let instant ?(cat = "event") ?(attrs = []) name = emit Instant name cat attrs
+
+let with_span ?cat ?attrs name f =
+  if not !on then f ()
+  else begin
+    begin_span ?cat ?attrs name;
+    Fun.protect ~finally:(fun () -> end_span ?cat name) f
+  end
+
+let events () =
+  let n = !emitted and c = !cap in
+  if c = 0 || n = 0 then []
+  else begin
+    let count = min n c in
+    let first = n - count in
+    List.init count (fun i -> !ring.((first + i) mod c))
+  end
+
+(* Pair Begin/End events via a stack.  A Begin whose End was emitted
+   but overwritten (or never emitted) stays on the stack; an End whose
+   Begin scrolled out of the ring has nothing to pop.  Both count as
+   unmatched rather than producing a bogus span. *)
+let reconstruct () =
+  let stack = ref [] in
+  let out = ref [] in
+  let orphan_ends = ref 0 in
+  List.iter
+    (fun e ->
+      match e.kind with
+      | Instant -> ()
+      | Begin -> stack := e :: !stack
+      | End -> (
+          match !stack with
+          | b :: tl when b.name = e.name ->
+              stack := tl;
+              out :=
+                {
+                  span_name = e.name;
+                  span_cat = b.cat;
+                  t0 = b.ts;
+                  t1 = e.ts;
+                  io_cost = e.io - b.io;
+                  nest = List.length tl;
+                  span_attrs = b.attrs;
+                }
+                :: !out
+          | _ -> incr orphan_ends))
+    (events ());
+  (List.rev !out, List.length !stack + !orphan_ends)
+
+let spans () = fst (reconstruct ())
+let unmatched () = snd (reconstruct ())
+
+(* --- export --- *)
+
+let attr_json = function
+  | Int i -> Json.Int i
+  | Float x -> Json.Float x
+  | Str s -> Json.String s
+  | Bool b -> Json.Bool b
+
+(* Chrome trace_event format: ts is in microseconds; "B"/"E" duration
+   events and "i" instants, one synthetic process/thread. *)
+let event_json e =
+  let ph, scope =
+    match e.kind with
+    | Begin -> ("B", [])
+    | End -> ("E", [])
+    | Instant -> ("i", [ ("s", Json.String "t") ])
+  in
+  Json.Obj
+    ([
+       ("name", Json.String e.name);
+       ("cat", Json.String e.cat);
+       ("ph", Json.String ph);
+       ("ts", Json.Float (e.ts *. 1e6));
+       ("pid", Json.Int 1);
+       ("tid", Json.Int 1);
+     ]
+    @ scope
+    @ [
+        ( "args",
+          Json.Obj
+            (("seq", Json.Int e.seq) :: ("io", Json.Int e.io)
+            :: List.map (fun (k, v) -> (k, attr_json v)) e.attrs) );
+      ])
+
+let to_chrome_json () =
+  Json.Obj
+    [
+      ("traceEvents", Json.List (List.map event_json (events ())));
+      ("displayTimeUnit", Json.String "ms");
+      ("otherData", Json.Obj [ ("dropped", Json.Int (dropped ())) ]);
+    ]
+
+let write_chrome path = Json.to_file path (to_chrome_json ())
+
+let write_jsonl path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      List.iter
+        (fun e -> Json.to_channel ~minify:true oc (event_json e))
+        (events ()))

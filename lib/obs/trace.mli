@@ -1,0 +1,90 @@
+(** Ring-buffered span/event tracer with Chrome [trace_event] export.
+
+    Zero-cost-when-off: call sites guard on [!on] (one bool load)
+    before building attributes, and {!with_span} runs its thunk
+    directly when tracing is disabled. *)
+
+type attr = Int of int | Float of float | Str of string | Bool of bool
+
+type kind = Begin | End | Instant
+
+type event = {
+  seq : int;  (** global emission index, 0-based *)
+  ts : float;  (** seconds (logical or wallclock, see {!set_clock}) *)
+  kind : kind;
+  name : string;
+  cat : string;
+  io : int;  (** I/O probe reading at emission (see {!set_io_probe}) *)
+  attrs : (string * attr) list;
+}
+
+type span = {
+  span_name : string;
+  span_cat : string;
+  t0 : float;
+  t1 : float;
+  io_cost : int;  (** I/O probe delta across the span *)
+  nest : int;  (** nesting depth, 0 = outermost *)
+  span_attrs : (string * attr) list;
+}
+
+val on : bool ref
+(** Guard every instrumentation site on [!on] before doing any work. *)
+
+val enable : ?capacity:int -> unit -> unit
+(** Allocate (or reallocate) the ring and start recording.  Default
+    capacity 65536 events; when full the oldest events are overwritten
+    (counted by {!dropped}). *)
+
+val disable : unit -> unit
+val enabled : unit -> bool
+
+val clear : unit -> unit
+(** Drop all recorded events and reset the logical clock; keeps the
+    ring allocation and the enabled state. *)
+
+val set_clock : (unit -> float) -> unit
+(** Replace the timestamp source.  Default: a deterministic logical
+    clock advancing 1 µs per event, so tests emit stable traces. *)
+
+val set_io_probe : (unit -> int) -> unit
+(** Replace the I/O probe sampled at every event; span [io_cost] is
+    the probe delta across the span.  Default: [fun () -> 0]. *)
+
+val reset_io_probe : unit -> unit
+
+val begin_span : ?cat:string -> ?attrs:(string * attr) list -> string -> unit
+val end_span : ?cat:string -> ?attrs:(string * attr) list -> string -> unit
+val instant : ?cat:string -> ?attrs:(string * attr) list -> string -> unit
+
+val with_span :
+  ?cat:string -> ?attrs:(string * attr) list -> string -> (unit -> 'a) -> 'a
+(** [with_span name f] brackets [f ()] in a span; the end event is
+    emitted even if [f] raises.  When tracing is off this is exactly
+    [f ()]. *)
+
+val depth : unit -> int
+(** Current span nesting depth (begins minus ends so far). *)
+
+val dropped : unit -> int
+(** Events overwritten by ring wrap-around since {!enable}/{!clear}. *)
+
+val events : unit -> event list
+(** Surviving events, oldest first. *)
+
+val spans : unit -> span list
+(** Begin/End pairs reconstructed from surviving events, ordered by
+    completion.  Pairs broken by ring overflow are excluded (see
+    {!unmatched}). *)
+
+val unmatched : unit -> int
+(** Begin events with no matching End in the ring plus End events
+    whose Begin scrolled out.  0 for a balanced, un-overflowed trace. *)
+
+val to_chrome_json : unit -> Json.t
+(** The whole ring as a Chrome [trace_event] JSON document — load it
+    in [chrome://tracing] or [https://ui.perfetto.dev]. *)
+
+val write_chrome : string -> unit
+val write_jsonl : string -> unit
+(** One minified [trace_event] object per line. *)

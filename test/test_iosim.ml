@@ -230,6 +230,7 @@ module Model = struct
     stats : Iosim.Stats.t;
     rbw : bool;
     block_bits : int;
+    mutable last_block : int;
   }
 
   let create ?(rbw = true) ~block_bits ~capacity () =
@@ -238,6 +239,7 @@ module Model = struct
       stats = Iosim.Stats.create ();
       rbw;
       block_bits;
+      last_block = min_int;
     }
 
   let touch_range m ~pos ~len kind =
@@ -246,7 +248,12 @@ module Model = struct
       for blk = first to last do
         if Iosim.Buffer_pool.access m.pool blk then
           m.stats.Iosim.Stats.pool_hits <- m.stats.Iosim.Stats.pool_hits + 1
-        else
+        else begin
+          (* PR 4 seek rule: a transfer to a block other than the last
+             transferred block or its successor costs one seek. *)
+          if blk <> m.last_block && blk <> m.last_block + 1 then
+            m.stats.Iosim.Stats.seeks <- m.stats.Iosim.Stats.seeks + 1;
+          m.last_block <- blk;
           match kind with
           | `Read ->
               m.stats.Iosim.Stats.block_reads <-
@@ -257,6 +264,7 @@ module Model = struct
                   m.stats.Iosim.Stats.block_reads + 1;
               m.stats.Iosim.Stats.block_writes <-
                 m.stats.Iosim.Stats.block_writes + 1
+        end
       done
     end
 
@@ -492,6 +500,7 @@ let test_model_sanity () =
       Iosim.Stats.block_reads = 1;
       block_writes = 1;
       pool_hits = 0;
+      seeks = 0;
       bits_read = 0;
       bits_written = 8;
       faults_injected = 0;

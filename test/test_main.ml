@@ -16,4 +16,5 @@ let () =
       ("succinct", Test_succinct.suite);
       ("robustness", Test_robustness.suite);
       ("integrity", Test_integrity.suite);
+      ("obs", Test_obs.suite);
     ]

@@ -1,0 +1,394 @@
+(* Tests for the observability layer (PR 4): tracer ring and span
+   reconstruction, space ledger, theorem envelopes, the shared JSON
+   writer, the seek counter, and the differential guarantee that
+   tracing changes no answer and no I/O counter. *)
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+let with_tracing ?(capacity = 4096) f =
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Trace.disable ();
+      Obs.Trace.reset_io_probe ())
+    (fun () ->
+      Obs.Trace.enable ~capacity ();
+      Obs.Trace.clear ();
+      f ())
+
+(* ---- tracer ---- *)
+
+let qcheck_span_balance =
+  QCheck.Test.make ~count:100 ~name:"with_span trees stay balanced"
+    QCheck.(list_of_size (Gen.int_range 0 5) (int_range 0 2))
+    (fun script ->
+      with_tracing ~capacity:8192 (fun () ->
+          let calls = ref 0 in
+          let rec go depth =
+            if depth <= 4 then
+              List.iter
+                (fun k ->
+                  incr calls;
+                  Obs.Trace.with_span
+                    (Printf.sprintf "s%d" k)
+                    (fun () -> if k > 0 then go (depth + 1)))
+                script
+          in
+          go 0;
+          Obs.Trace.depth () = 0
+          && Obs.Trace.unmatched () = 0
+          && List.length (Obs.Trace.spans ()) = !calls
+          && Obs.Trace.dropped () = 0))
+
+let test_ring_overflow () =
+  with_tracing ~capacity:8 (fun () ->
+      for i = 0 to 19 do
+        Obs.Trace.instant ~attrs:[ ("i", Obs.Trace.Int i) ] "tick"
+      done;
+      let evs = Obs.Trace.events () in
+      Alcotest.(check int) "survivors" 8 (List.length evs);
+      Alcotest.(check int) "dropped" 12 (Obs.Trace.dropped ());
+      (* Oldest first, and exactly the tail of the emission order. *)
+      Alcotest.(check (list int))
+        "seqs"
+        [ 12; 13; 14; 15; 16; 17; 18; 19 ]
+        (List.map (fun (e : Obs.Trace.event) -> e.Obs.Trace.seq) evs))
+
+let test_overflow_breaks_pairing () =
+  with_tracing ~capacity:4 (fun () ->
+      Obs.Trace.begin_span "outer";
+      for _ = 1 to 6 do
+        Obs.Trace.instant "tick"
+      done;
+      Obs.Trace.end_span "outer";
+      (* The Begin scrolled out of the ring, so the End is an orphan. *)
+      Alcotest.(check int) "unmatched" 1 (Obs.Trace.unmatched ());
+      Alcotest.(check int) "no spans" 0 (List.length (Obs.Trace.spans ())))
+
+let test_with_span_exception_safe () =
+  with_tracing (fun () ->
+      (try
+         Obs.Trace.with_span "boom" (fun () -> failwith "inner")
+       with Failure _ -> ());
+      Alcotest.(check int) "depth restored" 0 (Obs.Trace.depth ());
+      Alcotest.(check int) "balanced" 0 (Obs.Trace.unmatched ());
+      match Obs.Trace.spans () with
+      | [ s ] -> Alcotest.(check string) "name" "boom" s.Obs.Trace.span_name
+      | l -> Alcotest.failf "expected 1 span, got %d" (List.length l))
+
+let test_disabled_is_free_and_silent () =
+  Obs.Trace.disable ();
+  let ran = ref false in
+  let v = Obs.Trace.with_span "off" (fun () -> ran := true; 41 + 1) in
+  Obs.Trace.instant "off";
+  Alcotest.(check bool) "thunk ran" true !ran;
+  Alcotest.(check int) "value through" 42 v;
+  with_tracing (fun () ->
+      Alcotest.(check int) "nothing recorded before enable" 0
+        (List.length (Obs.Trace.events ())))
+
+let test_span_io_cost () =
+  with_tracing (fun () ->
+      let io = ref 0 in
+      Obs.Trace.set_io_probe (fun () -> !io);
+      Obs.Trace.with_span "q" (fun () -> io := !io + 7);
+      match Obs.Trace.spans () with
+      | [ s ] -> Alcotest.(check int) "io delta" 7 s.Obs.Trace.io_cost
+      | _ -> Alcotest.fail "expected 1 span")
+
+let test_chrome_export_shape () =
+  with_tracing (fun () ->
+      Obs.Trace.with_span ~cat:"phase" "q" (fun () ->
+          Obs.Trace.instant ~cat:"dev" "read");
+      let phases =
+        match Obs.Trace.to_chrome_json () with
+        | Obs.Json.Obj fields -> (
+            match List.assoc "traceEvents" fields with
+            | Obs.Json.List evs ->
+                List.map
+                  (function
+                    | Obs.Json.Obj f -> (
+                        match List.assoc "ph" f with
+                        | Obs.Json.String ph -> ph
+                        | _ -> "?")
+                    | _ -> "?")
+                  evs
+            | _ -> Alcotest.fail "traceEvents not a list")
+        | _ -> Alcotest.fail "not an object"
+      in
+      Alcotest.(check (list string)) "phases" [ "B"; "i"; "E" ] phases)
+
+(* ---- shared JSON writer ---- *)
+
+let test_json_writer () =
+  let doc =
+    Obs.Json.Obj
+      [
+        ("s", Obs.Json.String "a\"b\n\\c");
+        ("i", Obs.Json.Int (-3));
+        ("f", Obs.Json.Float 2.5);
+        ("whole", Obs.Json.Float 3.0);
+        ("nan", Obs.Json.Float Float.nan);
+        ("l", Obs.Json.List [ Obs.Json.Bool true; Obs.Json.Null ]);
+      ]
+  in
+  let pretty = Obs.Json.to_string doc in
+  let contains needle hay =
+    let nl = String.length needle and hl = String.length hay in
+    let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "escaped quote" true (contains {|"a\"b\n\\c"|} pretty);
+  Alcotest.(check bool) "grep-able key" true (contains {|  "i": -3|} pretty);
+  Alcotest.(check bool) "float" true (contains {|"f": 2.5|} pretty);
+  Alcotest.(check bool) "whole float keeps point" true
+    (contains {|"whole": 3.0|} pretty);
+  Alcotest.(check bool) "nan is null" true (contains {|"nan": null|} pretty);
+  let mini = Obs.Json.to_string ~minify:true doc in
+  Alcotest.(check bool) "minified single line" false (String.contains mini '\n')
+
+(* ---- stats: field list drives everything ---- *)
+
+let test_stats_fields_complete () =
+  let s = Iosim.Stats.create () in
+  List.iteri (fun i (_, _, set) -> set s (i + 1)) Iosim.Stats.fields;
+  let json = Iosim.Stats.to_json s in
+  (match json with
+  | Obs.Json.Obj kvs ->
+      Alcotest.(check int)
+        "one key per field"
+        (List.length Iosim.Stats.fields)
+        (List.length kvs);
+      List.iteri
+        (fun i (name, get, _) ->
+          Alcotest.(check int) ("get " ^ name) (i + 1) (get s);
+          match List.assoc name kvs with
+          | Obs.Json.Int v -> Alcotest.(check int) ("json " ^ name) (i + 1) v
+          | _ -> Alcotest.failf "field %s not an int" name)
+        Iosim.Stats.fields
+  | _ -> Alcotest.fail "to_json not an object");
+  let snap = Iosim.Stats.snapshot s in
+  Alcotest.(check bool) "snapshot equal" true (Iosim.Stats.equal s snap);
+  Iosim.Stats.reset s;
+  List.iter
+    (fun (name, get, _) -> Alcotest.(check int) ("reset " ^ name) 0 (get s))
+    Iosim.Stats.fields;
+  let d = Iosim.Stats.diff ~before:s ~after:snap in
+  Alcotest.(check bool) "diff = snapshot when before is zero" true
+    (Iosim.Stats.equal d snap)
+
+(* ---- seeks ---- *)
+
+let test_seek_counter () =
+  let dev = Iosim.Device.create ~block_bits:64 ~mem_bits:0 () in
+  ignore (Iosim.Device.alloc dev 640);
+  Iosim.Device.reset_stats dev;
+  (* Sequential walk over blocks 0..4: only the first transfer seeks. *)
+  for b = 0 to 4 do
+    ignore (Iosim.Device.read_bits dev ~pos:(b * 64) ~width:32)
+  done;
+  Alcotest.(check int) "sequential = 1 seek" 1
+    (Iosim.Device.stats dev).Iosim.Stats.seeks;
+  Iosim.Device.reset_stats dev;
+  (* Strided walk over blocks 0, 2, 4: every transfer seeks. *)
+  List.iter
+    (fun b -> ignore (Iosim.Device.read_bits dev ~pos:(b * 64) ~width:32))
+    [ 0; 2; 4 ];
+  Alcotest.(check int) "strided = 3 seeks" 3
+    (Iosim.Device.stats dev).Iosim.Stats.seeks
+
+let test_seek_pool_hit_keeps_position () =
+  let dev = Iosim.Device.create ~block_bits:64 ~mem_bits:(8 * 64) () in
+  ignore (Iosim.Device.alloc dev 640);
+  Iosim.Device.reset_stats dev;
+  ignore (Iosim.Device.read_bits dev ~pos:0 ~width:8);
+  (* Pool hit: neither a seek nor a move of the head position. *)
+  ignore (Iosim.Device.read_bits dev ~pos:8 ~width:8);
+  (* Block 1 is contiguous with the last *missed* block 0. *)
+  ignore (Iosim.Device.read_bits dev ~pos:64 ~width:8);
+  let s = Iosim.Device.stats dev in
+  Alcotest.(check int) "hits" 1 s.Iosim.Stats.pool_hits;
+  Alcotest.(check int) "one seek" 1 s.Iosim.Stats.seeks
+
+(* ---- ledger ---- *)
+
+let test_ledger_exact_and_scoped () =
+  let dev = Iosim.Device.create ~block_bits:64 ~mem_bits:0 () in
+  let ledger = Obs.Ledger.create () in
+  Iosim.Device.set_ledger dev ledger;
+  ignore (Iosim.Device.alloc dev 10);
+  Iosim.Device.with_component dev "directory" (fun () ->
+      ignore (Iosim.Device.alloc ~align_block:true dev 100));
+  (try
+     Obs.Ledger.with_component ledger "payload" (fun () ->
+         ignore (Iosim.Device.alloc dev 7);
+         failwith "mid-alloc")
+   with Failure _ -> ());
+  ignore (Iosim.Device.alloc dev 5);
+  Alcotest.(check string)
+    "component restored after raise" Obs.Ledger.unattributed
+    (Obs.Ledger.component ledger);
+  (* The aligned alloc's padding is charged too: the ledger total is
+     the device's allocated bits, exactly. *)
+  Alcotest.(check int)
+    "total = used_bits"
+    (Iosim.Device.used_bits dev)
+    (Obs.Ledger.total ledger);
+  Alcotest.(check int) "payload" 7 (Obs.Ledger.find ledger "payload");
+  Alcotest.(check bool)
+    "directory includes alignment padding" true
+    (Obs.Ledger.find ledger "directory" >= 100);
+  Alcotest.(check int) "unknown component" 0 (Obs.Ledger.find ledger "nope")
+
+(* ---- envelopes ---- *)
+
+let close what expected got =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: %.4f ~ %.4f" what expected got)
+    true
+    (Float.abs (expected -. got) < 1e-9)
+
+let test_envelope_units () =
+  (* Theorem 1 with an empty answer is the lg sigma directory walk
+     plus the one-I/O floor. *)
+  close "thm1 t=0"
+    9.0
+    (Obs.Envelope.thm1_ios ~block_bits:1024 ~sigma:256 ~t_bits:0);
+  close "thm1 t=2048"
+    11.0
+    (Obs.Envelope.thm1_ios ~block_bits:1024 ~sigma:256 ~t_bits:2048);
+  Alcotest.(check bool)
+    "thm2 z floor" true
+    (Obs.Envelope.thm2_ios ~block_bits:1024 ~n:65536 ~z:0
+    = Obs.Envelope.thm2_ios ~block_bits:1024 ~n:65536 ~z:1);
+  Alcotest.(check bool)
+    "thm2 monotone in z" true
+    (Obs.Envelope.thm2_ios ~block_bits:1024 ~n:65536 ~z:4096
+    > Obs.Envelope.thm2_ios ~block_bits:1024 ~n:65536 ~z:16);
+  close "thm4" 5.0 (Obs.Envelope.thm4_append_ios ~n:65536);
+  close "thm5" (256.0 /. 1024.0 +. 1.0)
+    (Obs.Envelope.thm5_append_ios ~block_bits:1024 ~n:65536);
+  close "space h0=0"
+    (65536.0 +. (256.0 *. 256.0))
+    (Obs.Envelope.space_bound_bits ~n:65536 ~sigma:256 ~h0_bits:0.0)
+
+let test_envelope_fit_and_violations () =
+  let sample = [ (10, 5.0); (3, 4.0); (0, 2.0) ] in
+  close "fit is max ratio" 2.0 (Obs.Envelope.fit sample);
+  let c = Obs.Envelope.fit sample in
+  Alcotest.(check bool)
+    "calibration sample within its own fit" true
+    (Obs.Envelope.violations ~c ~slack:1.0 sample = []);
+  Alcotest.(check int)
+    "one over" 1
+    (List.length
+       (Obs.Envelope.violations ~c ~slack:1.0 [ (11, 5.0); (10, 5.0) ]));
+  Alcotest.(check bool)
+    "boundary is within" true
+    (Obs.Envelope.within ~c:2.0 ~slack:1.5 ~measured:15 ~bound:5.0)
+
+(* ---- differential: tracing is invisible to answers and counters ---- *)
+
+let differential_instances () =
+  let n = 512 and sigma = 16 in
+  let g = Workload.Gen.uniform ~seed:91 ~n ~sigma in
+  let data = g.Workload.Gen.data in
+  let dev () =
+    Iosim.Device.create ~block_bits:512 ~mem_bits:(16 * 512) ()
+  in
+  [
+    Secidx.Static_index.instance (dev ()) ~sigma data;
+    Secidx.Alphabet_tree.instance (dev ()) ~sigma data;
+    Secidx.Dynamic_index.instance (dev ()) ~sigma data;
+    Baselines.Btree.instance (dev ()) ~sigma data;
+  ]
+
+let test_tracing_differential () =
+  let n = 512 in
+  let ranges = [ (0, 3); (2, 9); (0, 15); (7, 7); (15, 2) ] in
+  List.iter
+    (fun (inst : Indexing.Instance.t) ->
+      let reference =
+        List.map
+          (fun (lo, hi) -> Indexing.Instance.query_cold inst ~lo ~hi)
+          ranges
+      in
+      with_tracing ~capacity:(1 lsl 16) (fun () ->
+          Obs.Trace.set_io_probe (fun () ->
+              Iosim.Stats.ios (Iosim.Device.stats inst.Indexing.Instance.device));
+          List.iter2
+            (fun (lo, hi) (ref_answer, ref_stats) ->
+              Obs.Trace.clear ();
+              let answer, stats = Indexing.Instance.query_cold inst ~lo ~hi in
+              Alcotest.(check bool)
+                (Printf.sprintf "%s [%d..%d] answer unchanged"
+                   inst.Indexing.Instance.name lo hi)
+                true
+                (Cbitmap.Posting.equal
+                   (Indexing.Answer.to_posting ~n answer)
+                   (Indexing.Answer.to_posting ~n ref_answer));
+              Alcotest.(check bool)
+                (Printf.sprintf "%s [%d..%d] counters unchanged"
+                   inst.Indexing.Instance.name lo hi)
+                true
+                (Iosim.Stats.equal stats ref_stats);
+              Alcotest.(check int)
+                (Printf.sprintf "%s [%d..%d] spans balanced"
+                   inst.Indexing.Instance.name lo hi)
+                0
+                (Obs.Trace.unmatched ()))
+            ranges reference))
+    (differential_instances ())
+
+let test_traced_query_has_phases () =
+  match differential_instances () with
+  | static :: _ ->
+      with_tracing ~capacity:(1 lsl 16) (fun () ->
+          ignore (Indexing.Instance.query_cold static ~lo:2 ~hi:9);
+          let spans = Obs.Trace.spans () in
+          let has name =
+            List.exists
+              (fun (s : Obs.Trace.span) ->
+                s.Obs.Trace.span_cat = "phase" && s.Obs.Trace.span_name = name)
+              spans
+          in
+          Alcotest.(check bool) "query span" true
+            (List.exists
+               (fun (s : Obs.Trace.span) -> s.Obs.Trace.span_cat = "query")
+               spans);
+          Alcotest.(check bool) "rank_select" true (has "rank_select");
+          Alcotest.(check bool) "directory" true (has "directory");
+          Alcotest.(check bool) "payload" true (has "payload");
+          Alcotest.(check bool) "device events present" true
+            (List.exists
+               (fun (e : Obs.Trace.event) -> e.Obs.Trace.cat = "dev")
+               (Obs.Trace.events ())))
+  | [] -> Alcotest.fail "no instances"
+
+let suite =
+  [
+    Alcotest.test_case "ring overflow" `Quick test_ring_overflow;
+    Alcotest.test_case "overflow breaks pairing" `Quick
+      test_overflow_breaks_pairing;
+    Alcotest.test_case "with_span exception safe" `Quick
+      test_with_span_exception_safe;
+    Alcotest.test_case "disabled tracer is silent" `Quick
+      test_disabled_is_free_and_silent;
+    Alcotest.test_case "span io cost" `Quick test_span_io_cost;
+    Alcotest.test_case "chrome export shape" `Quick test_chrome_export_shape;
+    Alcotest.test_case "json writer" `Quick test_json_writer;
+    Alcotest.test_case "stats fields complete" `Quick
+      test_stats_fields_complete;
+    Alcotest.test_case "seek counter" `Quick test_seek_counter;
+    Alcotest.test_case "seek vs pool hit" `Quick
+      test_seek_pool_hit_keeps_position;
+    Alcotest.test_case "ledger exact and scoped" `Quick
+      test_ledger_exact_and_scoped;
+    Alcotest.test_case "envelope units" `Quick test_envelope_units;
+    Alcotest.test_case "envelope fit and violations" `Quick
+      test_envelope_fit_and_violations;
+    Alcotest.test_case "tracing differential" `Quick
+      test_tracing_differential;
+    Alcotest.test_case "traced query has phases" `Quick
+      test_traced_query_has_phases;
+    qcheck qcheck_span_balance;
+  ]
