@@ -215,6 +215,55 @@ let query t ~lo ~hi =
   | None -> Indexing.Answer.Direct Cbitmap.Posting.empty
   | Some (lo, hi) -> query_clamped t ~lo ~hi
 
+(* ---- batched execution (PR 5): each unique query still pays its own
+   directory descent (charged reads; upper levels become pool hits
+   within a batch), but leaf blocks decode at most once per batch —
+   with ascending unique ranges the shared scan over the sorted leaf
+   level serves every overlapping query. *)
+let batched_clamped t cache ~lo ~hi =
+  if t.n = 0 then Indexing.Answer.Direct Cbitmap.Posting.empty
+  else begin
+    let lo_key = key_of t ~c:lo ~pos:0 in
+    let hi_key = key_of t ~c:hi ~pos:((1 lsl t.pos_bits) - 1) in
+    let rec descend block level =
+      if level = t.height then block
+      else descend (descend_step t ~block lo_key) (level + 1)
+    in
+    let leaf =
+      Obs.Trace.with_span ~cat:"phase" "directory" (fun () ->
+          descend t.root_block 1)
+    in
+    let last_leaf = t.first_leaf_block + t.leaf_count - 1 in
+    let pos_mask = (1 lsl t.pos_bits) - 1 in
+    let acc = ref [] in
+    let rec scan block =
+      if block <= last_leaf then begin
+        let entries = Indexing.Batch.Cache.get cache block in
+        let past_end = ref false in
+        Array.iter
+          (fun key ->
+            if key > hi_key then past_end := true
+            else if key >= lo_key then acc := (key land pos_mask) :: !acc)
+          entries;
+        if not !past_end then scan (block + 1)
+      end
+    in
+    Obs.Trace.with_span ~cat:"phase" "payload" (fun () -> scan leaf);
+    Indexing.Answer.Direct (Cbitmap.Posting.of_list !acc)
+  end
+
+let query_batch t ranges =
+  let plan = Indexing.Batch.normalize ~sigma:t.sigma ranges in
+  let cache =
+    Indexing.Batch.Cache.create
+      ~decode:(fun block -> leaf_entries t ~block)
+      ()
+  in
+  Indexing.Batch.fan_out plan
+    (Array.map
+       (fun (lo, hi) -> batched_clamped t cache ~lo ~hi)
+       plan.Indexing.Batch.uniq)
+
 let size_bits t = t.node_count * Iosim.Device.block_bits t.device
 
 let instance device ~sigma x =
@@ -226,5 +275,6 @@ let instance device ~sigma x =
     sigma;
     size_bits = size_bits t;
     query = (fun ~lo ~hi -> query t ~lo ~hi);
+    batch = Some (query_batch t);
     integrity = Some (Indexing.Integrity.of_frames (fun () -> t.frames));
   }

@@ -21,6 +21,10 @@ val node_count : t -> int
 
 val query : t -> lo:int -> hi:int -> Indexing.Answer.t
 
+(** Batched execution (PR 5): per-query descents, but each leaf block
+    is decoded at most once per batch. *)
+val query_batch : t -> (int * int) array -> Indexing.Answer.t array
+
 val size_bits : t -> int
 
 val instance : Iosim.Device.t -> sigma:int -> int array -> Indexing.Instance.t

@@ -315,5 +315,6 @@ let instance device ~sigma x =
     sigma;
     size_bits = size_bits t;
     query = (fun ~lo ~hi -> query t ~lo ~hi);
+    batch = None;
     integrity = Some (Indexing.Integrity.of_frames (fun () -> frame_list t));
   }

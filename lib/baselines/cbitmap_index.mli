@@ -15,6 +15,10 @@ val build :
 
 val query : t -> lo:int -> hi:int -> Indexing.Answer.t
 
+(** Batched execution (PR 5): each character's stream decodes at most
+    once per batch; uncached runs are prefetched. *)
+val query_batch : t -> (int * int) array -> Indexing.Answer.t array
+
 (** Read one character's bitmap (a point query). *)
 val point_query : t -> int -> Cbitmap.Posting.t
 

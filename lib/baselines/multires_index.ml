@@ -93,6 +93,7 @@ let instance ?code device ~sigma ~w x =
     sigma;
     size_bits = size_bits t;
     query = (fun ~lo ~hi -> query t ~lo ~hi);
+    batch = None;
     integrity =
       Some
         (Indexing.Integrity.combine

@@ -1,0 +1,27 @@
+(** Per-character WAH-compressed bitmap index — the practical bitmap
+    comparator of §1.2 as an on-device baseline: each character's row
+    is a 32-bit word-aligned hybrid image ({!Cbitmap.Wah}) in its own
+    framed extent; a range query decodes and unions the rows of every
+    character in the range.
+
+    Compared to the gamma-gap {!Cbitmap_index}, WAH trades compression
+    rate for word-aligned decode — same query shape, different
+    bits-per-row economics. *)
+
+type t
+
+val build : Iosim.Device.t -> sigma:int -> int array -> t
+
+val query : t -> lo:int -> hi:int -> Indexing.Answer.t
+
+(** Batched execution (PR 5): each row decodes at most once per batch;
+    uncached rows are prefetched before the decode pass. *)
+val query_batch : t -> (int * int) array -> Indexing.Answer.t array
+
+(** Decode one character's row (counted I/O). *)
+val read_row : t -> int -> Cbitmap.Posting.t
+
+(** Sum of compressed row sizes, in bits. *)
+val size_bits : t -> int
+
+val instance : Iosim.Device.t -> sigma:int -> int array -> Indexing.Instance.t

@@ -243,5 +243,6 @@ let instance device ~sigma x =
     (* Answers are computed from the in-memory rank/select mirrors
        (device touches only account the I/O cost), so device faults
        cannot corrupt them: nothing to scrub. *)
+    batch = None;
     integrity = None;
   }

@@ -134,6 +134,85 @@ let query t ~lo ~hi =
   | None -> Indexing.Answer.Direct Cbitmap.Posting.empty
   | Some (lo, hi) -> query_checked t ~lo ~hi
 
+(* ---- batched execution (PR 5): as [query_checked] per unique query,
+   with node bitmaps decoded at most once per batch.  Cover pieces
+   resolve to (level, stream range) exactly as [piece_streams] does;
+   each stream's posting is cached by (level, index). *)
+
+(* The materialized (level, lo..hi) run answering one cover piece. *)
+let piece_run t (j, b) =
+  match t.levels.(j) with
+  | Some _ -> (j, b, b)
+  | None ->
+      let rec down m =
+        if m >= Array.length t.levels then
+          invalid_arg "Alphabet_tree: leaf level not materialized"
+        else
+          match t.levels.(m) with
+          | Some _ ->
+              let span = 1 lsl (m - j) in
+              (m, b * span, ((b + 1) * span) - 1)
+          | None -> down (m + 1)
+      in
+      down (j + 1)
+
+let batched_range t cache ~lo ~hi =
+  if lo > hi then Cbitmap.Posting.empty
+  else begin
+    let runs = List.map (piece_run t) (cover t ~lo ~hi) in
+    let postings =
+      List.concat_map
+        (fun (m, first, last) ->
+          let tab = Option.get t.levels.(m) in
+          (* Readahead over the uncached sub-runs of the piece. *)
+          let flush lo hi =
+            if lo <= hi then begin
+              let pos, len = Indexing.Stream_table.payload_span tab ~lo ~hi in
+              Iosim.Device.prefetch t.device ~pos ~len
+            end
+          in
+          let start = ref (-1) in
+          for i = first to last do
+            if Indexing.Batch.Cache.mem cache (m, i) then begin
+              if !start >= 0 then flush !start (i - 1);
+              start := -1
+            end
+            else if !start < 0 then start := i
+          done;
+          if !start >= 0 then flush !start last;
+          List.init (last - first + 1) (fun k ->
+              Indexing.Batch.Cache.get cache (m, first + k)))
+        runs
+    in
+    Cbitmap.Posting.union_many postings
+  end
+
+let batched_checked t cache ~lo ~hi =
+  let z =
+    Obs.Trace.with_span ~cat:"phase" "rank_select" (fun () ->
+        read_a t (hi + 1) - read_a t lo)
+  in
+  if z = 0 then Indexing.Answer.Direct Cbitmap.Posting.empty
+  else if t.complement && 2 * z > t.n then begin
+    let left = batched_range t cache ~lo:0 ~hi:(lo - 1) in
+    let right = batched_range t cache ~lo:(hi + 1) ~hi:(t.sigma2 - 1) in
+    Indexing.Answer.Complement (Cbitmap.Posting.union left right)
+  end
+  else Indexing.Answer.Direct (batched_range t cache ~lo ~hi)
+
+let query_batch t ranges =
+  let plan = Indexing.Batch.normalize ~sigma:t.sigma ranges in
+  let cache =
+    Indexing.Batch.Cache.create
+      ~decode:(fun (m, i) ->
+        Indexing.Stream_table.read_one (Option.get t.levels.(m)) i)
+      ()
+  in
+  Indexing.Batch.fan_out plan
+    (Array.map
+       (fun (lo, hi) -> batched_checked t cache ~lo ~hi)
+       plan.Indexing.Batch.uniq)
+
 let integrity t =
   Indexing.Integrity.combine
     (Indexing.Integrity.of_frames (fun () -> [ t.a_frame ])
@@ -160,5 +239,6 @@ let instance ?complement ?schedule device ~sigma x =
     sigma;
     size_bits = size_bits t;
     query = (fun ~lo ~hi -> query t ~lo ~hi);
+    batch = Some (query_batch t);
     integrity = Some (integrity t);
   }

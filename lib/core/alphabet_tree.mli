@@ -25,6 +25,11 @@ val build :
 
 val query : t -> lo:int -> hi:int -> Indexing.Answer.t
 
+(** Batched execution (PR 5): same cover and complement decisions as
+    [query] per unique range, with each node bitmap decoded at most
+    once per batch and uncached payload runs prefetched. *)
+val query_batch : t -> (int * int) array -> Indexing.Answer.t array
+
 (** Number of tree levels ([lg σ + 1] for σ a power of two). *)
 val levels : t -> int
 

@@ -429,6 +429,114 @@ let query t ~lo ~hi =
   | None -> Indexing.Answer.Direct Cbitmap.Posting.empty
   | Some (lo, hi) -> query_checked t ~lo ~hi
 
+(* ---- batched execution (PR 5): [answer_range] per unique query,
+   with each stored node's posting (base stream + chain blocks)
+   decoded at most once per batch.  Keys are (level, stream) with -1
+   for the leaf storage — stable across the batch since queries never
+   rebuild. *)
+
+let storage_key_of_node t (v : Wbb.node) =
+  if Wbb.is_leaf v then Some (-1, v.Wbb.leaf_index)
+  else if v.Wbb.level < Array.length t.mat && t.mat.(v.Wbb.level) then
+    match t.levels.(v.Wbb.level) with
+    | Some _ -> Some (v.Wbb.level, v.Wbb.level_index)
+    | None -> None
+  else None
+
+let storage_of_key t tag =
+  if tag = -1 then t.leaves else Option.get t.levels.(tag)
+
+(* Decode one node's full posting, prefetching its base payload span
+   and live chain blocks so the decode is a sequential pass. *)
+let node_posting t (tag, stream) =
+  let st = storage_of_key t tag in
+  let pos, len =
+    Indexing.Stream_table.payload_span st.table ~lo:stream ~hi:stream
+  in
+  Iosim.Device.prefetch t.device ~pos ~len;
+  List.iter
+    (fun blk ->
+      Iosim.Device.prefetch t.device ~pos:blk.cregion.Iosim.Device.off
+        ~len:blk.cregion.Iosim.Device.len)
+    st.chains.(stream).cblocks;
+  Cbitmap.Merge.union_to_posting (node_streams t st stream)
+
+let batched_range t cache ~lo ~hi =
+  if lo > hi then Cbitmap.Posting.empty
+  else begin
+    let canon, partial, spine =
+      Frozen.decompose t.frozen ~klo:(lo, 0) ~khi:(hi + 1, 0)
+    in
+    Obs.Trace.with_span ~cat:"phase" "directory" (fun () ->
+        List.iter (touch_meta t) spine;
+        List.iter (touch_meta t) canon);
+    let stored v =
+      Wbb.is_leaf v
+      || (v.Wbb.level < Array.length t.mat && t.mat.(v.Wbb.level))
+    in
+    let needs =
+      List.concat_map
+        (fun v -> Wbb.frontier (Frozen.tree t.frozen) v ~stored)
+        canon
+    in
+    let main =
+      Obs.Trace.with_span ~cat:"phase" "payload" (fun () ->
+          Cbitmap.Posting.union_many
+            (List.filter_map
+               (fun v ->
+                 Option.map
+                   (Indexing.Batch.Cache.get cache)
+                   (storage_key_of_node t v))
+               needs))
+    in
+    let filtered =
+      List.map
+        (fun v ->
+          match storage_key_of_node t v with
+          | Some key ->
+              let p = Indexing.Batch.Cache.get cache key in
+              Cbitmap.Posting.of_list
+                (Cbitmap.Posting.fold
+                   (fun acc pos ->
+                     if t.x.(pos) >= lo && t.x.(pos) <= hi then pos :: acc
+                     else acc)
+                   [] p)
+          | None -> Cbitmap.Posting.empty)
+        partial
+    in
+    let buffered_hits =
+      if t.buffered then
+        Cbitmap.Posting.of_list
+          (List.filter_map
+             (fun (ch, pos) -> if ch >= lo && ch <= hi then Some pos else None)
+             t.buffer)
+      else Cbitmap.Posting.empty
+    in
+    Cbitmap.Posting.union_many (main :: buffered_hits :: filtered)
+  end
+
+let batched_checked t cache ~lo ~hi =
+  let z = ref 0 in
+  Obs.Trace.with_span ~cat:"phase" "rank_select" (fun () ->
+      for ch = lo to hi do
+        z := !z + read_count t ch
+      done);
+  if !z = 0 && not t.buffered then Indexing.Answer.Direct Cbitmap.Posting.empty
+  else if t.complement && 2 * !z > t.n then
+    Indexing.Answer.Complement
+      (Cbitmap.Posting.union
+         (batched_range t cache ~lo:0 ~hi:(lo - 1))
+         (batched_range t cache ~lo:(hi + 1) ~hi:(t.sigma - 1)))
+  else Indexing.Answer.Direct (batched_range t cache ~lo ~hi)
+
+let query_batch t ranges =
+  let plan = Indexing.Batch.normalize ~sigma:t.sigma ranges in
+  let cache = Indexing.Batch.Cache.create ~decode:(node_posting t) () in
+  Indexing.Batch.fan_out plan
+    (Array.map
+       (fun (lo, hi) -> batched_checked t cache ~lo ~hi)
+       plan.Indexing.Batch.uniq)
+
 (* Frames over the live chain blocks: blocks appended to since their
    last seal were invalidated; blocks allocated since the last scrub
    are sealed here, from contents the appender just wrote. *)
@@ -497,5 +605,6 @@ let instance ?c ?complement ?buffered device ~sigma x =
     sigma;
     size_bits = size_bits t;
     query = (fun ~lo ~hi -> query t ~lo ~hi);
+    batch = Some (query_batch t);
     integrity = Some (integrity t);
   }

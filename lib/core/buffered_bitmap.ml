@@ -593,5 +593,6 @@ let instance ?c device ~sigma x =
         match Indexing.Common.clamp_range ~sigma ~lo ~hi with
         | None -> Indexing.Answer.Direct Cbitmap.Posting.empty
         | Some (lo, hi) -> Indexing.Answer.Direct (range_query t ~lo ~hi));
+    batch = None;
     integrity = Some (integrity t);
   }

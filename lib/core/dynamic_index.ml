@@ -247,6 +247,91 @@ let query t ~lo ~hi =
   | None -> Indexing.Answer.Direct Cbitmap.Posting.empty
   | Some (lo, hi) -> query_checked t ~lo ~hi
 
+(* ---- batched execution (PR 5): [answer_range] per unique query with
+   each stored node's posting read at most once per batch.  Updates
+   are per-stream ((stream, pos) keys in the buffered bitmaps), so the
+   union of per-stream point queries equals the coalesced range query
+   the single-query path issues. *)
+
+let storage_key_of_node t (v : Wbb.node) =
+  if Wbb.is_leaf v then Some (-1, v.Wbb.leaf_index)
+  else if v.Wbb.level < Array.length t.mat && t.mat.(v.Wbb.level) then
+    match t.level_bb.(v.Wbb.level) with
+    | Some _ -> Some (v.Wbb.level, v.Wbb.level_index)
+    | None -> None
+  else None
+
+let bb_of_key t tag =
+  if tag = -1 then t.leaf_bb else Option.get t.level_bb.(tag)
+
+let batched_range t cache ~lo ~hi =
+  if lo > hi then Cbitmap.Posting.empty
+  else begin
+    let canon, partial, _spine =
+      Frozen.decompose t.frozen ~klo:(lo, 0) ~khi:(hi + 1, 0)
+    in
+    let stored v =
+      Wbb.is_leaf v
+      || (v.Wbb.level < Array.length t.mat && t.mat.(v.Wbb.level))
+    in
+    let needs =
+      List.concat_map
+        (fun v -> Wbb.frontier (Frozen.tree t.frozen) v ~stored)
+        canon
+    in
+    let main =
+      List.filter_map
+        (fun v ->
+          Option.map
+            (Indexing.Batch.Cache.get cache)
+            (storage_key_of_node t v))
+        needs
+    in
+    let filtered =
+      List.map
+        (fun v ->
+          match storage_key_of_node t v with
+          | Some key ->
+              let p = Indexing.Batch.Cache.get cache key in
+              Cbitmap.Posting.of_list
+                (Cbitmap.Posting.fold
+                   (fun acc pos ->
+                     if t.x.(pos) >= lo && t.x.(pos) <= hi then pos :: acc
+                     else acc)
+                   [] p)
+          | None -> Cbitmap.Posting.empty)
+        partial
+    in
+    Cbitmap.Posting.union_many (main @ filtered)
+  end
+
+let batched_checked t cache ~lo ~hi =
+  let z = ref 0 in
+  Obs.Trace.with_span ~cat:"phase" "rank_select" (fun () ->
+      for ch = lo to hi do
+        z := !z + read_count t ch
+      done);
+  if !z = 0 then Indexing.Answer.Direct Cbitmap.Posting.empty
+  else if t.complement && 2 * !z > t.n then
+    Indexing.Answer.Complement
+      (Cbitmap.Posting.union
+         (batched_range t cache ~lo:0 ~hi:(lo - 1))
+         (batched_range t cache ~lo:(hi + 1) ~hi:t.sigma))
+  else Indexing.Answer.Direct (batched_range t cache ~lo ~hi)
+
+let query_batch t ranges =
+  let plan = Indexing.Batch.normalize ~sigma:t.sigma ranges in
+  let cache =
+    Indexing.Batch.Cache.create
+      ~decode:(fun (tag, stream) ->
+        Buffered_bitmap.point_query (bb_of_key t tag) stream)
+      ()
+  in
+  Indexing.Batch.fan_out plan
+    (Array.map
+       (fun (lo, hi) -> batched_checked t cache ~lo ~hi)
+       plan.Indexing.Batch.uniq)
+
 let size_bits t =
   let levels =
     Array.fold_left
@@ -284,5 +369,6 @@ let instance ?c ?complement device ~sigma x =
     sigma;
     size_bits = size_bits t;
     query = (fun ~lo ~hi -> query t ~lo ~hi);
+    batch = Some (query_batch t);
     integrity = Some (integrity t);
   }

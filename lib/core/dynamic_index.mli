@@ -35,6 +35,11 @@ val append : t -> int -> unit
 
 val query : t -> lo:int -> hi:int -> Indexing.Answer.t
 
+(** Batched execution (PR 5): same decomposition and complement
+    decisions as [query] per unique range; each stored node's posting
+    is read at most once per batch. *)
+val query_batch : t -> (int * int) array -> Indexing.Answer.t array
+
 val rebuilds : t -> int
 val size_bits : t -> int
 

@@ -36,6 +36,12 @@ val build :
 
 val query : t -> lo:int -> hi:int -> Indexing.Answer.t
 
+(** Batched execution (PR 5): answers [ranges] slot for slot with the
+    same plans and complement decisions as [query], but decodes each
+    stored stream at most once for the whole batch and prefetches
+    uncached payload runs.  What [Instance.batch] wires up. *)
+val query_batch : t -> (int * int) array -> Indexing.Answer.t array
+
 (** Answer for an entry range [\[s;e)] (entries are character
     instances in (char, pos) order); [s] and [e] must be character
     boundaries.  Exposed for the approximate index and for tests. *)

@@ -5,6 +5,7 @@ type t = {
   sigma : int;
   size_bits : int;
   query : lo:int -> hi:int -> Answer.t;
+  batch : ((int * int) array -> Answer.t array) option;
   integrity : Integrity.t option;
 }
 
@@ -27,9 +28,40 @@ let query_cold t ~lo ~hi =
   let answer = traced_query t ~lo ~hi in
   (answer, Iosim.Stats.snapshot (Iosim.Device.stats t.device))
 
-let query_posting t ~lo ~hi =
-  let answer, _ = query_cold t ~lo ~hi in
-  Answer.to_posting ~n:t.n answer
+let query_posting_with_stats t ~lo ~hi =
+  let answer, stats = query_cold t ~lo ~hi in
+  (Answer.to_posting ~n:t.n answer, stats)
+
+let query_posting t ~lo ~hi = fst (query_posting_with_stats t ~lo ~hi)
+
+(* One cold batch: pool cleared and counters reset once for the whole
+   batch — the amortization across the batch's queries (shared decode,
+   warm pool, readahead) is exactly what the returned stats price.
+   Structures without a batch hook still gain dedup + pool sharing
+   through the generic planner. *)
+let query_batch t ranges =
+  Iosim.Device.clear_pool t.device;
+  Iosim.Device.reset_stats t.device;
+  let run () =
+    match t.batch with
+    | Some f -> f ranges
+    | None ->
+        Batch.run ~sigma:t.sigma
+          ~exec:(fun ~lo ~hi -> t.query ~lo ~hi)
+          ranges
+  in
+  let answers =
+    if not !Obs.Trace.on then run ()
+    else
+      Obs.Trace.with_span ~cat:"query"
+        ~attrs:
+          [
+            ("index", Obs.Trace.Str t.name);
+            ("batch", Obs.Trace.Int (Array.length ranges));
+          ]
+        "query_batch" run
+  in
+  (answers, Iosim.Stats.snapshot (Iosim.Device.stats t.device))
 
 type outcome =
   | Ok of Answer.t

@@ -10,6 +10,12 @@ type t = {
   sigma : int;
   size_bits : int;  (** space used by the structure, in bits *)
   query : lo:int -> hi:int -> Answer.t;
+  batch : ((int * int) array -> Answer.t array) option;
+      (** Structure-specific batched execution: answers [ranges]
+          slot-for-slot, decoding each touched extent once for the
+          whole batch (see {!Batch}).  Must agree exactly with [query]
+          run range by range.  [None] means {!query_batch} falls back
+          to the generic planner (dedup + shared pool). *)
   integrity : Integrity.t option;
       (** Detect-or-repair hooks over the structure's on-device
           extents; [None] means the instance has no integrity layer
@@ -22,6 +28,20 @@ val query_cold : t -> lo:int -> hi:int -> Answer.t * Iosim.Stats.t
 
 (** Convenience: materialized positions of a cold query. *)
 val query_posting : t -> lo:int -> hi:int -> Cbitmap.Posting.t
+
+(** Like {!query_posting}, but also returns the stats snapshot
+    {!query_cold} took — callers needing both no longer re-run the
+    query just to read the counters. *)
+val query_posting_with_stats :
+  t -> lo:int -> hi:int -> Cbitmap.Posting.t * Iosim.Stats.t
+
+(** Answer a batch of ranges in one pass: the pool is cleared and the
+    counters reset once, then the structure's [batch] hook (or the
+    generic {!Batch.run} planner) answers every slot.  Answers are
+    identical — constructor included — to running [query] per slot;
+    the returned stats are the whole batch's, which is what the
+    amortization claims of PR 5 price. *)
+val query_batch : t -> (int * int) array -> Answer.t array * Iosim.Stats.t
 
 (** Outcome of a {!verified_query}: the answer over verified extents;
     the answer after a successful counted repair (with the repair cost

@@ -72,6 +72,7 @@ let build ?(code = Cbitmap.Gap_codec.Gamma) device postings =
   }
 
 let length t = t.nstreams
+let device t = t.device
 
 let dir_entry t i =
   if i < 0 || i >= t.nstreams then invalid_arg "Stream_table: index";
@@ -127,6 +128,20 @@ let streams t ~lo ~hi =
         List.init (hi - lo + 1) (fun k -> dir_entry t (lo + k)))
   in
   List.map (stream_of_entry t) entries
+
+(* Absolute payload bit range covered by streams [lo..hi] — what a
+   batched reader hands to [Device.prefetch] before decoding a run.
+   The bounding offsets are counted directory reads (mostly pool hits:
+   the decode that follows re-reads the same entries). *)
+let payload_span t ~lo ~hi =
+  if lo < 0 || hi >= t.nstreams || lo > hi then
+    invalid_arg "Stream_table.payload_span";
+  let off_lo, _ = dir_entry t lo in
+  let stop =
+    if hi + 1 < t.nstreams then fst (dir_entry t (hi + 1))
+    else t.payload.Iosim.Device.len
+  in
+  (t.payload.Iosim.Device.off + off_lo, stop - off_lo)
 
 let read_union t ~lo ~hi =
   let ss = streams t ~lo ~hi in

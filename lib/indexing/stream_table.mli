@@ -18,6 +18,9 @@ val build :
 (** Number of streams. *)
 val length : t -> int
 
+(** The device the table lives on. *)
+val device : t -> Iosim.Device.t
+
 (** Cardinality of stream [i], read from the on-device directory
     (counted I/O). *)
 val count : t -> int -> int
@@ -32,6 +35,11 @@ val read_union : t -> lo:int -> hi:int -> Cbitmap.Posting.t
 
 (** Pull streams for external merging (e.g. across tables). *)
 val streams : t -> lo:int -> hi:int -> Cbitmap.Merge.stream list
+
+(** [(pos, len)]: the absolute payload bit range covered by streams
+    [lo..hi], for handing to [Device.prefetch] ahead of a sequential
+    decode of the run.  Costs two counted directory reads. *)
+val payload_span : t -> lo:int -> hi:int -> int * int
 
 (** The table's two framed extents (directory, payload) — both carry
     CRC-32 headers and rebuild closures (re-encode from the retained

@@ -18,7 +18,8 @@ type t = {
 
 type region = { off : int; len : int }
 
-let create ?(read_before_write = true) ~block_bits ~mem_bits () =
+let create ?(read_before_write = true) ?(pool_policy = `Lru) ~block_bits
+    ~mem_bits () =
   if block_bits <= 0 || block_bits mod 8 <> 0 then
     invalid_arg "Device.create: block_bits must be a positive multiple of 8";
   if mem_bits < 0 then invalid_arg "Device.create: mem_bits";
@@ -26,7 +27,9 @@ let create ?(read_before_write = true) ~block_bits ~mem_bits () =
     block_bits;
     data = Bytes.make 4096 '\000';
     used_bits = 0;
-    pool = Buffer_pool.create ~capacity_blocks:(mem_bits / block_bits) ();
+    pool =
+      Buffer_pool.create ~policy:pool_policy
+        ~capacity_blocks:(mem_bits / block_bits) ();
     stats = Stats.create ();
     read_before_write;
     generation = 0;
@@ -117,6 +120,8 @@ let touch_read t blk =
   check_transient t blk;
   if Buffer_pool.access t.pool blk then begin
     t.stats.Stats.pool_hits <- t.stats.Stats.pool_hits + 1;
+    if Buffer_pool.consume_prefetch t.pool blk then
+      t.stats.Stats.prefetch_hits <- t.stats.Stats.prefetch_hits + 1;
     block_event "hit" blk
   end
   else begin
@@ -317,6 +322,29 @@ let decoder t ~pos =
 let blocks_spanned t ~pos ~len =
   if len <= 0 then 0
   else (pos + len - 1) / t.block_bits - (pos / t.block_bits) + 1
+
+(* Readahead: transfer the blocks covering [pos, pos+len) into the
+   pool ahead of demand.  Each transferred block is a real block read
+   (charged in [block_reads] and [prefetches]); blocks already
+   resident move no data and cost nothing.  The transfer is
+   sequential, so at most one seek is paid for the whole range — that,
+   not fewer transfers, is what readahead buys.  Advisory: a no-op
+   when the pool is off or a fault plan is armed (faults must land on
+   demand accesses, where detection and retry policies apply). *)
+let prefetch t ~pos ~len =
+  if len < 0 || pos < 0 || pos + len > t.used_bits then
+    invalid_arg "Device.prefetch";
+  if len > 0 && Buffer_pool.capacity t.pool > 0 && t.fault = None then begin
+    let first = pos / t.block_bits and last = (pos + len - 1) / t.block_bits in
+    for blk = first to last do
+      if Buffer_pool.insert_prefetched t.pool blk then begin
+        t.stats.Stats.block_reads <- t.stats.Stats.block_reads + 1;
+        t.stats.Stats.prefetches <- t.stats.Stats.prefetches + 1;
+        note_seek t blk;
+        block_event "prefetch" blk
+      end
+    done
+  end
 
 (* --- fault injection and recovery (PR 3) --------------------------- *)
 

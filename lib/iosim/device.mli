@@ -20,9 +20,17 @@ type region = { off : int; len : int }
     a buffer pool of [mem_bits / block_bits] blocks.
     [read_before_write] (default [true]) charges a block read when
     writing to a non-resident block, modelling read-modify-write of
-    partial blocks. *)
+    partial blocks.  [pool_policy] (default [`Lru], the seed
+    semantics) selects the pool's replacement policy; batched query
+    execution uses [`Segmented] so its sequential payload passes
+    cannot flush the hot directory blocks (see {!Buffer_pool}). *)
 val create :
-  ?read_before_write:bool -> block_bits:int -> mem_bits:int -> unit -> t
+  ?read_before_write:bool ->
+  ?pool_policy:Buffer_pool.policy ->
+  block_bits:int ->
+  mem_bits:int ->
+  unit ->
+  t
 
 val block_bits : t -> int
 val stats : t -> Stats.t
@@ -106,6 +114,17 @@ val decoder : t -> pos:int -> Bitio.Decoder.t
 
 (** Blocks covered by a bit range: [blocks_spanned t ~pos ~len]. *)
 val blocks_spanned : t -> pos:int -> len:int -> int
+
+(** [prefetch t ~pos ~len] declares that [pos, pos+len) is about to be
+    read sequentially and transfers its non-resident covering blocks
+    into the pool in one sequential pass (at most one seek).  Each
+    transferred block is charged as a [block_read] and counted in
+    [Stats.prefetches]; the first demand hit on such a block counts
+    one [Stats.prefetch_hits].  Advisory: no-op when the pool is
+    disabled or a fault plan is armed (faults must land on demand
+    accesses).  Raises [Invalid_argument] outside the allocated
+    space. *)
+val prefetch : t -> pos:int -> len:int -> unit
 
 (** Flip [count] seeded pseudo-random bits anywhere in the allocated
     space (raw, uncounted — latent medium corruption).  Returns the

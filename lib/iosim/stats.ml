@@ -3,6 +3,8 @@ type t = {
   mutable block_writes : int;
   mutable pool_hits : int;
   mutable seeks : int;
+  mutable prefetches : int;
+  mutable prefetch_hits : int;
   mutable bits_read : int;
   mutable bits_written : int;
   mutable faults_injected : int;
@@ -23,6 +25,10 @@ let fields :
     ("block_writes", (fun t -> t.block_writes), fun t v -> t.block_writes <- v);
     ("pool_hits", (fun t -> t.pool_hits), fun t v -> t.pool_hits <- v);
     ("seeks", (fun t -> t.seeks), fun t v -> t.seeks <- v);
+    ("prefetches", (fun t -> t.prefetches), fun t v -> t.prefetches <- v);
+    ( "prefetch_hits",
+      (fun t -> t.prefetch_hits),
+      fun t v -> t.prefetch_hits <- v );
     ("bits_read", (fun t -> t.bits_read), fun t v -> t.bits_read <- v);
     ("bits_written", (fun t -> t.bits_written), fun t v -> t.bits_written <- v);
     ( "faults_injected",
@@ -40,6 +46,8 @@ let create () =
     block_writes = 0;
     pool_hits = 0;
     seeks = 0;
+    prefetches = 0;
+    prefetch_hits = 0;
     bits_read = 0;
     bits_written = 0;
     faults_injected = 0;
@@ -63,8 +71,16 @@ let equal a b = List.for_all (fun (_, get, _) -> get a = get b) fields
 
 let ios t = t.block_reads + t.block_writes
 
+(* Hit rate over all pool-mediated block accesses.  NaN (rendered as
+   JSON null) when there were no accesses at all. *)
+let pool_hit_rate t =
+  let total = t.pool_hits + t.block_reads + t.block_writes in
+  float_of_int t.pool_hits /. float_of_int total
+
 let to_json t =
-  Obs.Json.Obj (List.map (fun (name, get, _) -> (name, Obs.Json.Int (get t))) fields)
+  Obs.Json.Obj
+    (List.map (fun (name, get, _) -> (name, Obs.Json.Int (get t))) fields
+    @ [ ("pool_hit_rate", Obs.Json.Float (pool_hit_rate t)) ])
 
 let pp ppf t =
   Format.fprintf ppf

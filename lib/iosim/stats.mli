@@ -18,6 +18,15 @@ type t = {
           reset.  Distinguishes [z] scattered reads from a sequential
           scan of [z] blocks — same [block_reads], very different cost
           on a real disk. *)
+  mutable prefetches : int;
+      (** Blocks transferred by {!Device.prefetch} (readahead).  Each
+          is also counted in [block_reads] — prefetching moves real
+          data; what it saves is seeks and latency, not transfers. *)
+  mutable prefetch_hits : int;
+      (** First demand access served by a still-resident prefetched
+          block — at most one per prefetched block, so
+          [prefetch_hits / prefetches] is the useful-readahead
+          fraction. *)
   mutable bits_read : int;
   mutable bits_written : int;
   mutable faults_injected : int;
@@ -53,8 +62,14 @@ val equal : t -> t -> bool
 (** Total block I/Os, reads plus writes. *)
 val ios : t -> int
 
-(** All counters as a JSON object keyed by field name — the bench's
-    writer for per-query stats (replacing ad-hoc printf). *)
+(** [pool_hits / (pool_hits + block_reads + block_writes)] — the
+    fraction of pool-mediated block accesses served from internal
+    memory.  NaN when no access happened (JSON renders it null). *)
+val pool_hit_rate : t -> float
+
+(** All counters as a JSON object keyed by field name, plus the
+    derived ["pool_hit_rate"] — the bench's writer for per-query
+    stats (replacing ad-hoc printf). *)
 val to_json : t -> Obs.Json.t
 
 val pp : Format.formatter -> t -> unit

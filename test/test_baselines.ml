@@ -285,6 +285,7 @@ let prop_multires_custom_widths =
         sigma;
         size_bits = Baselines.Multires_index.size_bits t;
         query = (fun ~lo ~hi -> Baselines.Multires_index.query t ~lo ~hi);
+        batch = None;
         integrity = None;
       })
 

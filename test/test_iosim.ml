@@ -28,6 +28,140 @@ let test_lru_invalidate () =
   Alcotest.(check bool) "gone" false (Iosim.Buffer_pool.mem pool 7);
   Alcotest.(check int) "occupancy" 0 (Iosim.Buffer_pool.occupancy pool)
 
+(* --- segmented (scan-resistant) pool policy (PR 5) --------------- *)
+
+let seg_pool capacity_blocks =
+  Iosim.Buffer_pool.create ~policy:`Segmented ~capacity_blocks ()
+
+(* Miss/hit behaviour and eviction order under `Segmented: blocks live
+   in probation until re-accessed; probation evicts before protected. *)
+let test_segmented_eviction_order () =
+  let pool = seg_pool 4 in
+  (* protected cap = 2 *)
+  Alcotest.(check bool) "miss 1" false (Iosim.Buffer_pool.access pool 1);
+  Alcotest.(check bool) "miss 2" false (Iosim.Buffer_pool.access pool 2);
+  Alcotest.(check bool) "hit 1 promotes" true (Iosim.Buffer_pool.access pool 1);
+  Alcotest.(check int) "protected" 1 (Iosim.Buffer_pool.protected_occupancy pool);
+  (* Fill with never-reused blocks: 3, 4, 5, 6 — the probationary tail
+     (2, then 3, ...) goes first; promoted 1 survives the whole scan. *)
+  ignore (Iosim.Buffer_pool.access pool 3);
+  ignore (Iosim.Buffer_pool.access pool 4);
+  ignore (Iosim.Buffer_pool.access pool 5);
+  ignore (Iosim.Buffer_pool.access pool 6);
+  Alcotest.(check bool) "2 evicted" false (Iosim.Buffer_pool.mem pool 2);
+  Alcotest.(check bool) "3 evicted" false (Iosim.Buffer_pool.mem pool 3);
+  Alcotest.(check bool) "1 kept" true (Iosim.Buffer_pool.mem pool 1);
+  Alcotest.(check int) "occupancy" 4 (Iosim.Buffer_pool.occupancy pool);
+  let c = Iosim.Buffer_pool.counters pool in
+  Alcotest.(check int) "promotions" 1 c.Iosim.Buffer_pool.promotions;
+  Alcotest.(check int) "no reused block lost" 0
+    c.Iosim.Buffer_pool.evicted_reused
+
+let test_segmented_zero_capacity () =
+  let pool = seg_pool 0 in
+  Alcotest.(check bool) "never hits" false (Iosim.Buffer_pool.access pool 1);
+  Alcotest.(check bool) "again" false (Iosim.Buffer_pool.access pool 1);
+  Alcotest.(check bool) "no prefetch" false
+    (Iosim.Buffer_pool.insert_prefetched pool 1)
+
+(* Capacity 1: protected segment is empty, behaves exactly like LRU. *)
+let test_segmented_capacity_one () =
+  let pool = seg_pool 1 in
+  Alcotest.(check bool) "miss 1" false (Iosim.Buffer_pool.access pool 1);
+  Alcotest.(check bool) "hit 1" true (Iosim.Buffer_pool.access pool 1);
+  Alcotest.(check int) "nothing protected" 0
+    (Iosim.Buffer_pool.protected_occupancy pool);
+  Alcotest.(check bool) "miss 2 evicts 1" false
+    (Iosim.Buffer_pool.access pool 2);
+  Alcotest.(check bool) "1 gone" false (Iosim.Buffer_pool.mem pool 1);
+  Alcotest.(check int) "occupancy" 1 (Iosim.Buffer_pool.occupancy pool)
+
+let test_segmented_invalidate () =
+  let pool = seg_pool 4 in
+  ignore (Iosim.Buffer_pool.access pool 7);
+  ignore (Iosim.Buffer_pool.access pool 7);
+  (* promoted *)
+  Iosim.Buffer_pool.invalidate pool 7;
+  Alcotest.(check bool) "gone" false (Iosim.Buffer_pool.mem pool 7);
+  Alcotest.(check int) "occupancy" 0 (Iosim.Buffer_pool.occupancy pool);
+  Alcotest.(check int) "protected empty" 0
+    (Iosim.Buffer_pool.protected_occupancy pool);
+  (* re-insert after invalidate is a plain miss into probation *)
+  Alcotest.(check bool) "miss again" false (Iosim.Buffer_pool.access pool 7)
+
+(* Re-access promotion is what distinguishes the policies: under LRU a
+   re-accessed block only moves to the list head; under `Segmented it
+   changes segment and gains scan immunity. *)
+let test_segmented_promotion_bounded () =
+  let pool = seg_pool 4 in
+  (* promote three blocks into a protected segment that holds two:
+     the protected tail is demoted back to probation, never evicted on
+     a hit. *)
+  List.iter
+    (fun b ->
+      ignore (Iosim.Buffer_pool.access pool b);
+      ignore (Iosim.Buffer_pool.access pool b))
+    [ 1; 2; 3 ];
+  Alcotest.(check int) "protected capped at capacity/2" 2
+    (Iosim.Buffer_pool.protected_occupancy pool);
+  Alcotest.(check int) "all still resident" 3
+    (Iosim.Buffer_pool.occupancy pool)
+
+(* The scan-resistance regression (PR 5 acceptance): a hot, re-accessed
+   working set followed by a long sequential scan of cold blocks.  The
+   segmented pool keeps every hot block resident and never evicts a
+   reused block; LRU flushes all of them. *)
+let test_scan_resistance () =
+  let hot = [ 1; 2; 3; 4 ] in
+  let run policy =
+    let pool = Iosim.Buffer_pool.create ~policy ~capacity_blocks:8 () in
+    List.iter (fun b -> ignore (Iosim.Buffer_pool.access pool b)) hot;
+    List.iter (fun b -> ignore (Iosim.Buffer_pool.access pool b)) hot;
+    (* sequential scan of 64 cold blocks, none re-accessed *)
+    for b = 100 to 163 do
+      ignore (Iosim.Buffer_pool.access pool b)
+    done;
+    pool
+  in
+  let seg = run `Segmented in
+  List.iter
+    (fun b ->
+      Alcotest.(check bool)
+        (Printf.sprintf "segmented keeps hot block %d" b)
+        true
+        (Iosim.Buffer_pool.mem seg b))
+    hot;
+  let c = Iosim.Buffer_pool.counters seg in
+  Alcotest.(check int) "segmented loses no reused block" 0
+    c.Iosim.Buffer_pool.evicted_reused;
+  let lru = run `Lru in
+  List.iter
+    (fun b ->
+      Alcotest.(check bool)
+        (Printf.sprintf "lru loses hot block %d" b)
+        false
+        (Iosim.Buffer_pool.mem lru b))
+    hot;
+  let c = Iosim.Buffer_pool.counters lru in
+  Alcotest.(check bool) "lru evicts reused blocks" true
+    (c.Iosim.Buffer_pool.evicted_reused > 0)
+
+(* Prefetch bookkeeping: insert_prefetched transfers once, the first
+   demand access consumes the flag, and a prefetched block behaves like
+   any probationary resident thereafter. *)
+let test_prefetch_flags () =
+  let pool = seg_pool 4 in
+  Alcotest.(check bool) "prefetch transfers" true
+    (Iosim.Buffer_pool.insert_prefetched pool 9);
+  Alcotest.(check bool) "already resident" false
+    (Iosim.Buffer_pool.insert_prefetched pool 9);
+  Alcotest.(check bool) "flag set once" true
+    (Iosim.Buffer_pool.consume_prefetch pool 9);
+  Alcotest.(check bool) "flag cleared" false
+    (Iosim.Buffer_pool.consume_prefetch pool 9);
+  Alcotest.(check bool) "demand access hits" true
+    (Iosim.Buffer_pool.access pool 9)
+
 let test_store_and_read () =
   let dev = device () in
   let buf = Bitio.Bitbuf.of_int ~width:40 0xdeadbeef0 in
@@ -501,6 +635,8 @@ let test_model_sanity () =
       block_writes = 1;
       pool_hits = 0;
       seeks = 0;
+      prefetches = 0;
+      prefetch_hits = 0;
       bits_read = 0;
       bits_written = 8;
       faults_injected = 0;
@@ -523,6 +659,18 @@ let suite =
     qcheck prop_read_region_matches_naive;
     Alcotest.test_case "lru zero capacity" `Quick test_lru_zero_capacity;
     Alcotest.test_case "lru invalidate" `Quick test_lru_invalidate;
+    Alcotest.test_case "segmented eviction order" `Quick
+      test_segmented_eviction_order;
+    Alcotest.test_case "segmented zero capacity" `Quick
+      test_segmented_zero_capacity;
+    Alcotest.test_case "segmented capacity one" `Quick
+      test_segmented_capacity_one;
+    Alcotest.test_case "segmented invalidate" `Quick test_segmented_invalidate;
+    Alcotest.test_case "segmented promotion bounded" `Quick
+      test_segmented_promotion_bounded;
+    Alcotest.test_case "scan resistance: segmented vs lru" `Quick
+      test_scan_resistance;
+    Alcotest.test_case "prefetch flags" `Quick test_prefetch_flags;
     Alcotest.test_case "store/read roundtrip" `Quick test_store_and_read;
     Alcotest.test_case "read counts blocks" `Quick test_read_counts_blocks;
     Alcotest.test_case "unaligned read spans blocks" `Quick

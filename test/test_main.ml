@@ -17,4 +17,5 @@ let () =
       ("robustness", Test_robustness.suite);
       ("integrity", Test_integrity.suite);
       ("obs", Test_obs.suite);
+      ("batch", Test_batch.suite);
     ]

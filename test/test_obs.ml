@@ -154,10 +154,14 @@ let test_stats_fields_complete () =
   let json = Iosim.Stats.to_json s in
   (match json with
   | Obs.Json.Obj kvs ->
+      (* One key per field plus the derived pool_hit_rate. *)
       Alcotest.(check int)
-        "one key per field"
-        (List.length Iosim.Stats.fields)
+        "one key per field plus derived rate"
+        (List.length Iosim.Stats.fields + 1)
         (List.length kvs);
+      (match List.assoc_opt "pool_hit_rate" kvs with
+      | Some (Obs.Json.Float _) -> ()
+      | _ -> Alcotest.fail "pool_hit_rate missing or not a float");
       List.iteri
         (fun i (name, get, _) ->
           Alcotest.(check int) ("get " ^ name) (i + 1) (get s);
