@@ -1130,11 +1130,11 @@ let wallclock_pr2 ~smoke () =
   let lo = 16 and hi = 47 in
   let stats_parity =
     Fun.protect
-      ~finally:(fun () -> Indexing.Stream_table.reference_decode := false)
+      ~finally:(fun () -> Indexing.Instance.set_reference_decode inst false)
       (fun () ->
-        Indexing.Stream_table.reference_decode := false;
+        Indexing.Instance.set_reference_decode inst false;
         let a_new, s_new = cold_query inst ~lo ~hi in
-        Indexing.Stream_table.reference_decode := true;
+        Indexing.Instance.set_reference_decode inst true;
         let a_old, s_old = cold_query inst ~lo ~hi in
         let card a = Cbitmap.Posting.cardinal (Indexing.Answer.to_posting ~n a) in
         card a_new = card a_old
@@ -1144,13 +1144,13 @@ let wallclock_pr2 ~smoke () =
   fmt "e2 cold-query I/O-counter parity: %s\n"
     (if stats_parity then "ok" else "MISMATCH");
   let e2_bench ref_mode () =
-    Indexing.Stream_table.reference_decode := ref_mode;
+    Indexing.Instance.set_reference_decode inst ref_mode;
     let answer, _ = cold_query inst ~lo ~hi in
     sink := !sink lxor Indexing.Answer.compressed_bits answer
   in
   let e2_engine, e2_perbit =
     Fun.protect
-      ~finally:(fun () -> Indexing.Stream_table.reference_decode := false)
+      ~finally:(fun () -> Indexing.Instance.set_reference_decode inst false)
       (fun () ->
         let e = record "e2_cold_query_engine" ~items:1 (e2_bench false) in
         let p = record "e2_cold_query_perbit" ~items:1 (e2_bench true) in
@@ -2143,6 +2143,277 @@ let batch_run ~smoke () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* --serve (PR 6): sharded, domain-parallel serving.  The logical
+   index is position-sharded over per-shard devices; an open-loop
+   traffic schedule (Zipf-popular templates, bursty arrivals) is
+   replayed against routers with 1, 2 and 4 domains.
+
+   Protocol per domain count: an *overload* run (offered rate 10x the
+   probed 1-domain capacity, so wall-clock is pure drain time and the
+   throughput ratio is the parallel speedup) and a *steady* run
+   (0.4x capacity, so latency percentiles mean service + burst
+   queueing, not unbounded backlog).  All runs at one domain count
+   share schedules with every other, so the answer digests must agree
+   across domain counts — the at-scale bit-identity check on top of
+   the exact per-query comparison against the unsharded instance.
+
+   Gates: zero answer mismatches and digest agreement always; the
+   parallel speedup (smoke: 2 domains > 1.0x; full: 4 domains >= 2.0x)
+   only when the machine has at least that many cores — a 1-core
+   container cannot demonstrate parallelism, and pretending it failed
+   would gate on the hardware, not the code.  CI runs on multi-core
+   runners, where the speedup gate is live. *)
+
+let serve_run ~smoke () =
+  header "sharded parallel serving (--serve)";
+  let n = if smoke then 4096 else 16384 and sigma = 256 in
+  let g = Workload.Gen.zipf ~seed:6 ~n ~sigma ~theta:1.0 () in
+  let data = g.Workload.Gen.data in
+  let builder = List.find (fun b -> b.b_name = "static") all_builders in
+  let make_device _ = device ~pool_policy:`Segmented () in
+  let make_shards k =
+    Serve.Shard.build ~shards:k ~make_device ~build:builder.b_build ~sigma data
+  in
+  let now () = Unix.gettimeofday () in
+
+  (* Satellite: the Zipf sampler must be table-driven, not per-sample
+     linear work — at serving rates the generator must not be the
+     bottleneck.  Race the alias table against a linear CDF scan over
+     the same weights; the gate is simply "not slower". *)
+  let zipf_alias_speedup =
+    let k = 4096 and draws = if smoke then 200_000 else 1_000_000 in
+    let weights = Workload.Gen.zipf_weights ~sigma:k ~theta:1.0 in
+    let total = Array.fold_left ( +. ) 0.0 weights in
+    let module Rng = Hashing.Universal.Rng in
+    let sink = ref 0 in
+    let time f =
+      let rng = Rng.create ~seed:99 in
+      let t0 = now () in
+      for _ = 1 to draws do
+        sink := !sink lxor f rng
+      done;
+      now () -. t0
+    in
+    let table = Workload.Gen.Alias.create weights in
+    let t_alias = time (fun rng -> Workload.Gen.Alias.draw table rng) in
+    let t_linear =
+      time (fun rng ->
+          let u = Rng.float rng *. total in
+          let acc = ref 0.0 and i = ref 0 in
+          while !i < k - 1 && !acc +. weights.(!i) < u do
+            acc := !acc +. weights.(!i);
+            incr i
+          done;
+          !i)
+    in
+    ignore !sink;
+    fmt "zipf sampler: alias %.0f Kdraw/s, linear scan %.0f Kdraw/s (%.0fx)\n"
+      (float_of_int draws /. t_alias /. 1e3)
+      (float_of_int draws /. t_linear /. 1e3)
+      (t_linear /. t_alias);
+    t_linear /. t_alias
+  in
+
+  (* Exact bit-identity: sharded routers (sequential at every shard
+     count, and a 2-domain router) against the unsharded instance over
+     a seeded query mix plus the adversarial shapes — boundary
+     spanning, full range, clamped, empty. *)
+  let unsharded = builder.b_build (make_device (-1)) ~sigma data in
+  let check_queries =
+    let module Rng = Hashing.Universal.Rng in
+    let rng = Rng.create ~seed:7 in
+    Array.init 64 (fun _ ->
+        let lo = Rng.below rng sigma in
+        (lo, min (sigma - 1) (lo + Rng.below rng sigma)))
+    |> Array.append
+         [| (0, sigma - 1); (0, 0); (sigma - 1, sigma - 1); (5, 4);
+            (sigma / 2, sigma / 2 + 1) |]
+  in
+  let mismatches_against router =
+    Array.fold_left
+      (fun acc (lo, hi) ->
+        let expect =
+          Indexing.Answer.to_posting ~n (unsharded.Indexing.Instance.query ~lo ~hi)
+        in
+        if Cbitmap.Posting.equal expect (Serve.Router.query router ~lo ~hi)
+        then acc
+        else acc + 1)
+      0 check_queries
+  in
+  let mismatches =
+    List.fold_left
+      (fun acc k ->
+        let seq = Serve.Router.create (make_shards k) in
+        let acc = acc + mismatches_against seq in
+        let dom = Serve.Router.create ~mode:Serve.Router.Domains (make_shards k) in
+        let acc = acc + mismatches_against dom in
+        Serve.Router.shutdown dom;
+        acc)
+      0 [ 1; 2; 4; 7 ]
+  in
+  fmt "bit-identity vs unsharded instance: %d mismatches\n" mismatches;
+
+  (* Capacity probe: drain the schedule-shaped load on one domain. *)
+  let count = if smoke then 20_000 else 100_000 in
+  let probe =
+    let router = Serve.Router.create (make_shards 1) in
+    let t =
+      Workload.Traffic.make ~seed:11 ~sigma ~count:(count / 10) ~rate:1e7 ()
+    in
+    let r = Serve.Sim.run router t in
+    r.Serve.Sim.throughput
+  in
+  fmt "1-domain capacity probe: %.0f q/s\n" probe;
+  let overload_traffic =
+    Workload.Traffic.make ~seed:12 ~sigma ~count ~rate:(10.0 *. probe) ()
+  in
+  let steady_traffic =
+    Workload.Traffic.make ~seed:13 ~sigma ~count:(count / 4)
+      ~rate:(0.4 *. probe) ()
+  in
+  let domain_counts = if smoke then [ 1; 2 ] else [ 1; 2; 4 ] in
+  let runs =
+    List.map
+      (fun d ->
+        let mode =
+          if d = 1 then Serve.Router.Sequential else Serve.Router.Domains
+        in
+        let run_one traffic =
+          let router = Serve.Router.create ~mode (make_shards d) in
+          let r = Serve.Sim.run router traffic in
+          let stats = Serve.Router.shard_stats router in
+          Serve.Router.shutdown router;
+          (r, stats)
+        in
+        let over, _ = run_one overload_traffic in
+        let steady, stats = run_one steady_traffic in
+        (d, over, steady, stats))
+      domain_counts
+  in
+  let throughput_of (_, over, _, _) = over.Serve.Sim.throughput in
+  let base = throughput_of (List.hd runs) in
+  let speedup_at d =
+    List.find_opt (fun (d', _, _, _) -> d' = d) runs
+    |> Option.map (fun r -> throughput_of r /. base)
+  in
+  table
+    [ "domains"; "drain q/s"; "speedup"; "p50 ms"; "p95 ms"; "p99 ms";
+      "imbalance" ]
+    (List.map
+       (fun (d, over, steady, stats) ->
+         let h = steady.Serve.Sim.latency in
+         let ms q = Workload.Histogram.percentile h q *. 1e3 in
+         [ string_of_int d;
+           Printf.sprintf "%.0f" over.Serve.Sim.throughput;
+           Printf.sprintf "%.2fx" (over.Serve.Sim.throughput /. base);
+           Printf.sprintf "%.3f" (ms 0.50);
+           Printf.sprintf "%.3f" (ms 0.95);
+           Printf.sprintf "%.3f" (ms 0.99);
+           Printf.sprintf "%.2f" (Iosim.Stats.imbalance stats) ])
+       runs);
+  let digests_agree l =
+    match l with [] -> true | x :: tl -> List.for_all (( = ) x) tl
+  in
+  let over_digests =
+    List.map (fun (_, over, _, _) -> over.Serve.Sim.checksum) runs
+  in
+  let steady_digests =
+    List.map (fun (_, _, steady, _) -> steady.Serve.Sim.checksum) runs
+  in
+  let digest_ok = digests_agree over_digests && digests_agree steady_digests in
+  fmt "answer digests agree across domain counts: %s\n"
+    (if digest_ok then "yes" else "NO");
+
+  (* Adaptive speedup gate: enforced only when the machine has at
+     least as many cores as the gated domain count. *)
+  let cores = Domain.recommended_domain_count () in
+  let gate_domains = if smoke then 2 else 4 in
+  let gate_min = if smoke then 1.0 else 2.0 in
+  let speedup = Option.value ~default:0.0 (speedup_at gate_domains) in
+  let speedup_enforced = cores >= gate_domains in
+  let speedup_ok = (not speedup_enforced) || speedup > gate_min -. 1e-9 in
+  if speedup_enforced then
+    fmt "speedup gate: %d domains %.2fx (need > %.1fx) on %d cores\n"
+      gate_domains speedup gate_min cores
+  else
+    fmt "speedup gate: skipped (%d cores < %d domains; measured %.2fx)\n"
+      cores gate_domains speedup;
+  let pass =
+    mismatches = 0 && digest_ok && speedup_ok && zipf_alias_speedup >= 1.0
+  in
+  J.to_file "BENCH_PR6.json"
+    (J.Obj
+       [
+         ("pr", J.Int 6);
+         ("label", J.String "sharded domain-parallel serving, open-loop");
+         ("smoke", J.Bool smoke);
+         ("n", J.Int n);
+         ("sigma", J.Int sigma);
+         ("builder", J.String builder.b_name);
+         ("queries", J.Int count);
+         ("cores", J.Int cores);
+         ("capacity_probe_qps", J.Float probe);
+         ( "runs",
+           J.List
+             (List.map
+                (fun (d, over, steady, stats) ->
+                  J.Obj
+                    [
+                      ("domains", J.Int d);
+                      ( "mode",
+                        J.String (if d = 1 then "sequential" else "domains") );
+                      ( "overload",
+                        J.Obj
+                          [
+                            ("throughput_qps", J.Float over.Serve.Sim.throughput);
+                            ("wall_s", J.Float over.Serve.Sim.wall);
+                            ("speedup", J.Float (over.Serve.Sim.throughput /. base));
+                            ("batches", J.Int over.Serve.Sim.batches);
+                            ("max_batch", J.Int over.Serve.Sim.max_batch);
+                            ("digest", J.Int over.Serve.Sim.checksum);
+                          ] );
+                      ( "steady",
+                        J.Obj
+                          [
+                            ("throughput_qps", J.Float steady.Serve.Sim.throughput);
+                            ( "latency",
+                              Workload.Histogram.to_json
+                                steady.Serve.Sim.latency );
+                            ("digest", J.Int steady.Serve.Sim.checksum);
+                          ] );
+                      ( "shards",
+                        J.List
+                          (List.map
+                             (fun s -> J.Int (Iosim.Stats.ios s))
+                             stats) );
+                      ("shard_stats_merged",
+                        Iosim.Stats.to_json (Iosim.Stats.merge stats));
+                      ("imbalance", J.Float (Iosim.Stats.imbalance stats));
+                    ])
+                runs) );
+         ( "gate",
+           J.Obj
+             [
+               ("answer_mismatches", J.Int mismatches);
+               ("digests_agree", J.Bool digest_ok);
+               ("zipf_alias_speedup", J.Float zipf_alias_speedup);
+               ("speedup_domains", J.Int gate_domains);
+               ("speedup_min", J.Float gate_min);
+               ("speedup_measured", J.Float speedup);
+               ("speedup_enforced", J.Bool speedup_enforced);
+               ("pass", J.Bool pass);
+             ] );
+       ]);
+  fmt "wrote BENCH_PR6.json\n";
+  if not pass then begin
+    fmt
+      "BENCH_PR6 gate FAILED: mismatches=%d digests_agree=%b speedup=%.2f \
+       alias=%.2f\n"
+      mismatches digest_ok speedup zipf_alias_speedup;
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -2159,6 +2430,7 @@ let () =
   let want_faults = List.mem "--faults" args in
   let want_trace = List.mem "--trace" args in
   let want_batch = List.mem "--batch" args in
+  let want_serve = List.mem "--serve" args in
   let smoke = List.mem "--smoke" args in
   let selected =
     List.filter
@@ -2166,13 +2438,13 @@ let () =
         not
           (List.mem a
              [ "--bechamel"; "--wallclock"; "--faults"; "--trace"; "--batch";
-               "--smoke" ]))
+               "--serve"; "--smoke" ]))
       args
   in
   let to_run =
     if selected = [] then
       if want_wallclock || want_bechamel || want_faults || want_trace
-         || want_batch
+         || want_batch || want_serve
       then []
       else experiments
     else
@@ -2195,4 +2467,5 @@ let () =
   if want_faults then fault_campaign ~smoke ();
   if want_trace then trace_run ~smoke ();
   if want_batch then batch_run ~smoke ();
+  if want_serve then serve_run ~smoke ();
   fmt "\nbench: done\n"

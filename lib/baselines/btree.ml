@@ -271,6 +271,7 @@ let instance device ~sigma x =
   {
     Indexing.Instance.name = "btree";
     device;
+    ctx = Indexing.Context.create device;
     n = t.n;
     sigma;
     size_bits = size_bits t;

@@ -311,6 +311,7 @@ let instance device ~sigma x =
   {
     Indexing.Instance.name = "btree-dynamic";
     device;
+    ctx = Indexing.Context.create device;
     n = Array.length x;
     sigma;
     size_bits = size_bits t;

@@ -53,6 +53,7 @@ let instance ?code device ~sigma x =
   {
     Indexing.Instance.name = "bitmap-compressed";
     device;
+    ctx = Indexing.Stream_table.ctx t.table;
     n = t.n;
     sigma;
     size_bits = size_bits t;

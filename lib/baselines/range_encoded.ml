@@ -78,6 +78,7 @@ let instance device ~sigma x =
   {
     Indexing.Instance.name = "range-encoded";
     device;
+    ctx = Indexing.Context.create device;
     n = t.n;
     sigma;
     size_bits = size_bits t;

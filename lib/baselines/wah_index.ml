@@ -81,6 +81,7 @@ let instance device ~sigma x =
   {
     Indexing.Instance.name = "bitmap-wah";
     device;
+    ctx = Indexing.Context.create device;
     n = t.n;
     sigma;
     size_bits = size_bits t;

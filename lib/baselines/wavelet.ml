@@ -236,6 +236,7 @@ let instance device ~sigma x =
   {
     Indexing.Instance.name = "wavelet-tree";
     device;
+    ctx = Indexing.Context.create device;
     n = t.n;
     sigma;
     size_bits = size_bits t;

@@ -1,5 +1,6 @@
 type t = {
   device : Iosim.Device.t;
+  ctx : Indexing.Context.t; (* shared by all level tables *)
   n : int;
   sigma : int;
   sigma2 : int; (* alphabet size rounded up to a power of two *)
@@ -32,12 +33,13 @@ let build ?(complement = true) ?(schedule = `All) device ~sigma x =
   let postings = Indexing.Common.positions_by_char ~sigma x in
   let posting_of_char c = if c < sigma then postings.(c) else Cbitmap.Posting.empty in
   let mat = materialized_depths schedule nlevels in
+  let ctx = Indexing.Context.create device in
   (* Build levels bottom-up: level (nlevels-1) = single characters. *)
   let tables = Array.make nlevels None in
   let current = ref (Array.init sigma2 posting_of_char) in
   for j = nlevels - 1 downto 0 do
     if List.mem j mat then
-      tables.(j) <- Some (Indexing.Stream_table.build device !current);
+      tables.(j) <- Some (Indexing.Stream_table.build ~ctx device !current);
     if j > 0 then
       current :=
         Array.init (1 lsl (j - 1)) (fun b ->
@@ -56,7 +58,8 @@ let build ?(complement = true) ?(schedule = `All) device ~sigma x =
           a_buf)
   in
   let a_region = Iosim.Frame.payload a_frame in
-  { device; n; sigma; sigma2; levels; a_region; a_frame; pos_bits; complement }
+  { device; ctx; n; sigma; sigma2; levels; a_region; a_frame; pos_bits;
+    complement }
 
 let levels t = Array.length t.levels
 
@@ -235,6 +238,7 @@ let instance ?complement ?schedule device ~sigma x =
       | Some `Doubling -> "secidx-complete-tree-fn3"
       | _ -> "secidx-complete-tree");
     device;
+    ctx = t.ctx;
     n = t.n;
     sigma;
     size_bits = size_bits t;

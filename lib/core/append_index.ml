@@ -20,6 +20,7 @@ type storage = {
 
 type t = {
   device : Iosim.Device.t;
+  ctx : Indexing.Context.t; (* shared by every storage, across rebuilds *)
   c : int;
   complement : bool;
   buffered : bool;
@@ -56,9 +57,9 @@ let last_of_posting p =
   let k = Cbitmap.Posting.cardinal p in
   if k = 0 then -1 else Cbitmap.Posting.get p (k - 1)
 
-let make_storage ~code device postings =
+let make_storage ~ctx ~code device postings =
   {
-    table = Indexing.Stream_table.build ~code device postings;
+    table = Indexing.Stream_table.build ~ctx ~code device postings;
     chains =
       Array.map
         (fun p ->
@@ -105,7 +106,7 @@ let write_meta t =
   t.meta_region <- Iosim.Frame.payload f
 
 (* Construct the frozen view and per-level storages for [data]. *)
-let build_parts ~c ~code ~sigma device data =
+let build_parts ~ctx ~c ~code ~sigma device data =
   let tree = Wbb.build ~c ~sigma data in
   let frozen = Frozen.make tree ~sigma_total:sigma in
   let height = tree.Wbb.height in
@@ -118,19 +119,20 @@ let build_parts ~c ~code ~sigma device data =
           && Array.length tree.Wbb.internal_by_level.(l - 1) > 0
         then
           Some
-            (make_storage ~code device
+            (make_storage ~ctx ~code device
                (Array.map (Wbb.positions tree) tree.Wbb.internal_by_level.(l - 1)))
         else None)
   in
   let leaves =
-    make_storage ~code device (Array.map (Wbb.positions tree) tree.Wbb.leaves)
+    make_storage ~ctx ~code device
+      (Array.map (Wbb.positions tree) tree.Wbb.leaves)
   in
   (frozen, mat, levels, leaves)
 
 let rebuild t =
   let data = Array.sub t.x 0 t.n in
   let frozen, mat, levels, leaves =
-    build_parts ~c:t.c ~code:t.code ~sigma:t.sigma t.device data
+    build_parts ~ctx:t.ctx ~c:t.c ~code:t.code ~sigma:t.sigma t.device data
   in
   t.frozen <- frozen;
   t.mat <- mat;
@@ -145,10 +147,12 @@ let build ?(c = 8) ?(complement = true) ?(buffered = false)
   if Array.length x = 0 then invalid_arg "Append_index.build: empty string";
   let n = Array.length x in
   let cap = max 1 (Iosim.Device.block_bits device / (Indexing.Common.bits_for (max 2 sigma) + 40)) in
-  let frozen, mat, levels, leaves = build_parts ~c ~code ~sigma device x in
+  let ctx = Indexing.Context.create device in
+  let frozen, mat, levels, leaves = build_parts ~ctx ~c ~code ~sigma device x in
   let t =
     {
       device;
+      ctx;
       c;
       complement;
       buffered;
@@ -601,6 +605,7 @@ let instance ?c ?complement ?buffered device ~sigma x =
     Indexing.Instance.name =
       (if t.buffered then "secidx-append-buffered" else "secidx-append");
     device;
+    ctx = t.ctx;
     n = t.n;
     sigma;
     size_bits = size_bits t;

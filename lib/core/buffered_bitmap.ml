@@ -585,6 +585,7 @@ let instance ?c device ~sigma x =
   {
     Indexing.Instance.name = "secidx-buffered-bitmap";
     device;
+    ctx = Indexing.Context.create device;
     n = Array.length x;
     sigma;
     size_bits = size_bits t;

@@ -365,6 +365,7 @@ let instance ?c ?complement device ~sigma x =
   {
     Indexing.Instance.name = "secidx-dynamic";
     device;
+    ctx = Indexing.Context.create device;
     n = t.n;
     sigma;
     size_bits = size_bits t;

@@ -104,18 +104,21 @@ let build ?(c = 8) ?(complement = true) ?(schedule = `Doubling)
   let height = tree.Wbb.height in
   let mat = Array.make (height + 1) false in
   List.iter (fun l -> mat.(l) <- true) (schedule_levels schedule height);
+  (* One execution context shared by every table of this instance (so
+     per-query knobs cover level and leaf decodes alike). *)
+  let ctx = Indexing.Context.create device in
   let level_tables =
     Array.init (height + 1) (fun l ->
         if l >= 1 && mat.(l) && Array.length tree.Wbb.internal_by_level.(l - 1) > 0
         then
           Some
-            (Indexing.Stream_table.build ~code device
+            (Indexing.Stream_table.build ~ctx ~code device
                (Array.map (Wbb.positions tree)
                   tree.Wbb.internal_by_level.(l - 1)))
         else None)
   in
   let leaf_table =
-    Indexing.Stream_table.build ~code device
+    Indexing.Stream_table.build ~ctx ~code device
       (Array.map (Wbb.positions tree) tree.Wbb.leaves)
   in
   let n = tree.Wbb.n in
@@ -382,6 +385,7 @@ let instance ?c ?complement ?schedule ?code device ~sigma x =
   {
     Indexing.Instance.name = "secidx-static";
     device;
+    ctx = Indexing.Stream_table.ctx t.leaf_table;
     n = t.tree.Wbb.n;
     sigma;
     size_bits = size_bits t;

@@ -1,0 +1,7 @@
+type t = {
+  device : Iosim.Device.t;
+  mutable reference_decode : bool;
+}
+
+let create device = { device; reference_decode = false }
+let device t = t.device

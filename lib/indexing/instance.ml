@@ -1,6 +1,7 @@
 type t = {
   name : string;
   device : Iosim.Device.t;
+  ctx : Context.t;
   n : int;
   sigma : int;
   size_bits : int;
@@ -8,6 +9,8 @@ type t = {
   batch : ((int * int) array -> Answer.t array) option;
   integrity : Integrity.t option;
 }
+
+let set_reference_decode t v = t.ctx.Context.reference_decode <- v
 
 let traced_query t ~lo ~hi =
   if not !Obs.Trace.on then t.query ~lo ~hi
@@ -34,14 +37,7 @@ let query_posting_with_stats t ~lo ~hi =
 
 let query_posting t ~lo ~hi = fst (query_posting_with_stats t ~lo ~hi)
 
-(* One cold batch: pool cleared and counters reset once for the whole
-   batch — the amortization across the batch's queries (shared decode,
-   warm pool, readahead) is exactly what the returned stats price.
-   Structures without a batch hook still gain dedup + pool sharing
-   through the generic planner. *)
-let query_batch t ranges =
-  Iosim.Device.clear_pool t.device;
-  Iosim.Device.reset_stats t.device;
+let run_batch t ranges =
   let run () =
     match t.batch with
     | Some f -> f ranges
@@ -50,18 +46,33 @@ let query_batch t ranges =
           ~exec:(fun ~lo ~hi -> t.query ~lo ~hi)
           ranges
   in
-  let answers =
-    if not !Obs.Trace.on then run ()
-    else
-      Obs.Trace.with_span ~cat:"query"
-        ~attrs:
-          [
-            ("index", Obs.Trace.Str t.name);
-            ("batch", Obs.Trace.Int (Array.length ranges));
-          ]
-        "query_batch" run
-  in
+  if not !Obs.Trace.on then run ()
+  else
+    Obs.Trace.with_span ~cat:"query"
+      ~attrs:
+        [
+          ("index", Obs.Trace.Str t.name);
+          ("batch", Obs.Trace.Int (Array.length ranges));
+        ]
+      "query_batch" run
+
+(* One cold batch: pool cleared and counters reset once for the whole
+   batch — the amortization across the batch's queries (shared decode,
+   warm pool, readahead) is exactly what the returned stats price.
+   Structures without a batch hook still gain dedup + pool sharing
+   through the generic planner. *)
+let query_batch t ranges =
+  Iosim.Device.clear_pool t.device;
+  Iosim.Device.reset_stats t.device;
+  let answers = run_batch t ranges in
   (answers, Iosim.Stats.snapshot (Iosim.Device.stats t.device))
+
+(* Warm batch for the serving path (PR 6): no pool clear, no stats
+   reset.  A shard worker answers batch after batch against the same
+   device; its pool stays warm across batches (that is the serving
+   reality being priced) and its counters accumulate for the whole
+   run, which is what the router's per-shard balance report reads. *)
+let query_batch_warm t ranges = run_batch t ranges
 
 type outcome =
   | Ok of Answer.t

@@ -6,6 +6,12 @@
 type t = {
   name : string;
   device : Iosim.Device.t;
+  ctx : Context.t;
+      (** The instance's execution context (PR 6): per-query mutable
+          knobs, shared with the instance's stream tables.  One
+          context per instance means one per shard — two shards of a
+          logical index share no mutable execution state, so they can
+          run on different domains (see [lib/serve]). *)
   n : int;  (** string length *)
   sigma : int;
   size_bits : int;  (** space used by the structure, in bits *)
@@ -42,6 +48,17 @@ val query_posting_with_stats :
     the returned stats are the whole batch's, which is what the
     amortization claims of PR 5 price. *)
 val query_batch : t -> (int * int) array -> Answer.t array * Iosim.Stats.t
+
+(** Warm batch for the serving path (PR 6): same planning and answers
+    as {!query_batch}, but the pool is not cleared and the counters
+    are not reset — a shard worker serves batch after batch with a
+    warm pool, and its device counters accumulate over the whole run
+    (read them via [Iosim.Device.stats] at quiescence). *)
+val query_batch_warm : t -> (int * int) array -> Answer.t array
+
+(** Flip the instance's decode path (see {!Context.t}
+    [reference_decode]); affects only this instance's context. *)
+val set_reference_decode : t -> bool -> unit
 
 (** Outcome of a {!verified_query}: the answer over verified extents;
     the answer after a successful counted repair (with the repair cost

@@ -1,5 +1,6 @@
 type t = {
   device : Iosim.Device.t;
+  ctx : Context.t;
   code : Cbitmap.Gap_codec.code;
   nstreams : int;
   off_bits : int;
@@ -14,7 +15,15 @@ type t = {
 let dir_magic = 0x5D01
 let payload_magic = 0x5D02
 
-let build ?(code = Cbitmap.Gap_codec.Gamma) device postings =
+let build ?ctx ?(code = Cbitmap.Gap_codec.Gamma) device postings =
+  let ctx =
+    match ctx with
+    | None -> Context.create device
+    | Some c ->
+        if c.Context.device != device then
+          invalid_arg "Stream_table.build: ctx wraps a different device";
+        c
+  in
   (* First pass: payload, recording offsets and counts. *)
   let encode_payload () =
     let payload_buf = Bitio.Bitbuf.create () in
@@ -61,6 +70,7 @@ let build ?(code = Cbitmap.Gap_codec.Gamma) device postings =
   in
   {
     device;
+    ctx;
     code;
     nstreams = Array.length postings;
     off_bits;
@@ -73,6 +83,7 @@ let build ?(code = Cbitmap.Gap_codec.Gamma) device postings =
 
 let length t = t.nstreams
 let device t = t.device
+let ctx t = t.ctx
 
 let dir_entry t i =
   if i < 0 || i >= t.nstreams then invalid_arg "Stream_table: index";
@@ -94,16 +105,16 @@ let dir_entry t i =
 
 let count t i = snd (dir_entry t i)
 
-(* When set, payload streams are decoded through the retained per-bit
-   path (closure cursor + [Codes.Naive]) instead of the buffered word
-   decoder — the before/after switch for the BENCH_PR2 end-to-end
-   comparison and the Stats-parity regression test.  Counters other
-   than [pool_hits] are identical either way. *)
-let reference_decode = ref false
-
+(* Decode-path selection lives on the table's execution context (per
+   instance, hence per shard) — see [Context].  When set, payload
+   streams are decoded through the retained per-bit path (closure
+   cursor + [Codes.Naive]) instead of the buffered word decoder — the
+   before/after switch for the BENCH_PR2 end-to-end comparison and the
+   Stats-parity regression test.  Counters other than [pool_hits] are
+   identical either way. *)
 let stream_of_entry t (off, count) =
   let pos = t.payload.Iosim.Device.off + off in
-  if !reference_decode then
+  if t.ctx.Context.reference_decode then
     let r = Iosim.Device.cursor t.device ~pos in
     Cbitmap.Gap_codec.stream_ref ~code:t.code r ~count
   else

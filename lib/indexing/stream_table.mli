@@ -9,7 +9,14 @@
 
 type t
 
+(** [build ?ctx ?code device postings] lays the table out on [device].
+    [ctx] is the execution context consulted by every decode (see
+    {!Context}); tables belonging to one instance should share the
+    instance's context so per-query knobs apply to all of them.
+    Defaults to a fresh [Context.create device].  Raises
+    [Invalid_argument] if [ctx] wraps a different device. *)
 val build :
+  ?ctx:Context.t ->
   ?code:Cbitmap.Gap_codec.code ->
   Iosim.Device.t ->
   Cbitmap.Posting.t array ->
@@ -63,9 +70,11 @@ val size_bits : t -> int
 (** Payload only (sum of compressed stream sizes). *)
 val payload_bits : t -> int
 
-(** When [true], payload streams decode through the retained per-bit
-    reference (closure cursor + seed codecs) instead of the buffered
-    word decoder.  Used by the BENCH_PR2 before/after comparison and
-    the Stats-parity regression test; [block_reads]/[bits_read] are
-    identical in both modes.  Default [false]. *)
-val reference_decode : bool ref
+(** The execution context the table decodes under.  Flip
+    [(ctx t).reference_decode] to route payload decodes through the
+    retained per-bit reference (closure cursor + seed codecs) instead
+    of the buffered word decoder — the BENCH_PR2 before/after switch;
+    [block_reads]/[bits_read] are identical in both modes.  Was a
+    module-level [ref] before PR 6; per-context now, so shards on
+    different domains never share it. *)
+val ctx : t -> Context.t

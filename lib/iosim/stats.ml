@@ -69,7 +69,28 @@ let diff ~before ~after =
 
 let equal a b = List.for_all (fun (_, get, _) -> get a = get b) fields
 
+let merge ts =
+  let m = create () in
+  List.iter
+    (fun t -> List.iter (fun (_, get, set) -> set m (get m + get t)) fields)
+    ts;
+  m
+
 let ios t = t.block_reads + t.block_writes
+
+(* max/mean of per-shard total I/Os: 1.0 = perfectly even, k = all the
+   work on one of k shards.  1.0 by convention when nothing moved. *)
+let imbalance ts =
+  let ios_of = List.map (fun t -> ios t) ts in
+  match ios_of with
+  | [] -> 1.0
+  | _ ->
+      let total = List.fold_left ( + ) 0 ios_of in
+      if total = 0 then 1.0
+      else
+        let mx = List.fold_left max 0 ios_of in
+        float_of_int mx
+        /. (float_of_int total /. float_of_int (List.length ios_of))
 
 (* Hit rate over all pool-mediated block accesses.  NaN (rendered as
    JSON null) when there were no accesses at all. *)

@@ -59,6 +59,17 @@ val diff : before:t -> after:t -> t
 (** Per-field equality over {!fields}. *)
 val equal : t -> t -> bool
 
+(** Field-wise sum over {!fields} — the cluster-wide view of a set of
+    per-shard counters (PR 6).  [merge []] is all zeros; the result is
+    a fresh snapshot, never aliased to an input. *)
+val merge : t list -> t
+
+(** Load-balance figure for a set of per-shard counters: the maximum
+    per-shard {!ios} divided by the mean.  1.0 means perfectly even;
+    [k] means one of [k] shards did all the work; 1.0 by convention
+    for an empty list or when no shard moved any block. *)
+val imbalance : t list -> float
+
 (** Total block I/Os, reads plus writes. *)
 val ios : t -> int
 

@@ -65,7 +65,17 @@ let set_clock f = clock := f
 let set_io_probe f = probe := f
 let reset_io_probe () = probe := fun () -> 0
 
+(* Domain confinement (PR 6): the ring, the depth counter and the
+   logical clock are unsynchronized mutable state, owned by the domain
+   that called [enable] (re-recorded on [clear]).  Emissions from any
+   other domain are dropped at the guard — shard workers run with
+   tracing effectively off, which is also the zero-cost contract their
+   hot path wants — instead of racing on [emitted]/[depth_]. *)
+let owner = ref (Domain.self () :> int)
+let owned () = (Domain.self () :> int) = !owner
+
 let clear () =
+  owner := (Domain.self () :> int);
   emitted := 0;
   depth_ := 0;
   logical := 0.;
@@ -84,7 +94,7 @@ let depth () = !depth_
 let dropped () = max 0 (!emitted - !cap)
 
 let emit kind name cat attrs =
-  if !on && !cap > 0 then begin
+  if !on && !cap > 0 && owned () then begin
     let seq = !emitted in
     incr emitted;
     let e = { seq; ts = !clock (); kind; name; cat; io = !probe (); attrs } in
@@ -92,17 +102,21 @@ let emit kind name cat attrs =
   end
 
 let begin_span ?(cat = "span") ?(attrs = []) name =
-  emit Begin name cat attrs;
-  incr depth_
+  if owned () then begin
+    emit Begin name cat attrs;
+    incr depth_
+  end
 
 let end_span ?(cat = "span") ?(attrs = []) name =
-  decr depth_;
-  emit End name cat attrs
+  if owned () then begin
+    decr depth_;
+    emit End name cat attrs
+  end
 
 let instant ?(cat = "event") ?(attrs = []) name = emit Instant name cat attrs
 
 let with_span ?cat ?attrs name f =
-  if not !on then f ()
+  if (not !on) || not (owned ()) then f ()
   else begin
     begin_span ?cat ?attrs name;
     Fun.protect ~finally:(fun () -> end_span ?cat name) f

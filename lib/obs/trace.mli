@@ -2,7 +2,13 @@
 
     Zero-cost-when-off: call sites guard on [!on] (one bool load)
     before building attributes, and {!with_span} runs its thunk
-    directly when tracing is disabled. *)
+    directly when tracing is disabled.
+
+    Domain-confined (PR 6): the ring is owned by the domain that last
+    called {!enable} (or {!clear}).  Emissions from any other domain
+    are dropped — {!with_span} degrades to running its thunk — so
+    shard workers on other domains never race on the tracer's
+    unsynchronized state. *)
 
 type attr = Int of int | Float of float | Str of string | Bool of bool
 

@@ -1,0 +1,170 @@
+(* Scatter/gather router over position shards (PR 6).
+
+   Two execution modes with one code path for planning and merging:
+
+   - [Sequential]: shards run in the caller's domain, in shard order.
+     The differential baseline — sharded answers must be bit-identical
+     to the unsharded instance whatever the mode.
+
+   - [Domains]: one worker domain per non-empty shard, each with a
+     private mailbox (mutex + condition).  A batch is scattered to
+     every worker, executed via the shard's warm [Indexing.Batch]
+     path, and gathered behind a countdown latch.
+
+   Memory safety across domains relies on confinement plus two
+   handshakes: a worker touches only its shard's device/instance/ctx;
+   task and result values cross domains only through the mailbox mutex
+   (publish task) and the latch mutex (publish result rows), each of
+   which establishes the happens-before edge for everything written
+   before it.  Shard device counters are read by [shard_stats] only
+   after such a handshake, i.e. at quiescence. *)
+
+module Latch = struct
+  type t = { m : Mutex.t; c : Condition.t; mutable left : int }
+
+  let create left = { m = Mutex.create (); c = Condition.create (); left }
+
+  let arrive l =
+    Mutex.lock l.m;
+    l.left <- l.left - 1;
+    if l.left <= 0 then Condition.broadcast l.c;
+    Mutex.unlock l.m
+
+  let wait l =
+    Mutex.lock l.m;
+    while l.left > 0 do
+      Condition.wait l.c l.m
+    done;
+    Mutex.unlock l.m
+end
+
+type task =
+  | Batch of {
+      ranges : (int * int) array;
+      slot : int array array option ref;
+      latch : Latch.t;
+    }
+  | Stop
+
+type worker = {
+  shard : Shard.t;
+  mailbox : task Queue.t;
+  m : Mutex.t;
+  c : Condition.t;
+  domain : unit Domain.t;
+}
+
+type mode = Sequential | Domains
+
+type t = {
+  shards : Shard.t array;
+  mode : mode;
+  workers : worker array; (* empty in Sequential mode *)
+  mutable live : bool;
+}
+
+let shards t = t.shards
+let mode t = t.mode
+
+let post w task =
+  Mutex.lock w.m;
+  Queue.push task w.mailbox;
+  Condition.signal w.c;
+  Mutex.unlock w.m
+
+let rec worker_loop (shard, mailbox, m, c) =
+  Mutex.lock m;
+  while Queue.is_empty mailbox do
+    Condition.wait c m
+  done;
+  let task = Queue.pop mailbox in
+  Mutex.unlock m;
+  match task with
+  | Stop -> ()
+  | Batch { ranges; slot; latch } ->
+      slot := Some (Shard.run_batch shard ranges);
+      Latch.arrive latch;
+      worker_loop (shard, mailbox, m, c)
+
+let create ?(mode = Sequential) shards =
+  let workers =
+    match mode with
+    | Sequential -> [||]
+    | Domains ->
+        Array.of_list
+          (List.filter_map
+             (fun shard ->
+               if Shard.instance shard = None then None
+               else begin
+                 let mailbox = Queue.create () in
+                 let m = Mutex.create () and c = Condition.create () in
+                 let domain =
+                   Domain.spawn (fun () -> worker_loop (shard, mailbox, m, c))
+                 in
+                 Some { shard; mailbox; m; c; domain }
+               end)
+             (Array.to_list shards))
+  in
+  { shards; mode; workers; live = true }
+
+let domains_used t =
+  match t.mode with Sequential -> 1 | Domains -> Array.length t.workers
+
+(* Rows from each shard, in shard order, one row list per batch slot;
+   concatenation of disjoint ordered slices needs no sort or dedup. *)
+let merge_slot parts =
+  let total = List.fold_left (fun a p -> a + Array.length p) 0 parts in
+  let out = Array.make total 0 in
+  let off = ref 0 in
+  List.iter
+    (fun p ->
+      Array.blit p 0 out !off (Array.length p);
+      off := !off + Array.length p)
+    parts;
+  (* [of_sorted_array] re-validates strict monotonicity — a cheap
+     full-result check that the slices really were disjoint. *)
+  Cbitmap.Posting.of_sorted_array out
+
+let query_batch t ranges =
+  if not t.live then invalid_arg "Router.query_batch: after shutdown";
+  let nq = Array.length ranges in
+  if nq = 0 then [||]
+  else begin
+    let per_shard =
+      match t.mode with
+      | Sequential -> Array.map (fun s -> Shard.run_batch s ranges) t.shards
+      | Domains ->
+          let latch = Latch.create (Array.length t.workers) in
+          let slots =
+            Array.map
+              (fun w ->
+                let slot = ref None in
+                post w (Batch { ranges; slot; latch });
+                slot)
+              t.workers
+          in
+          Latch.wait latch;
+          Array.map
+            (fun slot ->
+              match !slot with
+              | Some rows -> rows
+              | None -> assert false (* latch counted every worker *))
+            slots
+    in
+    Array.init nq (fun j ->
+        merge_slot
+          (List.filter_map
+             (fun rows -> if Array.length rows = 0 then None else Some rows.(j))
+             (Array.to_list per_shard)))
+  end
+
+let query t ~lo ~hi = (query_batch t [| (lo, hi) |]).(0)
+
+let shard_stats t = List.map Shard.stats (Array.to_list t.shards)
+
+let shutdown t =
+  if t.live then begin
+    t.live <- false;
+    Array.iter (fun w -> post w Stop) t.workers;
+    Array.iter (fun w -> Domain.join w.domain) t.workers
+  end

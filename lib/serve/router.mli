@@ -1,0 +1,45 @@
+(** Scatter/gather router over position shards (PR 6).
+
+    A range query scatters to every shard, executes through the
+    shard's warm batched path, and the shifted partial answers merge —
+    concatenation in shard order — into a posting bit-identical to the
+    unsharded instance's answer.
+
+    [Sequential] runs shards in the caller's domain (the differential
+    baseline); [Domains] gives each non-empty shard a worker domain
+    with a private mailbox.  Results and counters cross domains only
+    behind mutex handshakes, and shards share no mutable state, so the
+    query path itself takes no locks. *)
+
+type mode = Sequential | Domains
+
+type t
+
+(** In [Domains] mode this spawns one domain per non-empty shard;
+    call {!shutdown} when done. *)
+val create : ?mode:mode -> Shard.t array -> t
+
+val shards : t -> Shard.t array
+val mode : t -> mode
+
+(** Domains executing queries: worker count in [Domains] mode, 1 in
+    [Sequential]. *)
+val domains_used : t -> int
+
+(** Materialized global answer, bit-identical to
+    [Answer.to_posting (Instance.query)] on the unsharded index. *)
+val query : t -> lo:int -> hi:int -> Cbitmap.Posting.t
+
+(** Batched scatter/gather: slot [i] answers [ranges.(i)].  Each shard
+    runs the whole batch through its warm [Indexing.Batch] path. *)
+val query_batch : t -> (int * int) array -> Cbitmap.Posting.t array
+
+(** Per-shard counter snapshots, in shard order.  Safe only at
+    quiescence — between {!query_batch} calls or after {!shutdown};
+    feed to {!Iosim.Stats.merge} / {!Iosim.Stats.imbalance} for the
+    aggregate report. *)
+val shard_stats : t -> Iosim.Stats.t list
+
+(** Stop and join the worker domains (idempotent; no-op in
+    [Sequential] mode).  The router rejects queries afterwards. *)
+val shutdown : t -> unit

@@ -1,0 +1,73 @@
+(* One shard of a position-sharded logical index (PR 6).
+
+   The logical string x[0..n-1] is split into [shards] contiguous
+   slices; shard i holds x[base_i .. base_i + len_i - 1] re-based to
+   local positions 0..len_i-1, indexed on its own device by any of the
+   repo's builders.  An alphabet-range query is position-oblivious, so
+   it scatters to every shard unchanged, and a shard's local answer
+   shifted by [base] is exactly the global answer restricted to the
+   shard's slice.  Slices are disjoint and ordered, so the global
+   answer is the concatenation of the shifted local answers — no
+   dedup, no re-sort, and bit-identical to the unsharded query.
+
+   Everything mutable a query touches — the device (pool, counters),
+   the instance and its context — is private to the shard, which is
+   what lets each shard be owned by one domain with no locking on the
+   query path. *)
+
+type t = {
+  ordinal : int;
+  base : int;  (** global position of local position 0 *)
+  len : int;
+  instance : Indexing.Instance.t option;
+      (** [None] iff the slice is empty (more shards than positions):
+          such a shard answers every query with the empty posting. *)
+}
+
+let ordinal t = t.ordinal
+let base t = t.base
+let len t = t.len
+let instance t = t.instance
+
+(* First (n mod k) slices get the extra position. *)
+let slice_bounds ~n ~shards i =
+  let q = n / shards and r = n mod shards in
+  let base = (i * q) + min i r in
+  let len = q + if i < r then 1 else 0 in
+  (base, len)
+
+let build ~shards ~make_device ~build ~sigma x =
+  if shards < 1 then invalid_arg "Shard.build: shards";
+  let n = Array.length x in
+  Array.init shards (fun i ->
+      let base, len = slice_bounds ~n ~shards i in
+      let instance =
+        if len = 0 then None
+        else
+          Some (build (make_device i) ~sigma (Array.sub x base len))
+      in
+      { ordinal = i; base; len; instance })
+
+let device t = Option.map (fun i -> i.Indexing.Instance.device) t.instance
+
+let stats t =
+  match device t with
+  | None -> Iosim.Stats.create ()
+  | Some d -> Iosim.Stats.snapshot (Iosim.Device.stats d)
+
+(* Answer a batch on this shard: local warm batch, then shift each
+   materialized answer to global positions.  The result rows are fresh
+   arrays, safe to publish across domains once a happens-before edge
+   exists (the router's countdown latch provides it). *)
+let run_batch t ranges =
+  match t.instance with
+  | None -> Array.make (Array.length ranges) [||]
+  | Some inst ->
+      let answers = Indexing.Instance.query_batch_warm inst ranges in
+      Array.map
+        (fun a ->
+          let local =
+            Cbitmap.Posting.to_array (Indexing.Answer.to_posting ~n:t.len a)
+          in
+          Array.map (fun p -> p + t.base) local)
+        answers

@@ -1,0 +1,21 @@
+(** Open-loop serving driver (PR 6): replays a {!Workload.Traffic}
+    schedule against a {!Router}.  Latency is completion minus
+    *scheduled* arrival (queueing delay included — no coordinated
+    omission); queries due together dispatch as one batch through the
+    router's shared-decode path, capped at [batch_window]. *)
+
+type result = {
+  completed : int;
+  wall : float;  (** first arrival to last completion, seconds *)
+  offered_duration : float;  (** schedule length, seconds *)
+  throughput : float;  (** completed / wall, queries per second *)
+  latency : Workload.Histogram.t;
+  batches : int;
+  max_batch : int;
+  checksum : int;
+      (** Order-independent digest over all answer postings; must
+          agree across shard counts and modes. *)
+}
+
+(** [batch_window] defaults to 128.  Raises on an empty schedule. *)
+val run : ?batch_window:int -> Router.t -> Workload.Traffic.t -> result

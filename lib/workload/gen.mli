@@ -12,6 +12,27 @@ type t = { sigma : int; data : int array }
 
 val length : t -> int
 
+(** Walker's alias method over an arbitrary finite distribution:
+    [create weights] precomputes a table in O(k); [draw] is O(1) — two
+    RNG calls and two array reads regardless of support size or skew.
+    Replaces the former per-sample binary search so high-rate workload
+    generation (PR 6 open-loop traffic) is not generator-bound. *)
+module Alias : sig
+  type t
+
+  (** [create weights] for non-negative weights with a positive sum;
+      raises [Invalid_argument] otherwise. *)
+  val create : float array -> t
+
+  val length : t -> int
+
+  (** Index in [0 .. length-1], distributed as the weights. *)
+  val draw : t -> Hashing.Universal.Rng.t -> int
+end
+
+(** Unnormalized Zipf(θ) weights over ranks [1..sigma]. *)
+val zipf_weights : sigma:int -> theta:float -> float array
+
 (** Uniform i.i.d. characters. *)
 val uniform : seed:int -> n:int -> sigma:int -> t
 

@@ -1,0 +1,35 @@
+(** Precomputed open-loop traffic schedule (PR 6).
+
+    Arrival times are fixed before the system under test runs — query
+    [i] is due at [arrivals t].(i) regardless of server progress, so
+    queueing delay under overload is measured rather than silently
+    throttled (no coordinated omission).  Arrivals follow an on/off
+    modulated Poisson process (bursty) with long-run offered [rate];
+    the query mix draws from Zipf(θ)-popular range templates via the
+    O(1) alias sampler.  Deterministic given [seed]. *)
+
+type t = {
+  arrivals : float array;  (** due times in seconds, nondecreasing *)
+  queries : (int * int) array;  (** [(lo, hi)] due at [arrivals.(i)] *)
+  rate : float;  (** configured long-run offered rate, queries/s *)
+  duration : float;  (** time of the last arrival *)
+}
+
+val length : t -> int
+
+(** [make ~seed ~sigma ~count ~rate ()] schedules [count] queries over
+    alphabet [0..sigma-1] at long-run [rate] queries/second.
+    [templates] (default 64) distinct ranges, Zipf([theta], default 1)
+    popularity; ON/OFF sojourn means [mean_on]/[mean_off] (seconds,
+    defaults 50ms/10ms; [mean_off = 0] gives plain Poisson). *)
+val make :
+  ?templates:int ->
+  ?theta:float ->
+  ?mean_on:float ->
+  ?mean_off:float ->
+  seed:int ->
+  sigma:int ->
+  count:int ->
+  rate:float ->
+  unit ->
+  t

@@ -281,6 +281,7 @@ let prop_multires_custom_widths =
       {
         Indexing.Instance.name = "multires-custom";
         device = dev;
+        ctx = Indexing.Context.create dev;
         n = Array.length data;
         sigma;
         size_bits = Baselines.Multires_index.size_bits t;

@@ -247,28 +247,24 @@ let prop_flips_never_silently_wrong =
           int_range 1 1_000_000 >>= fun seed ->
           bool >>= fun refmode -> return (sigma, data, seed, refmode)))
     (fun (sigma, data, seed, refmode) ->
-      let saved = !Indexing.Stream_table.reference_decode in
-      Indexing.Stream_table.reference_decode := refmode;
-      Fun.protect
-        ~finally:(fun () -> Indexing.Stream_table.reference_decode := saved)
-        (fun () ->
-          let n = Array.length data in
+      let n = Array.length data in
+      List.for_all
+        (fun build ->
+          let dev = device () in
+          let inst : Indexing.Instance.t = build dev ~sigma data in
+          Indexing.Instance.set_reference_decode inst refmode;
+          ignore (Iosim.Device.inject_bit_flips dev ~seed ~count:3);
           List.for_all
-            (fun build ->
-              let dev = device () in
-              let inst : Indexing.Instance.t = build dev ~sigma data in
-              ignore (Iosim.Device.inject_bit_flips dev ~seed ~count:3);
-              List.for_all
-                (fun (lo, hi) ->
-                  let reference =
-                    Workload.Queries.naive_answer
-                      { Workload.Gen.sigma; data }
-                      { Workload.Queries.lo; hi }
-                  in
-                  outcome_matches ~reference ~n
-                    (Indexing.Instance.verified_query inst ~lo ~hi))
-                [ (0, sigma - 1); (sigma / 2, sigma - 1); (0, 0) ])
-            all_builders))
+            (fun (lo, hi) ->
+              let reference =
+                Workload.Queries.naive_answer
+                  { Workload.Gen.sigma; data }
+                  { Workload.Queries.lo; hi }
+              in
+              outcome_matches ~reference ~n
+                (Indexing.Instance.verified_query inst ~lo ~hi))
+            [ (0, sigma - 1); (sigma / 2, sigma - 1); (0, 0) ])
+        all_builders)
 
 let suite =
   [

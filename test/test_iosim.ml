@@ -602,12 +602,9 @@ let test_theorem2_trace_codec_parity () =
   let data = Array.init n (fun i -> ((i * i) + (i / 7)) mod sigma) in
   let queries = [ (0, sigma - 1); (3, 9); (7, 7); (0, 0); (20, 23) ] in
   let run reference =
-    Indexing.Stream_table.reference_decode := reference;
-    Fun.protect
-      ~finally:(fun () -> Indexing.Stream_table.reference_decode := false)
-    @@ fun () ->
     let dev = device ~block_bits:512 ~mem_bits:(16 * 512) () in
     let inst = Secidx.Static_index.instance dev ~sigma data in
+    Indexing.Instance.set_reference_decode inst reference;
     List.map
       (fun (lo, hi) ->
         let answer, st = Indexing.Instance.query_cold inst ~lo ~hi in

@@ -18,4 +18,5 @@ let () =
       ("integrity", Test_integrity.suite);
       ("obs", Test_obs.suite);
       ("batch", Test_batch.suite);
+      ("serve", Test_serve.suite);
     ]

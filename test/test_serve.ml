@@ -1,0 +1,354 @@
+(* PR 6: sharded serving layer.
+
+   The core property is differential: a position-sharded router —
+   whatever the shard count, including shard counts that do not divide
+   n and shard counts larger than n — answers every range query with a
+   posting bit-identical to the unsharded instance's, for every
+   builder in the repo and in both execution modes.  Around it, unit
+   tests for the pieces: stats merge/imbalance, the latency histogram,
+   the open-loop schedule and the alias sampler. *)
+
+let device () =
+  Iosim.Device.create ~block_bits:1024 ~mem_bits:(64 * 1024) ()
+
+(* The bench's 15-builder table, name for name. *)
+let all_builders :
+    (string
+    * (Iosim.Device.t -> sigma:int -> int array -> Indexing.Instance.t))
+    list =
+  [
+    ("btree", fun dev ~sigma data -> Baselines.Btree.instance dev ~sigma data);
+    ( "btree-dynamic",
+      fun dev ~sigma data -> Baselines.Btree_dynamic.instance dev ~sigma data );
+    ( "bitmap",
+      fun dev ~sigma data -> Baselines.Bitmap_index.instance dev ~sigma data );
+    ( "bitmap-wah",
+      fun dev ~sigma data -> Baselines.Wah_index.instance dev ~sigma data );
+    ( "cbitmap",
+      fun dev ~sigma data -> Baselines.Cbitmap_index.instance dev ~sigma data );
+    ( "binned",
+      fun dev ~sigma data ->
+        Baselines.Binned_index.instance dev ~sigma ~w:3 data );
+    ( "multires",
+      fun dev ~sigma data ->
+        Baselines.Multires_index.instance dev ~sigma ~w:2 data );
+    ( "range-encoded",
+      fun dev ~sigma data -> Baselines.Range_encoded.instance dev ~sigma data );
+    ( "wavelet",
+      fun dev ~sigma data -> Baselines.Wavelet.instance dev ~sigma data );
+    ( "alphabet-tree",
+      fun dev ~sigma data -> Secidx.Alphabet_tree.instance dev ~sigma data );
+    ( "alphabet-doubling",
+      fun dev ~sigma data ->
+        Secidx.Alphabet_tree.instance ~schedule:`Doubling dev ~sigma data );
+    ( "static",
+      fun dev ~sigma data -> Secidx.Static_index.instance dev ~sigma data );
+    ( "append",
+      fun dev ~sigma data -> Secidx.Append_index.instance dev ~sigma data );
+    ( "dynamic",
+      fun dev ~sigma data -> Secidx.Dynamic_index.instance dev ~sigma data );
+    ( "buffered-bitmap",
+      fun dev ~sigma data -> Secidx.Buffered_bitmap.instance dev ~sigma data );
+  ]
+
+let sigma = 16
+
+let mkdata ~seed n =
+  (Workload.Gen.zipf ~seed ~n ~sigma ~theta:0.8 ()).Workload.Gen.data
+
+(* Boundary-spanning, full, point, inverted-empty, edges — plus a
+   seeded mix. *)
+let query_mix ~seed =
+  let module Rng = Hashing.Universal.Rng in
+  let rng = Rng.create ~seed in
+  Array.append
+    [| (0, sigma - 1); (0, 0); (sigma - 1, sigma - 1); (5, 4);
+       (3, 11); (7, 8) |]
+    (Array.init 24 (fun _ ->
+         let lo = Rng.below rng sigma in
+         (lo, min (sigma - 1) (lo + Rng.below rng sigma))))
+
+let shards_for build k data =
+  Serve.Shard.build ~shards:k ~make_device:(fun _ -> device ())
+    ~build ~sigma data
+
+let check_router_equals_unsharded ~name inst router queries =
+  let n = inst.Indexing.Instance.n in
+  Array.iter
+    (fun (lo, hi) ->
+      let expect =
+        Indexing.Answer.to_posting ~n (inst.Indexing.Instance.query ~lo ~hi)
+      in
+      let got = Serve.Router.query router ~lo ~hi in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s [%d,%d] k=%d" name lo hi
+           (Array.length (Serve.Router.shards router)))
+        true
+        (Cbitmap.Posting.equal expect got))
+    queries
+
+let test_differential_all_builders () =
+  let data = mkdata ~seed:5 96 in
+  let queries = query_mix ~seed:21 in
+  List.iter
+    (fun (name, build) ->
+      let inst = build (device ()) ~sigma data in
+      List.iter
+        (fun k ->
+          let router = Serve.Router.create (shards_for build k data) in
+          check_router_equals_unsharded ~name inst router queries)
+        [ 1; 2; 4; 7 ])
+    all_builders
+
+(* Shard counts beyond n leave trailing shards empty; they must
+   contribute nothing and break nothing. *)
+let test_empty_shards () =
+  let data = mkdata ~seed:9 5 in
+  let queries = query_mix ~seed:22 in
+  List.iter
+    (fun name ->
+      let build = List.assoc name all_builders in
+      let shards = shards_for build 7 data in
+      Alcotest.(check int) "7 slices" 7 (Array.length shards);
+      let empties =
+        Array.fold_left
+          (fun acc s -> if Serve.Shard.instance s = None then acc + 1 else acc)
+          0 shards
+      in
+      Alcotest.(check int) "two empty slices" 2 empties;
+      let inst = build (device ()) ~sigma data in
+      check_router_equals_unsharded ~name inst
+        (Serve.Router.create shards)
+        queries)
+    [ "static"; "btree"; "cbitmap" ]
+
+let test_domains_mode () =
+  let data = mkdata ~seed:14 120 in
+  let queries = query_mix ~seed:23 in
+  List.iter
+    (fun name ->
+      let build = List.assoc name all_builders in
+      let inst = build (device ()) ~sigma data in
+      List.iter
+        (fun k ->
+          let router =
+            Serve.Router.create ~mode:Serve.Router.Domains
+              (shards_for build k data)
+          in
+          Fun.protect
+            ~finally:(fun () -> Serve.Router.shutdown router)
+            (fun () ->
+              Alcotest.(check int) "one domain per shard" k
+                (Serve.Router.domains_used router);
+              check_router_equals_unsharded ~name inst router queries))
+        [ 2; 4 ])
+    [ "static"; "dynamic" ]
+
+let test_query_batch_matches_per_query () =
+  let data = mkdata ~seed:31 200 in
+  let build = List.assoc "static" all_builders in
+  let queries = query_mix ~seed:24 in
+  let router = Serve.Router.create (shards_for build 4 data) in
+  let batched = Serve.Router.query_batch router queries in
+  Array.iteri
+    (fun i (lo, hi) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "slot %d" i)
+        true
+        (Cbitmap.Posting.equal batched.(i) (Serve.Router.query router ~lo ~hi)))
+    queries
+
+(* Router stats at quiescence: the merged view equals the field-wise
+   sum over shards, and queries did move blocks on >1 shard. *)
+let test_router_shard_stats () =
+  let data = mkdata ~seed:40 150 in
+  let build = List.assoc "static" all_builders in
+  let router = Serve.Router.create (shards_for build 3 data) in
+  ignore (Serve.Router.query_batch router (query_mix ~seed:25));
+  let stats = Serve.Router.shard_stats router in
+  Alcotest.(check int) "one snapshot per shard" 3 (List.length stats);
+  let merged = Iosim.Stats.merge stats in
+  List.iter
+    (fun (fname, get, _) ->
+      Alcotest.(check int)
+        (fname ^ " merged = sum")
+        (List.fold_left (fun a s -> a + get s) 0 stats)
+        (get merged))
+    Iosim.Stats.fields;
+  Alcotest.(check bool) "work happened" true (Iosim.Stats.ios merged > 0)
+
+let test_stats_merge_unit () =
+  let mk seedv =
+    let s = Iosim.Stats.create () in
+    List.iteri (fun i (_, _, set) -> set s (seedv + (7 * i))) Iosim.Stats.fields;
+    s
+  in
+  let parts = [ mk 1; mk 10; mk 100 ] in
+  let merged = Iosim.Stats.merge parts in
+  List.iter
+    (fun (name, get, _) ->
+      Alcotest.(check int) name
+        (List.fold_left (fun a s -> a + get s) 0 parts)
+        (get merged))
+    Iosim.Stats.fields;
+  (* merge [] is all zeros *)
+  Alcotest.(check bool) "empty merge zero" true
+    (Iosim.Stats.equal (Iosim.Stats.merge []) (Iosim.Stats.create ()))
+
+let test_stats_imbalance () =
+  let with_ios r w =
+    let s = Iosim.Stats.create () in
+    s.Iosim.Stats.block_reads <- r;
+    s.Iosim.Stats.block_writes <- w;
+    s
+  in
+  let check msg expect l =
+    Alcotest.(check (float 1e-9)) msg expect (Iosim.Stats.imbalance l)
+  in
+  check "empty" 1.0 [];
+  check "all idle" 1.0 [ with_ios 0 0; with_ios 0 0 ];
+  check "even" 1.0 [ with_ios 5 5; with_ios 10 0 ];
+  check "one-sided" 2.0 [ with_ios 10 0; with_ios 0 0 ];
+  check "skewed" 1.5 [ with_ios 30 0; with_ios 10 0; with_ios 20 0 ]
+
+let test_histogram () =
+  let h = Workload.Histogram.create () in
+  Alcotest.(check bool) "empty percentile NaN" true
+    (Float.is_nan (Workload.Histogram.percentile h 0.5));
+  for i = 1 to 1000 do
+    Workload.Histogram.add h (float_of_int i *. 1e-3)
+  done;
+  Alcotest.(check int) "count" 1000 (Workload.Histogram.count h);
+  Alcotest.(check (float 1e-9)) "max exact" 1.0
+    (Workload.Histogram.max_value h);
+  Alcotest.(check (float 1e-9)) "min exact" 1e-3
+    (Workload.Histogram.min_value h);
+  (* Bucket edges are conservative: the reported quantile bounds the
+     true one from above, within one bucket's relative width. *)
+  let rel = 10.0 ** (1.0 /. 25.0) in
+  List.iter
+    (fun q ->
+      let true_q = q in
+      let got = Workload.Histogram.percentile h q in
+      Alcotest.(check bool)
+        (Printf.sprintf "p%g above" (q *. 100.))
+        true (got >= true_q *. 0.999);
+      Alcotest.(check bool)
+        (Printf.sprintf "p%g tight" (q *. 100.))
+        true
+        (got <= true_q *. rel *. 1.001))
+    [ 0.5; 0.95; 0.99 ];
+  (* Merge equals recording everything into one histogram. *)
+  let a = Workload.Histogram.create () and b = Workload.Histogram.create () in
+  let all = Workload.Histogram.create () in
+  for i = 1 to 500 do
+    let v = float_of_int i *. 2e-4 in
+    Workload.Histogram.add (if i mod 2 = 0 then a else b) v;
+    Workload.Histogram.add all v
+  done;
+  let m = Workload.Histogram.merge [ a; b ] in
+  Alcotest.(check int) "merge count" (Workload.Histogram.count all)
+    (Workload.Histogram.count m);
+  List.iter
+    (fun q ->
+      Alcotest.(check (float 1e-12)) "merge percentile"
+        (Workload.Histogram.percentile all q)
+        (Workload.Histogram.percentile m q))
+    [ 0.1; 0.5; 0.9; 0.99 ]
+
+let test_traffic_schedule () =
+  let mk () =
+    Workload.Traffic.make ~seed:77 ~sigma:64 ~count:5000 ~rate:1000.0 ()
+  in
+  let t = mk () and t' = mk () in
+  Alcotest.(check bool) "deterministic" true
+    (t.Workload.Traffic.arrivals = t'.Workload.Traffic.arrivals
+    && t.Workload.Traffic.queries = t'.Workload.Traffic.queries);
+  let arr = t.Workload.Traffic.arrivals in
+  Array.iteri
+    (fun i a ->
+      if i > 0 then
+        Alcotest.(check bool) "nondecreasing" true (a >= arr.(i - 1)))
+    arr;
+  Array.iter
+    (fun (lo, hi) ->
+      Alcotest.(check bool) "query in range" true
+        (0 <= lo && lo <= hi && hi < 64))
+    t.Workload.Traffic.queries;
+  (* Long-run offered rate within 25% of configured. *)
+  let measured = 5000.0 /. t.Workload.Traffic.duration in
+  Alcotest.(check bool)
+    (Printf.sprintf "rate %.0f ~ 1000" measured)
+    true
+    (measured > 750.0 && measured < 1250.0)
+
+let test_alias_sampler () =
+  let module Rng = Hashing.Universal.Rng in
+  (* Exact on a degenerate distribution. *)
+  let one = Workload.Gen.Alias.create [| 0.0; 5.0; 0.0 |] in
+  let rng = Rng.create ~seed:3 in
+  for _ = 1 to 200 do
+    Alcotest.(check int) "degenerate" 1 (Workload.Gen.Alias.draw one rng)
+  done;
+  (* Frequencies track weights on a skewed distribution. *)
+  let weights = [| 8.0; 4.0; 2.0; 1.0; 1.0 |] in
+  let t = Workload.Gen.Alias.create weights in
+  let counts = Array.make 5 0 in
+  let draws = 200_000 in
+  let rng = Rng.create ~seed:4 in
+  for _ = 1 to draws do
+    let i = Workload.Gen.Alias.draw t rng in
+    counts.(i) <- counts.(i) + 1
+  done;
+  let total = Array.fold_left ( +. ) 0.0 weights in
+  Array.iteri
+    (fun i w ->
+      let expect = w /. total and got = float_of_int counts.(i) /. float_of_int draws in
+      Alcotest.(check bool)
+        (Printf.sprintf "weight %d: %.4f ~ %.4f" i got expect)
+        true
+        (Float.abs (got -. expect) < 0.01))
+    weights
+
+(* The open-loop driver against a sequential router: completes the
+   schedule, records one latency per query, and its digest matches a
+   2-domain run over the same schedule. *)
+let test_sim_open_loop () =
+  let data = mkdata ~seed:50 300 in
+  let build = List.assoc "static" all_builders in
+  let traffic =
+    Workload.Traffic.make ~seed:51 ~sigma ~count:400 ~rate:50_000.0 ()
+  in
+  let run mode k =
+    let router = Serve.Router.create ~mode (shards_for build k data) in
+    Fun.protect
+      ~finally:(fun () -> Serve.Router.shutdown router)
+      (fun () -> Serve.Sim.run router traffic)
+  in
+  let seq = run Serve.Router.Sequential 1 in
+  Alcotest.(check int) "completed" 400 seq.Serve.Sim.completed;
+  Alcotest.(check int) "latency samples" 400
+    (Workload.Histogram.count seq.Serve.Sim.latency);
+  Alcotest.(check bool) "throughput positive" true
+    (seq.Serve.Sim.throughput > 0.0);
+  let dom = run Serve.Router.Domains 2 in
+  Alcotest.(check int) "digest agrees across modes" seq.Serve.Sim.checksum
+    dom.Serve.Sim.checksum
+
+let suite =
+  [
+    Alcotest.test_case "differential: 15 builders x shards {1,2,4,7}" `Quick
+      test_differential_all_builders;
+    Alcotest.test_case "empty shards (k > n)" `Quick test_empty_shards;
+    Alcotest.test_case "domains mode differential" `Quick test_domains_mode;
+    Alcotest.test_case "router batch = per-query" `Quick
+      test_query_batch_matches_per_query;
+    Alcotest.test_case "router shard stats merge" `Quick
+      test_router_shard_stats;
+    Alcotest.test_case "stats merge = sum" `Quick test_stats_merge_unit;
+    Alcotest.test_case "stats imbalance" `Quick test_stats_imbalance;
+    Alcotest.test_case "latency histogram" `Quick test_histogram;
+    Alcotest.test_case "traffic schedule" `Quick test_traffic_schedule;
+    Alcotest.test_case "alias sampler" `Quick test_alias_sampler;
+    Alcotest.test_case "open-loop sim" `Quick test_sim_open_loop;
+  ]
