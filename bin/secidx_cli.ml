@@ -28,8 +28,8 @@ let gen_column dist seed n sigma theta run stay file =
       match dist with
       | "uniform" -> Workload.Gen.uniform ~seed ~n ~sigma
       | "zipf" -> Workload.Gen.zipf ~seed ~n ~sigma ~theta ()
-      | "clustered" -> Workload.Gen.clustered ~seed ~n ~sigma ~run
-      | "markov" -> Workload.Gen.markov ~seed ~n ~sigma ~stay
+      | "clustered" -> Workload.Gen.clustered ~seed ~n ~sigma ~run ()
+      | "markov" -> Workload.Gen.markov ~seed ~n ~sigma ~stay ()
       | other -> invalid_arg ("unknown distribution: " ^ other))
 
 let build_instance name device ~sigma data =
@@ -44,6 +44,7 @@ let build_instance name device ~sigma data =
   | "btree-dynamic" -> Baselines.Btree_dynamic.instance device ~sigma data
   | "bitmap" -> Baselines.Bitmap_index.instance device ~sigma data
   | "cbitmap" -> Baselines.Cbitmap_index.instance device ~sigma data
+  | "roaring" -> Baselines.Roaring_index.instance device ~sigma data
   | "binned" -> Baselines.Binned_index.instance device ~sigma ~w:16 data
   | "multires" -> Baselines.Multires_index.instance device ~sigma ~w:4 data
   | "range-encoded" -> Baselines.Range_encoded.instance device ~sigma data
@@ -54,7 +55,7 @@ let index_names =
   [
     "static"; "complete-tree"; "complete-tree-fn3"; "dynamic"; "append";
     "btree"; "btree-dynamic"; "bitmap";
-    "cbitmap"; "binned"; "multires"; "range-encoded"; "wavelet";
+    "cbitmap"; "roaring"; "binned"; "multires"; "range-encoded"; "wavelet";
   ]
 
 (* Common options *)

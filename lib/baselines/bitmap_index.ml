@@ -23,9 +23,12 @@ let build device ~sigma x =
     buf
   in
   (* Each row is a framed extent; the rebuild closure re-materializes
-     it from the retained position set (primary data). *)
+     it from the retained position set (primary data).  Rows get their
+     own ledger component (PR 7) so per-structure space reports
+     separate the literal n-bit rows from other structures' payloads
+     on a shared device. *)
   let frames =
-    Iosim.Device.with_component device "payload" (fun () ->
+    Iosim.Device.with_component device "bitmap_rows" (fun () ->
         Array.map
           (fun posting ->
             Iosim.Frame.store ~magic:row_magic ~align_block:true

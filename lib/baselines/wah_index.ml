@@ -14,9 +14,11 @@ let build device ~sigma x =
   let postings = Indexing.Common.positions_by_char ~sigma x in
   (* Each row is one framed extent; the rebuild closure re-encodes it
      from the retained position set (primary data), deterministically,
-     hence bit-identical. *)
+     hence bit-identical.  Rows get their own ledger component (PR 7)
+     so per-structure space reports separate WAH words from other
+     structures' payloads on a shared device. *)
   let frames =
-    Iosim.Device.with_component device "payload" (fun () ->
+    Iosim.Device.with_component device "wah_rows" (fun () ->
         Array.map
           (fun posting ->
             let enc () = Cbitmap.Wah.to_buf (Cbitmap.Wah.encode ~n posting) in

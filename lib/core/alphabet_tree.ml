@@ -25,7 +25,8 @@ let materialized_depths schedule nlevels =
       let rec go d acc = if d >= nlevels - 1 then acc else go (2 * d) (d :: acc) in
       List.sort_uniq compare ((nlevels - 1) :: 0 :: go 1 [])
 
-let build ?(complement = true) ?(schedule = `All) device ~sigma x =
+let build ?(complement = true) ?(schedule = `All) ?(payload = `Gap) device
+    ~sigma x =
   let n = Array.length x in
   let rec pow2 v = if v >= sigma then v else pow2 (2 * v) in
   let sigma2 = pow2 1 in
@@ -34,12 +35,19 @@ let build ?(complement = true) ?(schedule = `All) device ~sigma x =
   let posting_of_char c = if c < sigma then postings.(c) else Cbitmap.Posting.empty in
   let mat = materialized_depths schedule nlevels in
   let ctx = Indexing.Context.create device in
+  let layout =
+    match payload with
+    | `Gap -> Indexing.Stream_table.Gap
+    | `Hybrid ->
+        let u = max 1 n in
+        Indexing.Stream_table.Hybrid { universe = u; chunk = u }
+  in
   (* Build levels bottom-up: level (nlevels-1) = single characters. *)
   let tables = Array.make nlevels None in
   let current = ref (Array.init sigma2 posting_of_char) in
   for j = nlevels - 1 downto 0 do
     if List.mem j mat then
-      tables.(j) <- Some (Indexing.Stream_table.build ~ctx device !current);
+      tables.(j) <- Some (Indexing.Stream_table.build ~ctx ~layout device !current);
     if j > 0 then
       current :=
         Array.init (1 lsl (j - 1)) (fun b ->
@@ -230,13 +238,16 @@ let size_bits t =
       | Some tab -> acc + Indexing.Stream_table.size_bits tab)
     t.a_region.Iosim.Device.len t.levels
 
-let instance ?complement ?schedule device ~sigma x =
-  let t = build ?complement ?schedule device ~sigma x in
+let instance ?complement ?schedule ?payload device ~sigma x =
+  let t = build ?complement ?schedule ?payload device ~sigma x in
+  let base =
+    match schedule with
+    | Some `Doubling -> "secidx-complete-tree-fn3"
+    | _ -> "secidx-complete-tree"
+  in
   {
     Indexing.Instance.name =
-      (match schedule with
-      | Some `Doubling -> "secidx-complete-tree-fn3"
-      | _ -> "secidx-complete-tree");
+      (match payload with Some `Hybrid -> base ^ "-hybrid" | _ -> base);
     device;
     ctx = t.ctx;
     n = t.n;

@@ -25,6 +25,7 @@ type t = {
   complement : bool;
   buffered : bool;
   code : Cbitmap.Gap_codec.code;
+  payload : [ `Gap | `Hybrid ];
   sigma : int;
   mutable x : int array;
   mutable n : int;
@@ -57,9 +58,9 @@ let last_of_posting p =
   let k = Cbitmap.Posting.cardinal p in
   if k = 0 then -1 else Cbitmap.Posting.get p (k - 1)
 
-let make_storage ~ctx ~code device postings =
+let make_storage ~ctx ~code ~layout device postings =
   {
-    table = Indexing.Stream_table.build ~ctx ~code device postings;
+    table = Indexing.Stream_table.build ~ctx ~code ~layout device postings;
     chains =
       Array.map
         (fun p ->
@@ -105,13 +106,23 @@ let write_meta t =
   t.meta_frame <- Some f;
   t.meta_region <- Iosim.Frame.payload f
 
-(* Construct the frozen view and per-level storages for [data]. *)
-let build_parts ~ctx ~c ~code ~sigma device data =
+(* Construct the frozen view and per-level storages for [data].  The
+   hybrid payload applies to the frozen tables only: chain blocks stay
+   gap-coded, since appends extend them codeword by codeword and a
+   container cannot be extended in place. *)
+let build_parts ~ctx ~c ~code ~payload ~sigma device data =
   let tree = Wbb.build ~c ~sigma data in
   let frozen = Frozen.make tree ~sigma_total:sigma in
   let height = tree.Wbb.height in
   let mat = Array.make (height + 1) false in
   List.iter (fun l -> mat.(l) <- true) (doubling_levels height);
+  let layout =
+    match payload with
+    | `Gap -> Indexing.Stream_table.Gap
+    | `Hybrid ->
+        let u = max 1 (Array.length data) in
+        Indexing.Stream_table.Hybrid { universe = u; chunk = u }
+  in
   let levels =
     Array.init (height + 1) (fun l ->
         if
@@ -119,12 +130,12 @@ let build_parts ~ctx ~c ~code ~sigma device data =
           && Array.length tree.Wbb.internal_by_level.(l - 1) > 0
         then
           Some
-            (make_storage ~ctx ~code device
+            (make_storage ~ctx ~code ~layout device
                (Array.map (Wbb.positions tree) tree.Wbb.internal_by_level.(l - 1)))
         else None)
   in
   let leaves =
-    make_storage ~ctx ~code device
+    make_storage ~ctx ~code ~layout device
       (Array.map (Wbb.positions tree) tree.Wbb.leaves)
   in
   (frozen, mat, levels, leaves)
@@ -132,7 +143,8 @@ let build_parts ~ctx ~c ~code ~sigma device data =
 let rebuild t =
   let data = Array.sub t.x 0 t.n in
   let frozen, mat, levels, leaves =
-    build_parts ~ctx:t.ctx ~c:t.c ~code:t.code ~sigma:t.sigma t.device data
+    build_parts ~ctx:t.ctx ~c:t.c ~code:t.code ~payload:t.payload
+      ~sigma:t.sigma t.device data
   in
   t.frozen <- frozen;
   t.mat <- mat;
@@ -143,12 +155,14 @@ let rebuild t =
   t.n0 <- max 1 t.n
 
 let build ?(c = 8) ?(complement = true) ?(buffered = false)
-    ?(code = Cbitmap.Gap_codec.Gamma) device ~sigma x =
+    ?(code = Cbitmap.Gap_codec.Gamma) ?(payload = `Gap) device ~sigma x =
   if Array.length x = 0 then invalid_arg "Append_index.build: empty string";
   let n = Array.length x in
   let cap = max 1 (Iosim.Device.block_bits device / (Indexing.Common.bits_for (max 2 sigma) + 40)) in
   let ctx = Indexing.Context.create device in
-  let frozen, mat, levels, leaves = build_parts ~ctx ~c ~code ~sigma device x in
+  let frozen, mat, levels, leaves =
+    build_parts ~ctx ~c ~code ~payload ~sigma device x
+  in
   let t =
     {
       device;
@@ -157,6 +171,7 @@ let build ?(c = 8) ?(complement = true) ?(buffered = false)
       complement;
       buffered;
       code;
+      payload;
       sigma;
       x = Array.copy x;
       n;
@@ -599,11 +614,12 @@ let size_bits t =
   levels + storage_bits t.leaves + t.counts_region.Iosim.Device.len
   + t.meta_region.Iosim.Device.len
 
-let instance ?c ?complement ?buffered device ~sigma x =
-  let t = build ?c ?complement ?buffered device ~sigma x in
+let instance ?c ?complement ?buffered ?payload device ~sigma x =
+  let t = build ?c ?complement ?buffered ?payload device ~sigma x in
+  let base = if t.buffered then "secidx-append-buffered" else "secidx-append" in
   {
     Indexing.Instance.name =
-      (if t.buffered then "secidx-append-buffered" else "secidx-append");
+      (match payload with Some `Hybrid -> base ^ "-hybrid" | _ -> base);
     device;
     ctx = t.ctx;
     n = t.n;

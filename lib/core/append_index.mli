@@ -21,11 +21,17 @@
 
 type t
 
+(** [payload] selects the frozen tables' payload layout: [`Gap]
+    (default) gap-coded, [`Hybrid] one adaptive container per extent
+    ({!Cbitmap.Container}).  Chain blocks stay gap-coded either way —
+    appends extend them codeword by codeword, and a container cannot
+    be extended in place. *)
 val build :
   ?c:int ->
   ?complement:bool ->
   ?buffered:bool ->
   ?code:Cbitmap.Gap_codec.code ->
+  ?payload:[ `Gap | `Hybrid ] ->
   Iosim.Device.t ->
   sigma:int ->
   int array ->
@@ -54,6 +60,7 @@ val instance :
   ?c:int ->
   ?complement:bool ->
   ?buffered:bool ->
+  ?payload:[ `Gap | `Hybrid ] ->
   Iosim.Device.t ->
   sigma:int ->
   int array ->

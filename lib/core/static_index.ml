@@ -99,11 +99,20 @@ let pack_metadata device (tree : Wbb.t) ~meta_bits ~pos_bits ~char_bits =
   (meta_block, meta_slot, !total, frames)
 
 let build ?(c = 8) ?(complement = true) ?(schedule = `Doubling)
-    ?(code = Cbitmap.Gap_codec.Gamma) device ~sigma x =
+    ?(code = Cbitmap.Gap_codec.Gamma) ?(payload = `Gap) device ~sigma x =
   let tree = Wbb.build ~c ~sigma x in
   let height = tree.Wbb.height in
   let mat = Array.make (height + 1) false in
   List.iter (fun l -> mat.(l) <- true) (schedule_levels schedule height);
+  (* Position sets live over [0 .. n-1]; the hybrid payload stores one
+     adaptive container per extent (see Cbitmap.Container). *)
+  let layout =
+    match payload with
+    | `Gap -> Indexing.Stream_table.Gap
+    | `Hybrid ->
+        let u = max 1 tree.Wbb.n in
+        Indexing.Stream_table.Hybrid { universe = u; chunk = u }
+  in
   (* One execution context shared by every table of this instance (so
      per-query knobs cover level and leaf decodes alike). *)
   let ctx = Indexing.Context.create device in
@@ -112,13 +121,13 @@ let build ?(c = 8) ?(complement = true) ?(schedule = `Doubling)
         if l >= 1 && mat.(l) && Array.length tree.Wbb.internal_by_level.(l - 1) > 0
         then
           Some
-            (Indexing.Stream_table.build ~ctx ~code device
+            (Indexing.Stream_table.build ~ctx ~code ~layout device
                (Array.map (Wbb.positions tree)
                   tree.Wbb.internal_by_level.(l - 1)))
         else None)
   in
   let leaf_table =
-    Indexing.Stream_table.build ~ctx ~code device
+    Indexing.Stream_table.build ~ctx ~code ~layout device
       (Array.map (Wbb.positions tree) tree.Wbb.leaves)
   in
   let n = tree.Wbb.n in
@@ -380,10 +389,13 @@ let size_bits t =
 
 let height t = t.tree.Wbb.height
 
-let instance ?c ?complement ?schedule ?code device ~sigma x =
-  let t = build ?c ?complement ?schedule ?code device ~sigma x in
+let instance ?c ?complement ?schedule ?code ?payload device ~sigma x =
+  let t = build ?c ?complement ?schedule ?code ?payload device ~sigma x in
   {
-    Indexing.Instance.name = "secidx-static";
+    Indexing.Instance.name =
+      (match payload with
+      | Some `Hybrid -> "secidx-static-hybrid"
+      | _ -> "secidx-static");
     device;
     ctx = Indexing.Stream_table.ctx t.leaf_table;
     n = t.tree.Wbb.n;

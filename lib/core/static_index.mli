@@ -24,11 +24,16 @@ type schedule = [ `Doubling | `All | `Leaves_only ]
 
 type t
 
+(** [payload] selects the stream-table payload layout: [`Gap] (default)
+    is the gap-coded seed layout; [`Hybrid] stores each extent as one
+    adaptive array/bitmap/run container ({!Cbitmap.Container}), framed
+    and ledger-charged identically. *)
 val build :
   ?c:int ->
   ?complement:bool ->
   ?schedule:schedule ->
   ?code:Cbitmap.Gap_codec.code ->
+  ?payload:[ `Gap | `Hybrid ] ->
   Iosim.Device.t ->
   sigma:int ->
   int array ->
@@ -84,6 +89,7 @@ val instance :
   ?complement:bool ->
   ?schedule:schedule ->
   ?code:Cbitmap.Gap_codec.code ->
+  ?payload:[ `Gap | `Hybrid ] ->
   Iosim.Device.t ->
   sigma:int ->
   int array ->

@@ -1,7 +1,10 @@
+type layout = Gap | Hybrid of { universe : int; chunk : int }
+
 type t = {
   device : Iosim.Device.t;
   ctx : Context.t;
   code : Cbitmap.Gap_codec.code;
+  layout : layout;
   nstreams : int;
   off_bits : int;
   count_bits : int;
@@ -15,7 +18,8 @@ type t = {
 let dir_magic = 0x5D01
 let payload_magic = 0x5D02
 
-let build ?ctx ?(code = Cbitmap.Gap_codec.Gamma) device postings =
+let build ?ctx ?(code = Cbitmap.Gap_codec.Gamma) ?(layout = Gap) device
+    postings =
   let ctx =
     match ctx with
     | None -> Context.create device
@@ -24,12 +28,21 @@ let build ?ctx ?(code = Cbitmap.Gap_codec.Gamma) device postings =
           invalid_arg "Stream_table.build: ctx wraps a different device";
         c
   in
+  (match layout with
+  | Gap -> ()
+  | Hybrid { universe; chunk } ->
+      if universe < 1 || chunk < 1 then
+        invalid_arg "Stream_table.build: hybrid layout widths");
+  let encode_one buf p =
+    match layout with
+    | Gap -> Cbitmap.Gap_codec.encode ~code buf p
+    | Hybrid { universe; chunk } ->
+        Cbitmap.Container.encode_chunked ~universe ~chunk buf p
+  in
   (* First pass: payload, recording offsets and counts. *)
   let encode_payload () =
     let payload_buf = Bitio.Bitbuf.create () in
-    Array.iter
-      (fun p -> Cbitmap.Gap_codec.encode ~code payload_buf p)
-      postings;
+    Array.iter (fun p -> encode_one payload_buf p) postings;
     payload_buf
   in
   let payload_buf = Bitio.Bitbuf.create () in
@@ -39,7 +52,7 @@ let build ?ctx ?(code = Cbitmap.Gap_codec.Gamma) device postings =
     (fun i p ->
       offs.(i) <- Bitio.Bitbuf.length payload_buf;
       counts.(i) <- Cbitmap.Posting.cardinal p;
-      Cbitmap.Gap_codec.encode ~code payload_buf p)
+      encode_one payload_buf p)
     postings;
   (* Second pass: a directory with just-wide-enough fields. *)
   let off_bits = Common.bits_for (Bitio.Bitbuf.length payload_buf + 1) in
@@ -72,6 +85,7 @@ let build ?ctx ?(code = Cbitmap.Gap_codec.Gamma) device postings =
     device;
     ctx;
     code;
+    layout;
     nstreams = Array.length postings;
     off_bits;
     count_bits;
@@ -114,12 +128,20 @@ let count t i = snd (dir_entry t i)
    identical either way. *)
 let stream_of_entry t (off, count) =
   let pos = t.payload.Iosim.Device.off + off in
-  if t.ctx.Context.reference_decode then
-    let r = Iosim.Device.cursor t.device ~pos in
-    Cbitmap.Gap_codec.stream_ref ~code:t.code r ~count
-  else
-    let d = Iosim.Device.decoder t.device ~pos in
-    Cbitmap.Gap_codec.stream ~code:t.code d ~count
+  match t.layout with
+  | Hybrid { universe; chunk } ->
+      (* Container payloads are self-describing (the directory count is
+         not needed to find the end) and always decode through the
+         word decoder — there is no retained per-bit container path. *)
+      let d = Iosim.Device.decoder t.device ~pos in
+      Cbitmap.Container.stream_chunked ~universe ~chunk d
+  | Gap ->
+      if t.ctx.Context.reference_decode then
+        let r = Iosim.Device.cursor t.device ~pos in
+        Cbitmap.Gap_codec.stream_ref ~code:t.code r ~count
+      else
+        let d = Iosim.Device.decoder t.device ~pos in
+        Cbitmap.Gap_codec.stream ~code:t.code d ~count
 
 (* Phase spans: directory entries are decoded eagerly (the "directory"
    phase); the payload streams decode lazily inside the merge, so the

@@ -9,15 +9,29 @@
 
 type t
 
-(** [build ?ctx ?code device postings] lays the table out on [device].
-    [ctx] is the execution context consulted by every decode (see
-    {!Context}); tables belonging to one instance should share the
-    instance's context so per-query knobs apply to all of them.
-    Defaults to a fresh [Context.create device].  Raises
-    [Invalid_argument] if [ctx] wraps a different device. *)
+(** Payload encoding for the table's streams.  [Gap] is the seed
+    layout: each stream is a gap-coded sequence ({!Cbitmap.Gap_codec},
+    per the [?code] argument).  [Hybrid] stores each stream as chunked
+    adaptive containers ({!Cbitmap.Container}): one container per
+    [chunk]-wide slice of [0 .. universe - 1], each independently
+    array/bitmap/run encoded by the density selector.  The directory
+    and framing are identical in both layouts, so integrity, repair
+    and prefetch work unchanged. *)
+type layout = Gap | Hybrid of { universe : int; chunk : int }
+
+(** [build ?ctx ?code ?layout device postings] lays the table out on
+    [device].  [ctx] is the execution context consulted by every
+    decode (see {!Context}); tables belonging to one instance should
+    share the instance's context so per-query knobs apply to all of
+    them.  Defaults to a fresh [Context.create device].  [layout]
+    defaults to [Gap]; [code] only applies to the [Gap] layout, and
+    [Context.reference_decode] likewise (hybrid payloads always decode
+    through the word decoder).  Raises [Invalid_argument] if [ctx]
+    wraps a different device. *)
 val build :
   ?ctx:Context.t ->
   ?code:Cbitmap.Gap_codec.code ->
+  ?layout:layout ->
   Iosim.Device.t ->
   Cbitmap.Posting.t array ->
   t

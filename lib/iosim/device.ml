@@ -78,10 +78,14 @@ let alloc ?(align_block = false) t len =
   in
   let before = t.used_bits in
   t.used_bits <- off + len;
-  (* Charge the full used-bits delta — length plus any alignment
-     padding — so the ledger components sum to [used_bits] exactly. *)
+  (* Charge the requested length to the current component and any
+     alignment padding to the dedicated "padding" component (PR 7), so
+     each component holds exactly its extents' bits and the components
+     still sum to [used_bits] exactly. *)
   (match t.ledger with
-  | Some l -> Obs.Ledger.add l (t.used_bits - before)
+  | Some l ->
+      Obs.Ledger.add l len;
+      Obs.Ledger.add_to l Obs.Ledger.padding (off - before)
   | None -> ());
   t.generation <- t.generation + 1;
   ensure t t.used_bits;

@@ -54,10 +54,11 @@ val fault : t -> Fault.t option
     last transferred block, so the next transfer counts one seek. *)
 val reset_stats : t -> unit
 
-(** Attach a space ledger: every subsequent {!alloc} charges its full
-    used-bits delta (length plus alignment padding) to the ledger's
-    current component, so [Obs.Ledger.total] tracks {!used_bits}
-    growth exactly. *)
+(** Attach a space ledger: every subsequent {!alloc} charges its
+    requested length to the ledger's current component and any
+    block-alignment padding to [Obs.Ledger.padding], so each component
+    holds exactly its extents' bits and [Obs.Ledger.total] still
+    tracks {!used_bits} growth exactly. *)
 val set_ledger : t -> Obs.Ledger.t -> unit
 
 val clear_ledger : t -> unit

@@ -19,6 +19,7 @@ type t = {
 }
 
 let unattributed = "unattributed"
+let padding = "padding"
 
 let create () = { tally = Hashtbl.create 16; component = unattributed }
 

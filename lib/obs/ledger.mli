@@ -13,6 +13,13 @@ type t
 val unattributed : string
 (** Component charged when no [with_component] scope is active. *)
 
+val padding : string
+(** Component [Device.alloc] charges block-alignment padding to
+    (PR 7).  Before, padding was lumped into whatever component the
+    aligned extent belonged to, so "payload" overstated the payload;
+    now every component holds exactly the bits its extents asked for,
+    and {!total} still equals the device's allocated bits. *)
+
 val create : unit -> t
 val component : t -> string
 val set_component : t -> string -> unit

@@ -1,0 +1,30 @@
+(** The shared builder table (PR 7; the table itself dates to PR 5,
+    when it lived in [bench/main.ml]).
+
+    Every harness that iterates over index structures — the bench
+    experiments, the fault/trace campaigns, the batch differential
+    suite — draws from this one list, so each index registers exactly
+    once and a builder added here is automatically picked up
+    everywhere.  The batch suite iterates [all] directly, so CI fails
+    if a registered builder ever escapes differential coverage. *)
+
+type builder = {
+  b_name : string;  (** stable identifier used in reports and JSON *)
+  b_campaign : bool;
+      (** member of the fault/trace campaign set (PR 3/PR 4 gates).
+          Wavelet answers from in-memory mirrors, and bitmap-wah and
+          bitmap-roaring duplicate bitmap's fault surface, so they
+          stay out to keep those campaigns' runtimes and expectations
+          stable. *)
+  b_build : Iosim.Device.t -> sigma:int -> int array -> Indexing.Instance.t;
+}
+
+(** Every registered builder, in presentation order. *)
+val all : builder list
+
+(** The [b_campaign] subset, as (name, build) pairs. *)
+val campaign : (string * (Iosim.Device.t -> sigma:int -> int array -> Indexing.Instance.t)) list
+
+(** Look up builders by name, preserving the argument order.
+    Raises [Not_found] on an unregistered name. *)
+val named : string list -> builder list

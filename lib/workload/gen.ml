@@ -61,6 +61,27 @@ module Alias = struct
     if Rng.float rng < t.prob.(i) then i else t.alias.(i)
 end
 
+(* Burst-length distributions (PR 7).  One sampler shared by the
+   clustered and Markov generators and by the serving-path template
+   widths, so "how long is a burst" is a workload knob rather than a
+   property hard-wired into each generator. *)
+
+type burst = Uniform_burst | Fixed_burst | Geometric_burst
+
+let burst_length burst ~run rng =
+  if run < 1 then invalid_arg "Gen.burst_length";
+  match burst with
+  | Uniform_burst -> 1 + Rng.below rng (2 * run)
+  | Fixed_burst -> run
+  | Geometric_burst ->
+      if run = 1 then 1
+      else
+        (* Inversion: failures before a success of probability 1/run,
+           plus one — mean exactly [run], memoryless tail. *)
+        let p = 1.0 /. float_of_int run in
+        let u = 1.0 -. Rng.float rng (* (0;1] *) in
+        1 + int_of_float (Float.log u /. Float.log (1.0 -. p))
+
 let zipf_weights ~sigma ~theta =
   Array.init sigma (fun i -> 1.0 /. (float_of_int (i + 1) ** theta))
 
@@ -77,29 +98,45 @@ let zipf ?(permute = true) ~seed ~n ~sigma ~theta () =
     done;
   { sigma; data = Array.init n (fun _ -> perm.(Alias.draw table rng)) }
 
-let clustered ~seed ~n ~sigma ~run =
-  if run < 1 then invalid_arg "Gen.clustered";
-  let rng = Rng.create ~seed in
-  let data = Array.make n 0 in
+let fill_bursts rng ~burst ~n ~sigma ~run data =
   let i = ref 0 in
   while !i < n do
     let c = Rng.below rng sigma in
-    let len = 1 + Rng.below rng (2 * run) in
-    let len = min len (n - !i) in
+    let len = min (burst_length burst ~run rng) (n - !i) in
     Array.fill data !i len c;
     i := !i + len
-  done;
+  done
+
+let clustered ?(burst = Uniform_burst) ~seed ~n ~sigma ~run () =
+  if run < 1 then invalid_arg "Gen.clustered";
+  let rng = Rng.create ~seed in
+  let data = Array.make n 0 in
+  fill_bursts rng ~burst ~n ~sigma ~run data;
   { sigma; data }
 
-let markov ~seed ~n ~sigma ~stay =
+let markov ?burst ~seed ~n ~sigma ~stay () =
   if stay < 0.0 || stay >= 1.0 then invalid_arg "Gen.markov";
   let rng = Rng.create ~seed in
   let data = Array.make n 0 in
-  let prev = ref (Rng.below rng sigma) in
-  for i = 0 to n - 1 do
-    if Rng.float rng >= stay then prev := Rng.below rng sigma;
-    data.(i) <- !prev
-  done;
+  (match burst with
+  | None ->
+      (* The chain proper: per-step stay/redraw, geometric sojourns of
+         mean 1/(1-stay) (slightly longer counting accidental
+         repeats). *)
+      let prev = ref (Rng.below rng sigma) in
+      for i = 0 to n - 1 do
+        if Rng.float rng >= stay then prev := Rng.below rng sigma;
+        data.(i) <- !prev
+      done
+  | Some b ->
+      (* Burst-length override: keep the chain's mean sojourn
+         1/(1-stay) but draw each sojourn from [b]; the state is
+         redrawn uniformly at each boundary, preserving the uniform
+         marginal. *)
+      let run =
+        max 1 (int_of_float (Float.round (1.0 /. (1.0 -. stay))))
+      in
+      fill_bursts rng ~burst:b ~n ~sigma ~run data);
   { sigma; data }
 
 let h0 t = Cbitmap.Entropy.h0 ~sigma:t.sigma t.data

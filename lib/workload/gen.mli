@@ -43,14 +43,34 @@ val uniform : seed:int -> n:int -> sigma:int -> t
 val zipf :
   ?permute:bool -> seed:int -> n:int -> sigma:int -> theta:float -> unit -> t
 
+(** Burst-length distribution (PR 7), shared by {!clustered},
+    {!markov} and the serving-path template widths
+    ({!Traffic.make}):
+    - [Uniform_burst] — [1 + U[0, 2·run)], mean [run + 1/2]; the seed
+      behaviour of {!clustered};
+    - [Fixed_burst] — exactly [run] (degenerate, worst case for
+      adaptive selectors: every burst the same shape);
+    - [Geometric_burst] — [1 + Geom(1/run)], mean [run], memoryless
+      heavy-ish tail; the Markov chain's sojourn law. *)
+type burst = Uniform_burst | Fixed_burst | Geometric_burst
+
+(** One burst length, [>= 1].  Raises [Invalid_argument] if
+    [run < 1]. *)
+val burst_length : burst -> run:int -> Hashing.Universal.Rng.t -> int
+
 (** Sorted-and-chunked data: the string is a concatenation of runs of
-    equal characters with expected run length [run].  Models clustered
-    / nearly-sorted columns. *)
-val clustered : seed:int -> n:int -> sigma:int -> run:int -> t
+    equal characters with burst lengths drawn from [burst] (default
+    [Uniform_burst], expected run length about [run]).  Models
+    clustered / nearly-sorted columns. *)
+val clustered :
+  ?burst:burst -> seed:int -> n:int -> sigma:int -> run:int -> unit -> t
 
 (** Markov chain over characters: with probability [stay] repeat the
-    previous character, otherwise draw uniformly. *)
-val markov : seed:int -> n:int -> sigma:int -> stay:float -> t
+    previous character, otherwise draw uniformly.  With [burst] set,
+    sojourn lengths are drawn from that distribution at the chain's
+    mean sojourn [1/(1-stay)] instead of step by step. *)
+val markov :
+  ?burst:burst -> seed:int -> n:int -> sigma:int -> stay:float -> unit -> t
 
 (** 0th-order entropy (bits/symbol) of a generated string. *)
 val h0 : t -> float

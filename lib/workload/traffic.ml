@@ -35,19 +35,26 @@ let exponential rng mean =
   (* Rng.float is in [0;1); 1-u is in (0;1], so log is finite. *)
   -.mean *. Float.log (1.0 -. Rng.float rng)
 
-let make_templates rng ~sigma ~templates =
+(* Template widths reuse the workload burst-length sampler (PR 7):
+   narrow/medium/wide spans are bursts at runs sigma/32, sigma/8 and
+   sigma/2, so the width law of the query mix and the run law of the
+   data come from the same knob.  The default [Uniform_burst] draws
+   [1 + U[0, 2·run)] — exactly the seed's width mixture whenever sigma
+   is a multiple of 32 (it is in the serve bench). *)
+let make_templates ?(burst = Gen.Uniform_burst) rng ~sigma ~templates =
+  let span frac = Gen.burst_length burst ~run:(max 1 (sigma / frac)) rng in
   Array.init templates (fun _ ->
       let lo = Rng.below rng sigma in
       let width =
         match Rng.below rng 4 with
         | 0 -> 1 (* point *)
-        | 1 -> 1 + Rng.below rng (max 1 (sigma / 16)) (* narrow *)
-        | 2 -> 1 + Rng.below rng (max 1 (sigma / 4)) (* medium *)
-        | _ -> 1 + Rng.below rng sigma (* wide, may clamp at σ-1 *)
+        | 1 -> span 32 (* narrow *)
+        | 2 -> span 8 (* medium *)
+        | _ -> span 2 (* wide, may clamp at σ-1 *)
       in
       (lo, min (sigma - 1) (lo + width - 1)))
 
-let make ?(templates = 64) ?(theta = 1.0) ?(mean_on = 0.050)
+let make ?burst ?(templates = 64) ?(theta = 1.0) ?(mean_on = 0.050)
     ?(mean_off = 0.010) ~seed ~sigma ~count ~rate () =
   if count < 1 then invalid_arg "Traffic.make: count";
   if not (rate > 0.0) then invalid_arg "Traffic.make: rate";
@@ -55,7 +62,7 @@ let make ?(templates = 64) ?(theta = 1.0) ?(mean_on = 0.050)
     invalid_arg "Traffic.make: sojourn means";
   let templates = max 1 (min templates (max 1 sigma)) in
   let rng = Rng.create ~seed in
-  let ranges = make_templates rng ~sigma ~templates in
+  let ranges = make_templates ?burst rng ~sigma ~templates in
   let popularity =
     Gen.Alias.create (Gen.zipf_weights ~sigma:templates ~theta)
   in

@@ -370,3 +370,44 @@ let suite =
       Alcotest.test_case "dynamic btree splits" `Quick
         test_btree_dynamic_splits;
     ]
+
+(* PR 7: roaring-style hybrid container baseline. *)
+
+let prop_roaring =
+  against_naive "roaring matches naive"
+    (Baselines.Roaring_index.instance ?chunk:None)
+
+let prop_roaring_small_chunks =
+  (* chunk far below the universe, so streams span many containers and
+     the Empty container path is exercised. *)
+  against_naive "roaring (chunk=16) matches naive"
+    (Baselines.Roaring_index.instance ~chunk:16)
+
+let test_roaring_adapts_per_chunk () =
+  (* A stream that is dense in one half and sparse in the other must
+     beat both the uncompressed bitmap and the sorted-array extremes:
+     the hybrid payload picks per chunk. *)
+  let n = 8192 and sigma = 2 in
+  let data =
+    Array.init n (fun i ->
+        if i < n / 2 then (if i mod 2 = 0 then 0 else 1)
+        else if i mod 64 = 0 then 0
+        else 1)
+  in
+  let t = Baselines.Roaring_index.build (device ()) ~sigma data in
+  let payload = Baselines.Roaring_index.payload_bits t in
+  (* Uncompressed: sigma * n payload bits. *)
+  Alcotest.(check bool) "below uncompressed bitmaps" true
+    (payload < sigma * n);
+  (* Pure sorted arrays: 13 bits per position occurrence. *)
+  let w = 13 in
+  Alcotest.(check bool) "below pure arrays" true (payload < w * n)
+
+let suite =
+  suite
+  @ [
+      qcheck prop_roaring;
+      qcheck prop_roaring_small_chunks;
+      Alcotest.test_case "roaring adapts per chunk" `Quick
+        test_roaring_adapts_per_chunk;
+    ]

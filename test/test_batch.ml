@@ -1,28 +1,26 @@
-(* Differential tests for batched query execution (PR 5): for every
-   index with a custom batch hook (static, dynamic, append, B-tree,
-   WAH bitmap) plus one generic-fallback index, [Instance.query_batch]
-   over randomized batches — overlapping, duplicate, empty, inverted,
-   out-of-range and full-range intervals — must return answers
-   bit-identical (same constructor, same posting) to looping the
-   index's own [query]. *)
+(* Differential tests for batched query execution (PR 5, registry-
+   driven since PR 7): for EVERY builder in the shared table
+   ({!Registry.all}) plus one forced generic-fallback index,
+   [Instance.query_batch] over randomized batches — overlapping,
+   duplicate, empty, inverted, out-of-range and full-range intervals —
+   must return answers bit-identical (same constructor, same posting)
+   to looping the index's own [query].  Because the suite is generated
+   from the registry, registering a new builder without batch coverage
+   is impossible: it lands here automatically, and CI runs this
+   suite. *)
 
 let device () = Iosim.Device.create ~block_bits:256 ~mem_bits:(64 * 256) ()
 
 let builders =
-  [
-    ( "static",
-      fun dev ~sigma data -> Secidx.Static_index.instance dev ~sigma data );
-    ( "dynamic",
-      fun dev ~sigma data -> Secidx.Dynamic_index.instance dev ~sigma data );
-    ( "append",
-      fun dev ~sigma data -> Secidx.Append_index.instance dev ~sigma data );
-    ("btree", fun dev ~sigma data -> Baselines.Btree.instance dev ~sigma data);
-    ( "bitmap-wah",
-      fun dev ~sigma data -> Baselines.Wah_index.instance dev ~sigma data );
-    (* No batch hook: exercises the generic planner fallback. *)
-    ( "binned-fallback",
-      fun dev ~sigma data -> Baselines.Binned_index.instance dev ~sigma ~w:3 data );
-  ]
+  List.map
+    (fun b -> (b.Registry.b_name, b.Registry.b_build))
+    Registry.all
+  @ [
+      (* No batch hook: exercises the generic planner fallback. *)
+      ( "binned-fallback",
+        fun dev ~sigma data ->
+          Baselines.Binned_index.instance dev ~sigma ~w:3 data );
+    ]
 
 let answers_identical a b =
   match (a, b) with
@@ -124,8 +122,23 @@ let test_plan () =
     (Indexing.Batch.merged_intervals
        (Indexing.Batch.normalize ~sigma:8 [| (0, 1); (1, 2); (4, 5) |]))
 
+(* The CI contract, stated explicitly: every builder in the shared
+   table is differentially batch-tested above.  Trivially true while
+   [builders] is generated from the registry; fails loudly if someone
+   reintroduces a hand-maintained list that lags the table. *)
+let test_registry_covered () =
+  let tested = List.map fst builders in
+  List.iter
+    (fun b ->
+      if not (List.mem b.Registry.b_name tested) then
+        Alcotest.failf "builder %S missing from batch differential suite"
+          b.Registry.b_name)
+    Registry.all;
+  Alcotest.(check bool) "table non-trivial" true (List.length Registry.all >= 16)
+
 let suite =
   Alcotest.test_case "batch planner" `Quick test_plan
+  :: Alcotest.test_case "registry fully covered" `Quick test_registry_covered
   :: List.map
        (fun b ->
          Alcotest.test_case

@@ -1,0 +1,202 @@
+(* Differential tests for the hybrid container codec (PR 7): every
+   container kind must round-trip bit-identically against the naive
+   decoded set, and the fast paths (cardinality / rank / select /
+   range_emit) must agree with the Posting reference on the decoded
+   set. *)
+
+module Container = Cbitmap.Container
+module Posting = Cbitmap.Posting
+module Bitbuf = Bitio.Bitbuf
+module Decoder = Bitio.Decoder
+module Rng = Hashing.Universal.Rng
+
+let posting l = Posting.of_list l
+
+(* Encode [p] for universe [n] and hand a fresh decoder positioned at
+   the container start to [f]. *)
+let with_decoder ~n p f =
+  let buf = Bitbuf.create () in
+  let kind = Container.encode ~n buf p in
+  let d = Decoder.of_bitbuf buf in
+  f kind buf d
+
+(* Full differential check of one extent against the reference. *)
+let check_extent ~what ~n p =
+  with_decoder ~n p (fun kind buf d ->
+      let m = Posting.cardinal p in
+      let r = if m = 0 then 0 else Container.runs_of p in
+      let expect_kind, expect_size = Container.choose ~n ~m ~r in
+      Alcotest.(check string)
+        (what ^ ": selector kind")
+        (Container.kind_name expect_kind)
+        (Container.kind_name kind);
+      Alcotest.(check int)
+        (what ^ ": size formula exact")
+        expect_size (Bitbuf.length buf);
+      Alcotest.(check int)
+        (what ^ ": encoded_size agrees")
+        expect_size
+        (Container.encoded_size ~n p);
+      let got = Container.decode ~n d in
+      Alcotest.(check bool) (what ^ ": round-trip") true (Posting.equal p got);
+      Alcotest.(check int)
+        (what ^ ": decode consumed exactly")
+        (Bitbuf.length buf) (Decoder.bit_pos d);
+      (* Fast paths, each on a fresh decoder. *)
+      Alcotest.(check int)
+        (what ^ ": cardinality")
+        m
+        (Container.cardinality ~n (Decoder.of_bitbuf buf));
+      let probes =
+        List.sort_uniq compare
+          ([ 0; 1; n / 2; n - 1; n ]
+          @ List.concat_map
+              (fun v -> [ v; v + 1 ])
+              (Posting.to_list (Posting.filter_range ~lo:0 ~hi:(n - 1) p)))
+      in
+      List.iter
+        (fun x ->
+          if x >= 0 && x <= n then
+            Alcotest.(check int)
+              (Printf.sprintf "%s: rank %d" what x)
+              (Posting.rank p x)
+              (Container.rank ~n (Decoder.of_bitbuf buf) x))
+        probes;
+      for k = 0 to min m 8 do
+        let expect = if k < m then Some (Posting.get p k) else None in
+        Alcotest.(check (option int))
+          (Printf.sprintf "%s: select %d" what k)
+          expect
+          (Container.select ~n (Decoder.of_bitbuf buf) k)
+      done;
+      let ranges =
+        [ (0, n - 1); (0, 0); (n - 1, n - 1); (n / 4, n / 2); (n / 2, n / 4) ]
+      in
+      List.iter
+        (fun (lo, hi) ->
+          let expect =
+            if lo > hi then Posting.empty else Posting.filter_range ~lo ~hi p
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s: range_emit [%d,%d]" what lo hi)
+            true
+            (Posting.equal expect
+               (Container.range_emit ~n (Decoder.of_bitbuf buf) ~lo ~hi)))
+        ranges)
+
+(* Widths 1-62: for every universe-width exponent, the extremes plus a
+   sparse extent.  Wide universes keep cardinality small so the test
+   stays fast while every value width is exercised. *)
+let test_widths () =
+  for bits = 1 to 62 do
+    let n = if bits = 62 then (1 lsl 62) - 1 else 1 lsl bits in
+    Alcotest.(check int)
+      (Printf.sprintf "value_bits at width %d" bits)
+      bits
+      (Container.value_bits ~n);
+    let what = Printf.sprintf "width %d" bits in
+    check_extent ~what:(what ^ " empty") ~n Posting.empty;
+    check_extent ~what:(what ^ " first") ~n (posting [ 0 ]);
+    check_extent ~what:(what ^ " last") ~n (posting [ n - 1 ]);
+    check_extent
+      ~what:(what ^ " sparse")
+      ~n
+      (posting
+         (List.sort_uniq compare [ 0; n / 7; n / 3; n / 2; (n - 1) / 2 * 2; n - 1 ]));
+    if n <= 4096 then begin
+      check_extent ~what:(what ^ " full") ~n
+        (Posting.complement ~n Posting.empty);
+      check_extent
+        ~what:(what ^ " evens")
+        ~n
+        (posting (List.init ((n + 1) / 2) (fun i -> 2 * i)))
+    end
+  done
+
+(* Selector boundaries: sweep cardinality around the array/bitmap
+   crossover and run counts around the runs/array crossover, checking
+   the chosen kind is the argmin of the exact size formulas. *)
+let test_selector_boundaries () =
+  let n = 1024 in
+  (* Array vs bitmap: crossover near m * value_bits = n. *)
+  let cross = n / Container.value_bits ~n in
+  for m = max 1 (cross - 3) to cross + 3 do
+    (* Spread positions to keep runs from winning: step 2 avoids
+       adjacency, so r = m. *)
+    let p = posting (List.init m (fun i -> 2 * i)) in
+    check_extent ~what:(Printf.sprintf "boundary m=%d" m) ~n p
+  done;
+  (* Runs vs array: r runs of total cardinality m win iff 2r < m. *)
+  let run_extent ~runs ~len =
+    posting
+      (List.concat
+         (List.init runs (fun i ->
+              List.init len (fun j -> (i * (len + 3)) + j))))
+  in
+  List.iter
+    (fun (runs, len) ->
+      check_extent
+        ~what:(Printf.sprintf "boundary %d runs x %d" runs len)
+        ~n
+        (run_extent ~runs ~len))
+    [ (1, 1); (1, 2); (1, 3); (4, 1); (4, 2); (4, 3); (4, 64); (16, 8) ];
+  (* Dense clustered extents must pick runs over bitmap. *)
+  let p = run_extent ~runs:3 ~len:200 in
+  with_decoder ~n p (fun kind _ _ ->
+      Alcotest.(check string) "clustered picks runs" "runs"
+        (Container.kind_name kind))
+
+let test_tag_layout () =
+  (* The header tag is the first two bits; Empty is all-ones so a
+     zeroed region cannot silently decode as empty. *)
+  let tag p ~n =
+    with_decoder ~n p (fun _ buf _ -> Bitbuf.read_bits buf ~pos:0 ~width:2)
+  in
+  Alcotest.(check int) "empty tag" 3 (tag Posting.empty ~n:64);
+  Alcotest.(check int) "array tag" 0 (tag (posting [ 5 ]) ~n:4096);
+  Alcotest.(check int) "runs tag" 2
+    (tag (posting (List.init 60 (fun i -> i))) ~n:4096);
+  Alcotest.(check int) "bitmap tag" 1
+    (tag (posting (List.init 512 (fun i -> 2 * i))) ~n:1024)
+
+(* Fuzz: seeded random extents across mixed densities and universe
+   widths, decoded and probed against the Posting reference. *)
+let test_fuzz () =
+  let rng = Rng.create ~seed:0x7c0de in
+  for round = 1 to 120 do
+    let n = 1 + Rng.below rng 3000 in
+    let density = 1 + Rng.below rng 10 in
+    let members = ref [] in
+    (match Rng.below rng 3 with
+    | 0 ->
+        (* Bernoulli: uniform sparse-to-dense. *)
+        for v = 0 to n - 1 do
+          if Rng.below rng 10 < density then members := v :: !members
+        done
+    | 1 ->
+        (* Bursts: run-heavy. *)
+        let v = ref 0 in
+        while !v < n do
+          let len = 1 + Rng.below rng 40 in
+          if Rng.below rng 2 = 0 then
+            for u = !v to min (n - 1) (!v + len - 1) do
+              members := u :: !members
+            done;
+          v := !v + len
+        done
+    | _ ->
+        (* A few isolated values. *)
+        for _ = 1 to 1 + Rng.below rng 8 do
+          members := Rng.below rng n :: !members
+        done);
+    let p = posting !members in
+    check_extent ~what:(Printf.sprintf "fuzz %d (n=%d)" round n) ~n p
+  done
+
+let suite =
+  [
+    Alcotest.test_case "widths 1-62 round-trip" `Quick test_widths;
+    Alcotest.test_case "selector boundaries" `Quick test_selector_boundaries;
+    Alcotest.test_case "header tag layout" `Quick test_tag_layout;
+    Alcotest.test_case "fuzz random extents" `Quick test_fuzz;
+  ]

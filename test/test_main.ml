@@ -5,6 +5,7 @@ let () =
       ("codec-engine", Test_codec_engine.suite);
       ("iosim", Test_iosim.suite);
       ("cbitmap", Test_cbitmap.suite);
+      ("container", Test_container.suite);
       ("hashing", Test_hashing.suite);
       ("workload", Test_workload.suite);
       ("baselines", Test_baselines.suite);

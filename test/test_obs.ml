@@ -231,16 +231,21 @@ let test_ledger_exact_and_scoped () =
   Alcotest.(check string)
     "component restored after raise" Obs.Ledger.unattributed
     (Obs.Ledger.component ledger);
-  (* The aligned alloc's padding is charged too: the ledger total is
-     the device's allocated bits, exactly. *)
+  (* The aligned alloc's padding lands in the dedicated padding
+     component (PR 7); components still sum to the device's allocated
+     bits, exactly. *)
   Alcotest.(check int)
     "total = used_bits"
     (Iosim.Device.used_bits dev)
     (Obs.Ledger.total ledger);
   Alcotest.(check int) "payload" 7 (Obs.Ledger.find ledger "payload");
-  Alcotest.(check bool)
-    "directory includes alignment padding" true
-    (Obs.Ledger.find ledger "directory" >= 100);
+  Alcotest.(check int)
+    "directory holds exactly its extent" 100
+    (Obs.Ledger.find ledger "directory");
+  (* 10 bits were used before the 64-bit-aligned alloc: 54 bits pad. *)
+  Alcotest.(check int)
+    "padding split out" 54
+    (Obs.Ledger.find ledger Obs.Ledger.padding);
   Alcotest.(check int) "unknown component" 0 (Obs.Ledger.find ledger "nope")
 
 (* ---- envelopes ---- *)

@@ -87,10 +87,11 @@ let prop_frozen_decompose_covers =
 
 (* --- Append index --- *)
 
-let append_scenario ~buffered (sigma, initial, appends, lo, hi) =
+let append_scenario ?payload ~buffered (sigma, initial, appends, lo, hi) =
   let dev = device () in
   let t =
-    Secidx.Append_index.build ~c:4 ~buffered dev ~sigma (Array.of_list initial)
+    Secidx.Append_index.build ~c:4 ~buffered ?payload dev ~sigma
+      (Array.of_list initial)
   in
   List.iter (fun ch -> Secidx.Append_index.append t ch) appends;
   let data = Array.of_list (initial @ appends) in
@@ -123,6 +124,13 @@ let prop_append_buffered_matches_naive =
   QCheck.Test.make ~count:100 ~name:"buffered append index matches naive"
     append_gen
     (append_scenario ~buffered:true)
+
+(* Hybrid container payloads (PR 7) on the frozen tables; chains stay
+   gap-coded, answers must stay identical across rebuilds. *)
+let prop_append_hybrid_matches_naive =
+  QCheck.Test.make ~count:100 ~name:"append index (hybrid payload) matches naive"
+    append_gen
+    (append_scenario ~payload:`Hybrid ~buffered:false)
 
 let test_append_triggers_rebuild () =
   let dev = device () in
@@ -331,6 +339,7 @@ let suite =
     qcheck prop_frozen_decompose_covers;
     qcheck prop_append_matches_naive;
     qcheck prop_append_buffered_matches_naive;
+    qcheck prop_append_hybrid_matches_naive;
     Alcotest.test_case "append triggers rebuild" `Quick
       test_append_triggers_rebuild;
     Alcotest.test_case "append amortized I/O" `Quick test_append_amortized_io;

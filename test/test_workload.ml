@@ -28,7 +28,7 @@ let test_zipf_deterministic () =
     (a.Workload.Gen.data = b.Workload.Gen.data)
 
 let test_clustered_runs () =
-  let g = Workload.Gen.clustered ~seed:3 ~n:10_000 ~sigma:32 ~run:50 in
+  let g = Workload.Gen.clustered ~seed:3 ~n:10_000 ~sigma:32 ~run:50 () in
   Alcotest.(check bool) "alphabet" true (in_alphabet g);
   (* Count runs; expected about n / E[len] = 10000/50.5 ≈ 200. *)
   let runs = ref 1 in
@@ -38,7 +38,7 @@ let test_clustered_runs () =
   if !runs > 1000 then Alcotest.failf "too many runs: %d" !runs
 
 let test_markov_stay () =
-  let g = Workload.Gen.markov ~seed:4 ~n:10_000 ~sigma:16 ~stay:0.95 in
+  let g = Workload.Gen.markov ~seed:4 ~n:10_000 ~sigma:16 ~stay:0.95 () in
   Alcotest.(check bool) "alphabet" true (in_alphabet g);
   let same = ref 0 in
   for i = 1 to 9999 do
@@ -47,6 +47,76 @@ let test_markov_stay () =
   (* With stay=0.95 plus accidental repeats, well above 90%. *)
   if float_of_int !same /. 9999.0 < 0.9 then
     Alcotest.failf "stay fraction too low: %d" !same
+
+(* PR 7: burst-length distributions. *)
+
+let run_lengths (g : Workload.Gen.t) =
+  let n = Array.length g.Workload.Gen.data in
+  let lens = ref [] and start = ref 0 in
+  for i = 1 to n - 1 do
+    if g.Workload.Gen.data.(i) <> g.Workload.Gen.data.(i - 1) then begin
+      lens := (i - !start) :: !lens;
+      start := i
+    end
+  done;
+  lens := (n - !start) :: !lens;
+  !lens
+
+let test_burst_fixed () =
+  let g =
+    Workload.Gen.clustered ~burst:Workload.Gen.Fixed_burst ~seed:20 ~n:10_000
+      ~sigma:64 ~run:25 ()
+  in
+  (* Every run is a whole number of 25-bursts (adjacent bursts may
+     draw the same character and merge), except possibly the last. *)
+  let ok =
+    List.for_all (fun l -> l mod 25 = 0) (List.tl (List.rev (run_lengths g)))
+  in
+  Alcotest.(check bool) "runs are multiples of 25" true ok
+
+let test_burst_geometric_mean () =
+  let g =
+    Workload.Gen.clustered ~burst:Workload.Gen.Geometric_burst ~seed:21
+      ~n:100_000 ~sigma:1024 ~run:20 ()
+  in
+  let lens = run_lengths g in
+  let mean =
+    float_of_int (List.fold_left ( + ) 0 lens)
+    /. float_of_int (List.length lens)
+  in
+  (* Mean sojourn 20 (merging is rare at sigma=1024); allow slack. *)
+  if mean < 15.0 || mean > 25.0 then
+    Alcotest.failf "geometric mean run %f, expected ~20" mean;
+  (* Memoryless tail: some runs far beyond the 2·run cap of the
+     uniform draw. *)
+  Alcotest.(check bool) "heavy tail" true (List.exists (fun l -> l > 40) lens)
+
+let test_markov_burst_override () =
+  let g =
+    Workload.Gen.markov ~burst:Workload.Gen.Fixed_burst ~seed:22 ~n:10_000
+      ~sigma:16 ~stay:0.95 ()
+  in
+  Alcotest.(check bool) "alphabet" true (in_alphabet g);
+  (* 1/(1-0.95) = 20: all runs are multiples of 20 (modulo the tail). *)
+  let ok =
+    List.for_all (fun l -> l mod 20 = 0) (List.tl (List.rev (run_lengths g)))
+  in
+  Alcotest.(check bool) "sojourns of exactly 20" true ok
+
+let test_traffic_burst_widths () =
+  List.iter
+    (fun burst ->
+      let t =
+        Workload.Traffic.make ~burst ~seed:23 ~sigma:256 ~count:500
+          ~rate:1000.0 ()
+      in
+      Array.iter
+        (fun (lo, hi) ->
+          if not (0 <= lo && lo <= hi && hi < 256) then
+            Alcotest.failf "bad range (%d,%d)" lo hi)
+        t.Workload.Traffic.queries)
+    [ Workload.Gen.Uniform_burst; Workload.Gen.Fixed_burst;
+      Workload.Gen.Geometric_burst ]
 
 let test_naive_answer () =
   let g = { Workload.Gen.sigma = 4; data = [| 0; 3; 1; 2; 1; 0 |] } in
@@ -104,6 +174,12 @@ let suite =
     Alcotest.test_case "zipf deterministic" `Quick test_zipf_deterministic;
     Alcotest.test_case "clustered runs" `Quick test_clustered_runs;
     Alcotest.test_case "markov stay" `Quick test_markov_stay;
+    Alcotest.test_case "fixed bursts" `Quick test_burst_fixed;
+    Alcotest.test_case "geometric bursts" `Quick test_burst_geometric_mean;
+    Alcotest.test_case "markov burst override" `Quick
+      test_markov_burst_override;
+    Alcotest.test_case "traffic burst widths" `Quick
+      test_traffic_burst_widths;
     Alcotest.test_case "naive answer" `Quick test_naive_answer;
     qcheck prop_ranges_valid;
     qcheck prop_fixed_width;
