@@ -1238,6 +1238,138 @@ let fault_trial ~builder ~kind ~seed =
         [ (0, sigma - 1); (4, 11); (9, 9) ];
       (!worst, !cost)
 
+(* Update-path fault trials (PR 8): the PR 3 campaign faults *built*
+   structures; these fault the write path itself.  A seeded op
+   sequence runs against each updatable structure (Registry.updatable:
+   dynamic, append, wal) while transient read failures are armed —
+   every operation goes through [Device.with_retries], so the bounded
+   retry must absorb them — and, for structures whose extents carry
+   rebuild frames (wal), with latent bit flips injected mid-sequence
+   and repaired by the verified query.  Answers are classified against
+   a mutated oracle: the op sequence applied to a plain array. *)
+
+let mutated_oracle ~sigma data =
+  let chars = ref (Array.copy data) in
+  let len = ref (Array.length data) in
+  let apply op =
+    (match op with
+    | Wal.Op.Append _ when !len = Array.length !chars ->
+        let grown = Array.make (max 16 (2 * !len)) 0 in
+        Array.blit !chars 0 grown 0 !len;
+        chars := grown
+    | _ -> ());
+    match op with
+    | Wal.Op.Set { pos; ch } -> !chars.(pos) <- ch
+    | Wal.Op.Delete { pos } -> !chars.(pos) <- sigma
+    | Wal.Op.Append { ch } ->
+        !chars.(!len) <- ch;
+        incr len
+  in
+  let answer ~lo ~hi =
+    let acc = ref [] in
+    for pos = !len - 1 downto 0 do
+      if !chars.(pos) >= lo && !chars.(pos) <= hi then acc := pos :: !acc
+    done;
+    Cbitmap.Posting.of_list !acc
+  in
+  (apply, answer, fun () -> !len)
+
+let random_ops ~rng ~sigma ~kinds ~len ~count =
+  let len = ref len in
+  List.init count (fun _ ->
+      let rec pick () =
+        let op =
+          match Iosim.Fault.Rng.int rng 4 with
+          | (0 | 1) when !len > 0 ->
+              Wal.Op.Set
+                { pos = Iosim.Fault.Rng.int rng !len;
+                  ch = Iosim.Fault.Rng.int rng sigma }
+          | 3 when !len > 0 ->
+              Wal.Op.Delete { pos = Iosim.Fault.Rng.int rng !len }
+          | _ -> Wal.Op.Append { ch = Iosim.Fault.Rng.int rng sigma }
+        in
+        if List.mem (Wal.Op.kind op) kinds then op else pick ()
+      in
+      let op = pick () in
+      (match op with Wal.Op.Append _ -> incr len | _ -> ());
+      op)
+
+let update_fault_trial ~(u : Registry.updatable) ~kind ~seed =
+  let n = 512 and sigma = 16 in
+  let g = Workload.Gen.uniform ~seed ~n ~sigma in
+  let data = g.Workload.Gen.data in
+  let dev = device () in
+  let rng = Iosim.Fault.Rng.create ((seed * 6113) + 29) in
+  let started = u.Registry.u_start dev ~sigma data in
+  let apply_m, answer_m, live_len = mutated_oracle ~sigma data in
+  let ops = random_ops ~rng ~sigma ~kinds:u.Registry.u_kinds ~len:n ~count:80 in
+  let worst = ref `Ok in
+  let severity = function
+    | `Ok -> 0 | `Repaired -> 1 | `Corrupt -> 2 | `Io_failed -> 3
+    | `Silent_wrong -> 4
+  in
+  let note c = if severity c > severity !worst then worst := c in
+  (* The wal store retries its own compactions (and degrades rather
+     than fails), so it takes the transients while the ops run.  The
+     other update paths mutate in place with no internal retry —
+     re-running a half-applied rebuild is not idempotent — so they
+     mutate cleanly and face the transients on the query path, like
+     the PR 3 trials, but over a structure the ops just reshaped. *)
+  let during_updates = kind = Transient && u.Registry.u_name = "wal" in
+  let plan = Iosim.Fault.create () in
+  if during_updates then Iosim.Device.set_fault dev plan;
+  (try
+     List.iteri
+       (fun i op ->
+         if during_updates && i mod 8 = 0 then begin
+           Iosim.Device.clear_pool dev;
+           let blocks =
+             max 1 (Iosim.Device.used_bits dev / Iosim.Device.block_bits dev)
+           in
+           Iosim.Fault.arm_transient_read plan
+             ~block:(Iosim.Fault.Rng.int rng blocks)
+             ~failures:(1 + Iosim.Fault.Rng.int rng 2)
+         end;
+         started.Registry.u_apply op;
+         apply_m op)
+       ops
+   with Secidx_error.IO_error _ -> note `Io_failed);
+  if during_updates then Iosim.Device.clear_fault dev;
+  if !worst = `Ok then begin
+    (match kind with
+    | Flips ->
+        ignore
+          (Iosim.Device.inject_bit_flips dev ~seed:((seed * 43) + 3) ~count:4);
+        Iosim.Device.clear_pool dev
+    | Transient when not during_updates ->
+        Iosim.Device.clear_pool dev;
+        Iosim.Device.set_fault dev plan;
+        let blocks =
+          max 1 (Iosim.Device.used_bits dev / Iosim.Device.block_bits dev)
+        in
+        Iosim.Fault.arm_transient_read plan
+          ~block:(Iosim.Fault.Rng.int rng blocks)
+          ~failures:(1 + Iosim.Fault.Rng.int rng 2)
+    | _ -> ());
+    let inst = started.Registry.u_instance () in
+    List.iter
+      (fun (lo, hi) ->
+        let reference = answer_m ~lo ~hi in
+        let agrees a =
+          Cbitmap.Posting.equal
+            (Indexing.Answer.to_posting ~n:(live_len ()) a)
+            reference
+        in
+        match Indexing.Instance.verified_query inst ~lo ~hi with
+        | exception Secidx_error.IO_error _ -> note `Io_failed
+        | Indexing.Instance.Corrupt _ -> note `Corrupt
+        | Indexing.Instance.Ok a -> note (if agrees a then `Ok else `Silent_wrong)
+        | Indexing.Instance.Repaired (a, _) ->
+            note (if agrees a then `Repaired else `Silent_wrong))
+      [ (0, sigma - 1); (4, 11); (9, 9) ]
+  end;
+  !worst
+
 let fault_campaign ~smoke () =
   header "fault-injection campaign (--faults)";
   let seeds = if smoke then [ 101; 102 ] else [ 101; 102; 103; 104; 105; 106 ] in
@@ -1300,11 +1432,72 @@ let fault_campaign ~smoke () =
                string_of_int t.repair_ios ])
            per_kind)
        results);
-  let pass = silent_wrong = 0 && transient_failures = 0 in
+  (* PR 8: the write paths, under the same classification.  Transient
+     reads apply to every updatable structure (each op runs under the
+     bounded retry); latent flips only to those whose extents carry
+     rebuild frames (wal) — the others have no repair source, so a
+     flip trial would only measure the absence of an integrity layer,
+     not a write-path defect. *)
+  let update_kinds u =
+    if u.Registry.u_name = "wal" then [ Transient; Flips ] else [ Transient ]
+  in
+  let update_results =
+    List.map
+      (fun u ->
+        ( u.Registry.u_name,
+          List.map
+            (fun kind ->
+              let t = new_tally () in
+              List.iter
+                (fun seed ->
+                  match update_fault_trial ~u ~kind ~seed with
+                  | `Ok -> t.ok <- t.ok + 1
+                  | `Repaired -> t.repaired <- t.repaired + 1
+                  | `Corrupt -> t.corrupt <- t.corrupt + 1
+                  | `Io_failed -> t.io_failed <- t.io_failed + 1
+                  | `Silent_wrong -> t.silent_wrong <- t.silent_wrong + 1)
+                seeds;
+              (kind, t))
+            (update_kinds u) ))
+      Registry.updatable
+  in
+  fmt "\nupdate paths:\n";
+  table
+    [ "index"; "kind"; "ok"; "repaired"; "corrupt"; "silent"; "io-fail" ]
+    (List.concat_map
+       (fun (name, per_kind) ->
+         List.map
+           (fun (kind, t) ->
+             [ name; kind_name kind; string_of_int t.ok;
+               string_of_int t.repaired; string_of_int t.corrupt;
+               string_of_int t.silent_wrong; string_of_int t.io_failed ])
+           per_kind)
+       update_results);
+  let update_total f =
+    List.fold_left
+      (fun acc (_, per_kind) ->
+        List.fold_left (fun acc (_, t) -> acc + f t) acc per_kind)
+      0 update_results
+  in
+  let update_trials =
+    List.fold_left
+      (fun acc (_, per_kind) -> acc + (List.length per_kind * List.length seeds))
+      0 update_results
+  in
+  let update_silent_wrong = update_total (fun t -> t.silent_wrong) in
+  let update_failures =
+    update_total (fun t -> t.io_failed + t.corrupt)
+  in
+  let pass =
+    silent_wrong = 0 && transient_failures = 0 && update_silent_wrong = 0
+    && update_failures = 0
+  in
   fmt "trials=%d silent_wrong=%d transient_failures=%d detected=%d repaired=%d\n"
     trials silent_wrong transient_failures
     (total (fun t -> t.corrupt))
     (total (fun t -> t.repaired));
+  fmt "update trials=%d silent_wrong=%d failures=%d\n" update_trials
+    update_silent_wrong update_failures;
   J.to_file "BENCH_PR3.json"
     (J.Obj
        [
@@ -1332,18 +1525,41 @@ let fault_campaign ~smoke () =
                                ] ))
                          per_kind))
                 results) );
+         ( "update_paths",
+           J.List
+             (List.map
+                (fun (name, per_kind) ->
+                  J.Obj
+                    (("name", J.String name)
+                    :: List.map
+                         (fun (kind, t) ->
+                           ( kind_name kind,
+                             J.Obj
+                               [
+                                 ("ok", J.Int t.ok);
+                                 ("repaired", J.Int t.repaired);
+                                 ("corrupt", J.Int t.corrupt);
+                                 ("silent_wrong", J.Int t.silent_wrong);
+                                 ("io_failed", J.Int t.io_failed);
+                               ] ))
+                         per_kind))
+                update_results) );
          ( "gate",
            J.Obj
              [
                ("silent_wrong", J.Int silent_wrong);
                ("transient_failures", J.Int transient_failures);
+               ("update_silent_wrong", J.Int update_silent_wrong);
+               ("update_failures", J.Int update_failures);
                ("pass", J.Bool pass);
              ] );
        ]);
   fmt "wrote BENCH_PR3.json\n";
   if not pass then begin
-    fmt "BENCH_PR3 gate FAILED: silent_wrong=%d transient_failures=%d\n"
-      silent_wrong transient_failures;
+    fmt
+      "BENCH_PR3 gate FAILED: silent_wrong=%d transient_failures=%d \
+       update_silent_wrong=%d update_failures=%d\n"
+      silent_wrong transient_failures update_silent_wrong update_failures;
     exit 1
   end
 
@@ -2555,6 +2771,438 @@ let containers_run ~smoke () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* --wal (PR 8): the crash-safe write path.  Three parts:
+
+   1. Frontier: one fixed op sequence replayed through a grid of
+      (flush threshold, fanout, commit group) configs; each row
+      reports amortized update I/O, updates absorbed per write I/O,
+      and average cold query I/O — the (update, query) tradeoff the
+      logarithmic method trades along.  Every config's answers are
+      checked bit-for-bit against a static index rebuilt from scratch
+      over the mutated string.
+   2. Yi envelope: the frontier points are checked from *below*
+      against the dynamic-indexability tradeoff shape
+      lg B / lg(updates-per-I/O) — a constant is fitted on the
+      calibration half, and no point may dip under the fitted curve.
+   3. Crash campaign: a seeded sweep that kills the store at *every*
+      counted block write (torn and clean, on the WAL device and the
+      index device), recovers from the surviving WAL, and gates on
+      zero lost acknowledged updates and zero wrong answers, with
+      double-crash-during-recovery subcases.  Emits BENCH_PR8.json. *)
+
+let wal_queries ~sigma ~count ~seed =
+  let rng = Iosim.Fault.Rng.create seed in
+  List.init count (fun _ ->
+      let lo = Iosim.Fault.Rng.int rng sigma in
+      (lo, lo + Iosim.Fault.Rng.int rng (sigma - lo)))
+
+let wal_frontier ~smoke =
+  let n = if smoke then 512 else 2048 and sigma = 16 in
+  let g = Workload.Gen.uniform ~seed:42 ~n ~sigma in
+  let data = g.Workload.Gen.data in
+  let n_ops = if smoke then 384 else 2048 in
+  let rng = Iosim.Fault.Rng.create 77 in
+  let ops =
+    random_ops ~rng ~sigma ~kinds:[ `Set; `Append; `Delete ] ~len:n
+      ~count:n_ops
+  in
+  let queries = wal_queries ~sigma ~count:30 ~seed:1234 in
+  (* ground truth: the mutated string, and a static index rebuilt from
+     scratch over it (deleted positions carry the sentinel character
+     sigma, outside every query range) *)
+  let mut =
+    let chars = ref (Array.copy data) in
+    let len = ref (Array.length data) in
+    List.iter
+      (fun op ->
+        (match op with
+        | Wal.Op.Append _ when !len = Array.length !chars ->
+            let grown = Array.make (max 16 (2 * !len)) 0 in
+            Array.blit !chars 0 grown 0 !len;
+            chars := grown
+        | _ -> ());
+        match op with
+        | Wal.Op.Set { pos; ch } -> !chars.(pos) <- ch
+        | Wal.Op.Delete { pos } -> !chars.(pos) <- sigma
+        | Wal.Op.Append { ch } ->
+            !chars.(!len) <- ch;
+            incr len)
+      ops;
+    Array.sub !chars 0 !len
+  in
+  let rebuilt =
+    Secidx.Static_index.instance (device ()) ~sigma:(sigma + 1) mut
+  in
+  let references =
+    List.map
+      (fun (lo, hi) -> Indexing.Instance.query_posting rebuilt ~lo ~hi)
+      queries
+  in
+  let thresholds = if smoke then [ 16; 64 ] else [ 16; 64; 256 ] in
+  let fanouts = [ 2; 4 ] in
+  let groups = if smoke then [ 1; 16 ] else [ 1; 8; 32 ] in
+  let block_bits = 1024 in
+  let rows =
+    List.concat_map
+      (fun flush_threshold ->
+        List.concat_map
+          (fun fanout ->
+            List.map
+              (fun group ->
+                (* The WAL device carries no pool: a pooled write is a
+                   cache hit, and a log append that only reaches cache
+                   is not durable.  The index device keeps the usual
+                   pool — runs are rebuildable from base + WAL, so its
+                   buffering is the logarithmic method's memory. *)
+                let index_device = device () in
+                let wal_device = device ~mem_blocks:0 () in
+                let config =
+                  { Wal.Store.flush_threshold; fanout;
+                    payload = Wal.Store.Gap; retry_attempts = 3 }
+                in
+                let store =
+                  Wal.Store.create ~wal_device ~index_device config ~sigma
+                    ~data
+                in
+                let snap dev =
+                  let s = Iosim.Device.stats dev in
+                  (s.Iosim.Stats.block_reads, s.Iosim.Stats.block_writes)
+                in
+                let r0w, w0w = snap wal_device and r0i, w0i = snap index_device in
+                let rec chunks = function
+                  | [] -> ()
+                  | ops ->
+                      let rec take k acc = function
+                        | op :: rest when k > 0 -> take (k - 1) (op :: acc) rest
+                        | rest -> (List.rev acc, rest)
+                      in
+                      let batch, rest = take group [] ops in
+                      Wal.Store.update_batch store batch;
+                      chunks rest
+                in
+                chunks ops;
+                let r1w, w1w = snap wal_device and r1i, w1i = snap index_device in
+                let update_ios = r1w - r0w + (w1w - w0w) + (r1i - r0i) + (w1i - w0i) in
+                let write_ios = w1w - w0w + (w1i - w0i) in
+                let updates_per_io =
+                  float_of_int n_ops /. float_of_int (max 1 write_ios)
+                in
+                let inst = Wal.Store.instance store in
+                let mismatches = ref 0 in
+                let q_ios =
+                  List.map2
+                    (fun (lo, hi) reference ->
+                      let got, stats =
+                        Indexing.Instance.query_posting_with_stats inst ~lo ~hi
+                      in
+                      if not (Cbitmap.Posting.equal got reference) then
+                        incr mismatches;
+                      float_of_int stats.Iosim.Stats.block_reads)
+                    queries references
+                in
+                let avg_query = avg q_ios in
+                ( flush_threshold, fanout, group,
+                  float_of_int update_ios /. float_of_int n_ops,
+                  updates_per_io, avg_query, !mismatches,
+                  Wal.Store.size_bits store, Wal.Store.wal_bits store,
+                  Wal.Store.flushes store, Wal.Store.compactions store,
+                  Wal.Store.level_counts store ))
+              groups)
+          fanouts)
+      thresholds
+  in
+  (rows, block_bits)
+
+let wal_crash_trial ~config ~sigma ~data ~batches ~victim ~k ~torn ~double =
+  let blk = 512 in
+  let mk () = Iosim.Device.create ~block_bits:blk ~mem_bits:0 () in
+  let index_device = mk () and wal_device = mk () in
+  let store = Wal.Store.create ~wal_device ~index_device config ~sigma ~data in
+  let plan = Iosim.Fault.create () in
+  let dev = match victim with `Wal -> wal_device | `Index -> index_device in
+  Iosim.Device.set_fault dev plan;
+  Iosim.Fault.arm_crash plan ~after_writes:k ~torn;
+  let issued = ref [] in
+  let acked = ref 0 in
+  let crash_phase = ref None in
+  (try
+     List.iter
+       (fun batch ->
+         issued := !issued @ batch;
+         Wal.Store.update_batch store batch;
+         acked := List.length !issued)
+       batches
+   with Secidx_error.Crashed _ -> crash_phase := Some (Wal.Store.phase store));
+  match !crash_phase with
+  | None -> `No_fire
+  | Some phase ->
+      Iosim.Device.clear_fault dev;
+      let verdict ~wal2 =
+        let recovered, replayed =
+          Wal.Recovery.recover ?wal_device:wal2 config ~sigma ~data wal_device
+        in
+        if replayed < !acked then `Lost_acks
+        else if replayed > List.length !issued then `Lost_acks
+        else begin
+          let issued_a = Array.of_list !issued in
+          let prefix_ok = ref true in
+          let prefix, _ = Wal.Recovery.scan wal_device in
+          List.iteri
+            (fun i op ->
+              if not (Wal.Op.equal issued_a.(i) op) then prefix_ok := false)
+            prefix;
+          if not !prefix_ok then `Wrong
+          else begin
+            let apply_m, answer_m, live_len = mutated_oracle ~sigma data in
+            Array.iteri
+              (fun i op -> if i < replayed then apply_m op)
+              issued_a;
+            let wrong = ref false in
+            for lo = 0 to sigma - 1 do
+              for hi = lo to sigma - 1 do
+                let got =
+                  Indexing.Answer.to_posting ~n:(live_len ())
+                    (Wal.Store.query recovered ~lo ~hi)
+                in
+                if not (Cbitmap.Posting.equal got (answer_m ~lo ~hi)) then
+                  wrong := true
+              done
+            done;
+            if !wrong then `Wrong else `Recovered
+          end
+        end
+      in
+      if double then begin
+        (* kill the recovery itself, then prove the original WAL is
+           still sufficient: its scan is unchanged and a clean second
+           recovery passes the full check *)
+        let before, _ = Wal.Recovery.scan wal_device in
+        let plan2 = Iosim.Fault.create () in
+        let wal2 = mk () in
+        Iosim.Device.set_fault wal2 plan2;
+        Iosim.Fault.arm_crash plan2 ~after_writes:1 ~torn:true;
+        (try
+           ignore
+             (Wal.Recovery.recover ~wal_device:wal2 config ~sigma ~data
+                wal_device)
+         with Secidx_error.Crashed _ -> ());
+        let after, _ = Wal.Recovery.scan wal_device in
+        if List.length before <> List.length after then `Wrong
+        else
+          match verdict ~wal2:None with
+          | `Recovered -> `Double_ok phase
+          | `Lost_acks -> `Lost_acks
+          | `Wrong -> `Wrong
+      end
+      else
+        match verdict ~wal2:None with
+        | `Recovered -> `Fired phase
+        | `Lost_acks -> `Lost_acks
+        | `Wrong -> `Wrong
+
+let wal_crash_campaign ~smoke =
+  let sigma = 8 in
+  let config =
+    { Wal.Store.flush_threshold = 8; fanout = 2; payload = Wal.Store.Gap;
+      retry_attempts = 3 }
+  in
+  let seeds = if smoke then [ 1; 2 ] else [ 1; 2; 3; 4 ] in
+  let trials = ref 0 and fired = ref 0 and no_fire = ref 0 in
+  let lost_acks = ref 0 and wrong = ref 0 in
+  let double_trials = ref 0 and double_failures = ref 0 in
+  let by_phase = Hashtbl.create 4 in
+  let note_phase p =
+    Hashtbl.replace by_phase p (1 + Option.value ~default:0 (Hashtbl.find_opt by_phase p))
+  in
+  List.iter
+    (fun seed ->
+      let rng = Iosim.Fault.Rng.create (seed * 1_000_003) in
+      let data = Array.init 64 (fun _ -> Iosim.Fault.Rng.int rng sigma) in
+      let len = ref (Array.length data) in
+      let batches =
+        List.init 24 (fun _ ->
+            let ops =
+              random_ops ~rng ~sigma ~kinds:[ `Set; `Append; `Delete ]
+                ~len:!len
+                ~count:(1 + Iosim.Fault.Rng.int rng 5)
+            in
+            List.iter
+              (function Wal.Op.Append _ -> incr len | _ -> ())
+              ops;
+            ops)
+      in
+      List.iter
+        (fun victim ->
+          (* dry run with an idle plan sizes the sweep *)
+          let total =
+            let mk () = Iosim.Device.create ~block_bits:512 ~mem_bits:0 () in
+            let index_device = mk () and wal_device = mk () in
+            let store =
+              Wal.Store.create ~wal_device ~index_device config ~sigma ~data
+            in
+            let plan = Iosim.Fault.create () in
+            Iosim.Device.set_fault
+              (match victim with `Wal -> wal_device | `Index -> index_device)
+              plan;
+            List.iter (Wal.Store.update_batch store) batches;
+            Iosim.Fault.blocks_written_seen plan
+          in
+          for k = 1 to total do
+            List.iter
+              (fun torn ->
+                let double =
+                  victim = `Wal && (not torn) && k mod 8 = 0
+                in
+                incr trials;
+                if double then incr double_trials;
+                match
+                  wal_crash_trial ~config ~sigma ~data ~batches ~victim ~k
+                    ~torn ~double
+                with
+                | `No_fire -> incr no_fire
+                | `Fired phase ->
+                    incr fired;
+                    note_phase phase
+                | `Double_ok phase ->
+                    incr fired;
+                    note_phase phase
+                | `Lost_acks ->
+                    incr fired;
+                    incr lost_acks;
+                    if double then incr double_failures
+                | `Wrong ->
+                    incr fired;
+                    incr wrong;
+                    if double then incr double_failures)
+              [ false; true ]
+          done)
+        [ `Wal; `Index ])
+    seeds;
+  let phase_count p = Option.value ~default:0 (Hashtbl.find_opt by_phase p) in
+  ( !trials, !fired, !no_fire, !lost_acks, !wrong, !double_trials,
+    !double_failures,
+    [ ("log", phase_count "log"); ("flush", phase_count "flush");
+      ("compact", phase_count "compact") ] )
+
+let wal_run ~smoke () =
+  header "crash-safe write path (--wal)";
+  let rows, block_bits = wal_frontier ~smoke in
+  table
+    [ "thr"; "fanout"; "group"; "upd-IO/op"; "upd/wIO"; "query-IO"; "miss";
+      "size-bits"; "wal-bits"; "flush"; "compact"; "levels" ]
+    (List.map
+       (fun (thr, f, grp, upd, upio, q, miss, size, walb, fl, co, lc) ->
+         [ string_of_int thr; string_of_int f; string_of_int grp;
+           Printf.sprintf "%.3f" upd; Printf.sprintf "%.1f" upio;
+           Printf.sprintf "%.1f" q; string_of_int miss; string_of_int size;
+           string_of_int walb; string_of_int fl; string_of_int co;
+           String.concat "/" (List.map string_of_int lc) ])
+       rows);
+  let mismatches =
+    List.fold_left (fun acc (_, _, _, _, _, _, m, _, _, _, _, _) -> acc + m) 0
+      rows
+  in
+  (* Yi tradeoff, fitted from below on the calibration half *)
+  let samples =
+    List.map
+      (fun (_, _, _, _, upio, q, _, _, _, _, _, _) ->
+        (q, Obs.Envelope.yi_query_ios ~block_bits ~updates_per_io:upio))
+      rows
+  in
+  let calibration = List.filteri (fun i _ -> i mod 2 = 0) samples in
+  let c = Obs.Envelope.fit_min calibration in
+  let slack = 2.0 in
+  let yi_violations = Obs.Envelope.violations_below ~c ~slack samples in
+  fmt "yi envelope: c=%.3f slack=%.1f violations=%d/%d\n" c slack
+    (List.length yi_violations) (List.length samples);
+  let ( trials, fired, no_fire, lost_acks, wrong, double_trials,
+        double_failures, phases ) =
+    wal_crash_campaign ~smoke
+  in
+  fmt
+    "crash campaign: trials=%d fired=%d no_fire=%d lost_acks=%d wrong=%d\n"
+    trials fired no_fire lost_acks wrong;
+  fmt "  by phase: %s  double-crash: %d (failures %d)\n"
+    (String.concat " "
+       (List.map (fun (p, c) -> Printf.sprintf "%s=%d" p c) phases))
+    double_trials double_failures;
+  let phase_covered =
+    List.for_all (fun (_, c) -> c > 0) phases
+  in
+  let pass =
+    mismatches = 0 && yi_violations = [] && lost_acks = 0 && wrong = 0
+    && double_failures = 0 && trials >= 200 && fired > 0 && phase_covered
+  in
+  J.to_file "BENCH_PR8.json"
+    (J.Obj
+       [
+         ("pr", J.Int 8);
+         ("label", J.String "WAL + leveled merging: frontier and crash sweep");
+         ("smoke", J.Bool smoke);
+         ( "frontier",
+           J.List
+             (List.map
+                (fun (thr, f, grp, upd, upio, q, miss, size, walb, fl, co, lc) ->
+                  J.Obj
+                    [
+                      ("flush_threshold", J.Int thr);
+                      ("fanout", J.Int f);
+                      ("group", J.Int grp);
+                      ("update_ios_per_op", J.Float upd);
+                      ("updates_per_write_io", J.Float upio);
+                      ("avg_query_ios", J.Float q);
+                      ("mismatches", J.Int miss);
+                      ("size_bits", J.Int size);
+                      ("wal_bits", J.Int walb);
+                      ("flushes", J.Int fl);
+                      ("compactions", J.Int co);
+                      ("levels", J.List (List.map (fun c -> J.Int c) lc));
+                    ])
+                rows) );
+         ( "yi_envelope",
+           J.Obj
+             [
+               ("block_bits", J.Int block_bits);
+               ("c", J.Float c);
+               ("slack", J.Float slack);
+               ("violations", J.Int (List.length yi_violations));
+             ] );
+         ( "crash",
+           J.Obj
+             [
+               ("trials", J.Int trials);
+               ("fired", J.Int fired);
+               ("no_fire", J.Int no_fire);
+               ("lost_acks", J.Int lost_acks);
+               ("wrong_answers", J.Int wrong);
+               ("double_crash_trials", J.Int double_trials);
+               ("double_crash_failures", J.Int double_failures);
+               ( "by_phase",
+                 J.Obj (List.map (fun (p, c) -> (p, J.Int c)) phases) );
+             ] );
+         ( "gate",
+           J.Obj
+             [
+               ("mismatches", J.Int mismatches);
+               ("yi_violations", J.Int (List.length yi_violations));
+               ("lost_acks", J.Int lost_acks);
+               ("wrong_answers", J.Int wrong);
+               ("double_crash_failures", J.Int double_failures);
+               ("min_trials", J.Int 200);
+               ("pass", J.Bool pass);
+             ] );
+       ]);
+  fmt "wrote BENCH_PR8.json\n";
+  if not pass then begin
+    fmt
+      "BENCH_PR8 gate FAILED: mismatches=%d yi_violations=%d lost_acks=%d \
+       wrong=%d double_failures=%d trials=%d phase_covered=%b\n"
+      mismatches (List.length yi_violations) lost_acks wrong double_failures
+      trials phase_covered;
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -2573,6 +3221,7 @@ let () =
   let want_batch = List.mem "--batch" args in
   let want_serve = List.mem "--serve" args in
   let want_containers = List.mem "--containers" args in
+  let want_wal = List.mem "--wal" args in
   let smoke = List.mem "--smoke" args in
   let selected =
     List.filter
@@ -2580,13 +3229,13 @@ let () =
         not
           (List.mem a
              [ "--bechamel"; "--wallclock"; "--faults"; "--trace"; "--batch";
-               "--serve"; "--containers"; "--smoke" ]))
+               "--serve"; "--containers"; "--wal"; "--smoke" ]))
       args
   in
   let to_run =
     if selected = [] then
       if want_wallclock || want_bechamel || want_faults || want_trace
-         || want_batch || want_serve || want_containers
+         || want_batch || want_serve || want_containers || want_wal
       then []
       else experiments
     else
@@ -2611,4 +3260,5 @@ let () =
   if want_batch then batch_run ~smoke ();
   if want_serve then serve_run ~smoke ();
   if want_containers then containers_run ~smoke ();
+  if want_wal then wal_run ~smoke ();
   fmt "\nbench: done\n"

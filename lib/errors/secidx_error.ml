@@ -1,5 +1,7 @@
 exception Corrupt of string
 exception Stale_decoder of string
 exception IO_error of string
+exception Crashed of string
 
 let corrupt fmt = Printf.ksprintf (fun s -> raise (Corrupt s)) fmt
+let crashed fmt = Printf.ksprintf (fun s -> raise (Crashed s)) fmt

@@ -189,6 +189,30 @@ let touch_range t ~pos ~len kind =
 (* Raw (uncounted) bit access on the backing store: word-at-a-time
    via the shared Bitops primitives. *)
 
+(* Crash-kill check (PR 8): consulted by every counted write after the
+   transfer has been charged (the I/O was issued; dying mid-write does
+   not refund it).  When the armed crash fires, [persist keep] stores
+   the surviving prefix of the transfer and the device raises
+   [Crashed].  Deliberately independent of the pool: the kill point is
+   a deterministic function of the write sequence alone, so a sweep
+   can enumerate every boundary. *)
+let check_crash t ~pos ~len ~persist =
+  match t.fault with
+  | Some f when len > 0 -> (
+      let nblocks =
+        (pos + len - 1) / t.block_bits - (pos / t.block_bits) + 1
+      in
+      match Fault.note_blocks_written f ~nblocks with
+      | None -> ()
+      | Some keep ->
+          t.stats.Stats.faults_injected <- t.stats.Stats.faults_injected + 1;
+          persist keep;
+          Secidx_error.crashed
+            "Device: process killed during write of %d blocks at bit %d \
+             (%d persisted)"
+            nblocks pos keep)
+  | _ -> ()
+
 let raw_get_bit t i =
   Char.code (Bytes.unsafe_get t.data (i lsr 3)) land (0x80 lsr (i land 7)) <> 0
 
@@ -210,7 +234,29 @@ let write_bits t ~pos ~width v =
   t.generation <- t.generation + 1;
   touch_range t ~pos ~len:width `Write;
   t.stats.Stats.bits_written <- t.stats.Stats.bits_written + width;
+  check_crash t ~pos ~len:width ~persist:(fun keep ->
+      if keep > 0 then begin
+        let kept_end = ((pos / t.block_bits) + keep) * t.block_bits in
+        let w = min width (kept_end - pos) in
+        if w > 0 then raw_write_bits t ~pos ~width:w (v lsr (width - w))
+      end);
   raw_write_bits t ~pos ~width v
+
+(* Persist only the first [keep_blocks] blocks' worth of [buf] at
+   [region.off] — the surviving prefix of a torn or crash-interrupted
+   transfer; the tail of the extent keeps whatever it held before. *)
+let persist_prefix t region buf ~len ~keep_blocks =
+  let first = region.off / t.block_bits in
+  let kept_end = (first + keep_blocks) * t.block_bits in
+  let kept = max 0 (min len (kept_end - region.off)) in
+  let src = Bitio.Bitbuf.backing buf in
+  let i = ref 0 in
+  while !i < kept do
+    let w = min 62 (kept - !i) in
+    Bitio.Bitops.set_bits t.data ~pos:(region.off + !i) ~width:w
+      (Bitio.Bitops.get_bits src ~pos:!i ~width:w);
+    i := !i + w
+  done
 
 let write_buf t region buf =
   let len = Bitio.Bitbuf.length buf in
@@ -218,6 +264,8 @@ let write_buf t region buf =
   t.generation <- t.generation + 1;
   touch_range t ~pos:region.off ~len `Write;
   t.stats.Stats.bits_written <- t.stats.Stats.bits_written + len;
+  check_crash t ~pos:region.off ~len ~persist:(fun keep ->
+      persist_prefix t region buf ~len ~keep_blocks:keep);
   let nblocks =
     if len = 0 then 0
     else (region.off + len - 1) / t.block_bits - (region.off / t.block_bits) + 1
@@ -231,20 +279,9 @@ let write_buf t region buf =
   | None -> Bitio.Bitbuf.blit_to_bytes buf t.data ~dst_bit:region.off
   | Some keep_blocks ->
       (* Torn write: the transfer was issued (and charged above), but
-         only the first [keep_blocks] blocks persist — the tail of the
-         extent keeps whatever it held before. *)
+         only the first [keep_blocks] blocks persist. *)
       t.stats.Stats.faults_injected <- t.stats.Stats.faults_injected + 1;
-      let first = region.off / t.block_bits in
-      let kept_end = (first + keep_blocks) * t.block_bits in
-      let kept = max 0 (min len (kept_end - region.off)) in
-      let src = Bitio.Bitbuf.backing buf in
-      let i = ref 0 in
-      while !i < kept do
-        let w = min 62 (kept - !i) in
-        Bitio.Bitops.set_bits t.data ~pos:(region.off + !i) ~width:w
-          (Bitio.Bitops.get_bits src ~pos:!i ~width:w);
-        i := !i + w
-      done
+      persist_prefix t region buf ~len ~keep_blocks
 
 let store ?align_block t buf =
   let region = alloc ?align_block t (Bitio.Bitbuf.length buf) in
@@ -376,16 +413,29 @@ let inject_bit_flips t ~seed ~count =
   end
 
 (* Bounded-retry policy for transient faults: re-run [f] after an
-   [IO_error], up to [attempts] total tries.  The backoff cost is
+   [IO_error], up to [attempts] total tries.  The re-run cost is
    expressed in counted I/Os — every attempt's accesses (including the
    charged failed access itself) land in [stats], and each re-run adds
-   one to [stats.retries]. *)
-let with_retries ?(attempts = 3) t f =
+   one to [stats.retries].  [backoff] (PR 8) prices the stall between
+   attempts: before re-running attempt [k + 1] the policy charges
+   [backoff ~attempt:k] simulated I/O ticks to [stats.backoff_ios],
+   so an exponential-backoff retry storm is visible in traces and
+   benches, not just in its re-executed reads.  Only [IO_error] is
+   retried: a [Crashed] kill means the writer is dead and recovery
+   must run instead, and [Corrupt] means retrying would re-read the
+   same damaged bits. *)
+let with_retries ?(attempts = 3) ?backoff t f =
   if attempts < 1 then invalid_arg "Device.with_retries";
   let rec go k =
     try f ()
     with Secidx_error.IO_error _ when k < attempts ->
       t.stats.Stats.retries <- t.stats.Stats.retries + 1;
+      (match backoff with
+      | None -> ()
+      | Some cost ->
+          let c = cost ~attempt:k in
+          if c < 0 then invalid_arg "Device.with_retries: negative backoff";
+          t.stats.Stats.backoff_ios <- t.stats.Stats.backoff_ios + c);
       go (k + 1)
   in
   go 1

@@ -132,12 +132,17 @@ val prefetch : t -> pos:int -> len:int -> unit
     flipped bit positions; counts them in [Stats.faults_injected]. *)
 val inject_bit_flips : t -> seed:int -> count:int -> int list
 
-(** [with_retries ?attempts t f] runs [f], re-running it after a
-    [Secidx_error.IO_error] up to [attempts] (default 3) total tries —
-    the bounded-retry policy for transient read faults.  Each re-run
-    increments [Stats.retries]; the backoff cost is the re-executed
-    counted accesses themselves.  The last failure propagates. *)
-val with_retries : ?attempts:int -> t -> (unit -> 'a) -> 'a
+(** [with_retries ?attempts ?backoff t f] runs [f], re-running it
+    after a [Secidx_error.IO_error] up to [attempts] (default 3) total
+    tries — the bounded-retry policy for transient read faults.  Each
+    re-run increments [Stats.retries]; before re-running attempt
+    [k + 1], [backoff ~attempt:k] simulated I/O ticks are charged to
+    [Stats.backoff_ios] (no charge without [backoff]), so retry storms
+    are visible in traces and benches.  The last failure propagates.
+    Only [IO_error] is retried — a [Secidx_error.Crashed] kill always
+    propagates so recovery can run instead. *)
+val with_retries :
+  ?attempts:int -> ?backoff:(attempt:int -> int) -> t -> (unit -> 'a) -> 'a
 
 (** Uncounted CRC-32 of a raw extent — for {!Frame} to seal content
     its writer just produced.  Verification uses counted reads. *)

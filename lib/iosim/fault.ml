@@ -18,13 +18,32 @@
 
 type torn = { nth : int; keep_blocks : int }
 
+(* Crash kill (PR 8): the process dies when the cumulative count of
+   block writes issued since arming reaches [after_writes].  With
+   [torn = false] the kill lands between transfers: the in-flight
+   write completes in full, then the process is dead.  With
+   [torn = true] the kill lands inside the triggering transfer: only
+   the blocks written strictly before the fatal one persist (for a
+   single-block transfer that means nothing persists).  Either way the
+   device raises [Secidx_error.Crashed], which no retry policy may
+   catch — recovery happens from durable state. *)
+type crash = { mutable writes_left : int; crash_torn : bool }
+
 type t = {
   mutable torn : torn list;
   mutable multiblock_writes : int; (* multi-block write_buf calls seen *)
   transient : (int, int ref) Hashtbl.t; (* block -> remaining failures *)
+  mutable crash : crash option;
+  mutable blocks_written_seen : int;
+      (* every crash-eligible block write observed while this plan is
+         attached, armed or not — the coordinate system of crash-point
+         sweeps: a dry run with an idle plan measures the total, then
+         each trial arms [arm_crash ~after_writes:k] for k <= total *)
 }
 
-let create () = { torn = []; multiblock_writes = 0; transient = Hashtbl.create 7 }
+let create () =
+  { torn = []; multiblock_writes = 0; transient = Hashtbl.create 7;
+    crash = None; blocks_written_seen = 0 }
 
 let arm_torn_write t ~nth ~keep_blocks =
   if nth < 1 || keep_blocks < 0 then invalid_arg "Fault.arm_torn_write";
@@ -54,6 +73,31 @@ let read_fails t ~block =
 
 let pending_transients t =
   Hashtbl.fold (fun _ r acc -> acc + max 0 !r) t.transient 0
+
+let arm_crash t ~after_writes ~torn =
+  if after_writes < 1 then invalid_arg "Fault.arm_crash";
+  t.crash <- Some { writes_left = after_writes; crash_torn = torn }
+
+let pending_crash t = t.crash <> None
+let blocks_written_seen t = t.blocks_written_seen
+
+(* Called by the device for every counted write transfer of [nblocks]
+   blocks ([nblocks >= 1]).  Returns [Some keep] when the armed crash
+   fires within this transfer — [keep] blocks of it persist and the
+   device must raise [Secidx_error.Crashed] — and [None] otherwise.
+   The crash disarms when it fires, so recovery code can write to the
+   same device without re-triggering. *)
+let note_blocks_written t ~nblocks =
+  t.blocks_written_seen <- t.blocks_written_seen + nblocks;
+  match t.crash with
+  | Some c when c.writes_left <= nblocks ->
+      let keep = if c.crash_torn then c.writes_left - 1 else nblocks in
+      t.crash <- None;
+      Some (max 0 keep)
+  | Some c ->
+      c.writes_left <- c.writes_left - nblocks;
+      None
+  | None -> None
 
 (* Small deterministic PRNG (xorshift64-star) for seeded fault campaigns:
    the standard library's [Random] state would make trials depend on

@@ -21,13 +21,37 @@ val arm_torn_write : t -> nth:int -> keep_blocks:int -> unit
     [Secidx_error.IO_error]; later accesses succeed (retryable). *)
 val arm_transient_read : t -> block:int -> failures:int -> unit
 
+(** Kill the process after the [after_writes]-th block write issued
+    from now on (PR 8): the device raises [Secidx_error.Crashed] from
+    the triggering write.  With [torn = false] (a clean kill) the
+    triggering transfer persists in full before the process dies; with
+    [torn = true] only the blocks written strictly before the fatal
+    one persist — for a single-block transfer, nothing does.  The
+    crash disarms once fired, so post-crash recovery can reuse the
+    device.  Crashes must never be retried: [Crashed] is deliberately
+    not an [IO_error], so [Device.with_retries] lets it through. *)
+val arm_crash : t -> after_writes:int -> torn:bool -> unit
+
 (** Device-side hooks (exposed for the model-based device tests). *)
 
 val note_multiblock_write : t -> int option
 val read_fails : t -> block:int -> bool
+val note_blocks_written : t -> nblocks:int -> int option
 
 (** Transient failures armed but not yet consumed. *)
 val pending_transients : t -> int
+
+(** A crash armed by {!arm_crash} that has not fired yet — the
+    introspection mirror of {!pending_transients} for crash sweeps:
+    a campaign asserts the kill actually landed (or deliberately ran
+    past the end of the write sequence) instead of silently testing
+    nothing. *)
+val pending_crash : t -> bool
+
+(** Crash-eligible block writes observed since plan attachment, armed
+    or not.  A dry run with an idle plan measures the sweep range;
+    each trial then arms [arm_crash ~after_writes:k] for a [k] in it. *)
+val blocks_written_seen : t -> int
 
 (** Seeded xorshift64-star generator used by fault campaigns, so every
     trial is replayable from its integer seed. *)

@@ -10,6 +10,7 @@ type t = {
   mutable faults_injected : int;
   mutable faults_detected : int;
   mutable retries : int;
+  mutable backoff_ios : int;
 }
 
 (* The single source of truth for the counter set.  [reset],
@@ -38,6 +39,7 @@ let fields :
       (fun t -> t.faults_detected),
       fun t v -> t.faults_detected <- v );
     ("retries", (fun t -> t.retries), fun t v -> t.retries <- v);
+    ("backoff_ios", (fun t -> t.backoff_ios), fun t v -> t.backoff_ios <- v);
   ]
 
 let create () =
@@ -53,6 +55,7 @@ let create () =
     faults_injected = 0;
     faults_detected = 0;
     retries = 0;
+    backoff_ios = 0;
   }
 
 let reset t = List.iter (fun (_, _, set) -> set t 0) fields
@@ -108,5 +111,5 @@ let pp ppf t =
     "reads=%d writes=%d hits=%d seeks=%d bits_read=%d bits_written=%d"
     t.block_reads t.block_writes t.pool_hits t.seeks t.bits_read t.bits_written;
   if t.faults_injected + t.faults_detected + t.retries > 0 then
-    Format.fprintf ppf " faults=%d/%d retries=%d" t.faults_detected
-      t.faults_injected t.retries
+    Format.fprintf ppf " faults=%d/%d retries=%d backoff=%d" t.faults_detected
+      t.faults_injected t.retries t.backoff_ios

@@ -38,6 +38,11 @@ type t = {
       (** Accesses re-attempted by {!Device.with_retries}; the re-run
           I/Os themselves are counted in the ordinary counters, so the
           retry cost is visible in [block_reads] too. *)
+  mutable backoff_ios : int;
+      (** Simulated I/O ticks spent waiting in {!Device.with_retries}
+          backoff between attempts (PR 8): each re-run charges
+          [backoff ~attempt] ticks, so a retry storm's stall cost is
+          visible in traces and benches, not just its re-run I/Os. *)
 }
 
 val fields : (string * (t -> int) * (t -> int -> unit)) list

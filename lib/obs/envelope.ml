@@ -49,6 +49,18 @@ let thm5_append_ios ~block_bits ~n =
   let l = lg (float_of_int n) in
   (l *. l /. float_of_int block_bits) +. 1.
 
+(* Yi's dynamic-indexability tradeoff ("Dynamic Indexability and
+   Lower Bounds for Dynamic One-Dimensional Range Query Indexes",
+   PODS 2009): an index that buffers updates so one write I/O covers
+   λ updates must pay Ω(lg B / lg λ) I/Os per query.  The WAL store's
+   (update I/O, query I/O) frontier is checked against this shape
+   from *below* — no configuration may beat the fitted curve, the
+   mirror image of the upper-bound envelopes above.  λ is floored at
+   2 so the write-through regime (λ ≤ 1) keeps a finite bound, and
+   the usual one-I/O floor applies. *)
+let yi_query_ios ~block_bits ~updates_per_io =
+  lg (float_of_int block_bits) /. lg (Float.max 2. updates_per_io) +. 1.
+
 let space_bound_bits ~n ~sigma ~h0_bits =
   let l = lg (float_of_int n) in
   h0_bits +. float_of_int n +. (float_of_int sigma *. l *. l)
@@ -68,4 +80,23 @@ let within ~c ~slack ~measured ~bound =
 let violations ~c ~slack samples =
   List.filter
     (fun (measured, bound) -> not (within ~c ~slack ~measured ~bound))
+    samples
+
+(* Lower-bound mirror of [fit]/[within]/[violations], for tradeoff
+   curves fitted from below: the largest constant c with measured >=
+   c · bound over the sample, and the check that no later measurement
+   dips under c · bound / slack.  Measurements are real-valued here —
+   frontier points are averaged I/O counts, not single counters. *)
+let fit_min samples =
+  List.fold_left
+    (fun acc (measured, bound) ->
+      if bound > 0. then Float.min acc (measured /. bound) else acc)
+    infinity samples
+
+let above ~c ~slack ~measured ~bound =
+  measured >= (c *. bound /. slack) -. 1e-9
+
+let violations_below ~c ~slack samples =
+  List.filter
+    (fun (measured, bound) -> not (above ~c ~slack ~measured ~bound))
     samples

@@ -26,6 +26,12 @@ val thm5_append_ios : block_bits:int -> n:int -> float
 (** Theorem 5 buffered-append bound [O((lg n)/b)] with [b = B/lg n],
     i.e. [lg²n / B]. *)
 
+val yi_query_ios : block_bits:int -> updates_per_io:float -> float
+(** Yi's dynamic-indexability tradeoff (PODS 2009): buffering [λ]
+    updates per write I/O forces [Ω(lg B / lg λ)] I/Os per query
+    ([λ] floored at 2), plus a one-I/O floor.  Checked from below via
+    {!fit_min} / {!violations_below} — the PR 8 frontier gate. *)
+
 val space_bound_bits : n:int -> sigma:int -> h0_bits:float -> float
 (** Theorem 2 space envelope [n·H0 + n + σ·lg²n] in bits, taking the
     measured empirical-entropy term [h0_bits = n·H0]. *)
@@ -38,3 +44,19 @@ val within : c:float -> slack:float -> measured:int -> bound:float -> bool
 
 val violations : c:float -> slack:float -> (int * float) list -> (int * float) list
 (** Sample entries with [measured > c · slack · bound]. *)
+
+(** {2 Lower-bound envelopes (fitted from below)}
+
+    Mirror image of {!fit}/{!within}/{!violations} for tradeoff
+    curves no measurement may {e beat}: real-valued measurements
+    (frontier points are averaged I/O counts). *)
+
+val fit_min : (float * float) list -> float
+(** Largest [c] with [measured >= c · bound] over the sample
+    ([min measured/bound]; [infinity] on an empty sample). *)
+
+val above : c:float -> slack:float -> measured:float -> bound:float -> bool
+
+val violations_below :
+  c:float -> slack:float -> (float * float) list -> (float * float) list
+(** Sample entries dipping under [c · bound / slack]. *)

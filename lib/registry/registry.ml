@@ -60,6 +60,89 @@ let all =
     { b_name = "buffered-bitmap"; b_campaign = true;
       b_build =
         (fun dev ~sigma data -> Secidx.Buffered_bitmap.instance dev ~sigma data) };
+    { b_name = "wal"; b_campaign = true;
+      b_build =
+        (fun dev ~sigma data ->
+          Wal.Store.instance
+            (Wal.Store.create ~index_device:dev Wal.Store.default_config ~sigma
+               ~data)) };
+  ]
+
+type updating = {
+  u_apply : Wal.Op.t -> unit;
+  u_instance : unit -> Indexing.Instance.t;
+}
+
+type updatable = {
+  u_name : string;
+  u_kinds : Wal.Op.kind list;
+  u_start : Iosim.Device.t -> sigma:int -> int array -> updating;
+}
+
+let updatable =
+  [
+    { u_name = "dynamic";
+      u_kinds = [ `Set; `Append; `Delete ];
+      u_start =
+        (fun dev ~sigma data ->
+          let t = Secidx.Dynamic_index.build dev ~sigma data in
+          {
+            u_apply =
+              (function
+              | Wal.Op.Set { pos; ch } -> Secidx.Dynamic_index.change t ~pos ch
+              | Wal.Op.Append { ch } -> Secidx.Dynamic_index.append t ch
+              | Wal.Op.Delete { pos } -> Secidx.Dynamic_index.delete t ~pos);
+            u_instance =
+              (fun () ->
+                {
+                  Indexing.Instance.name = "dynamic";
+                  device = dev;
+                  ctx = Indexing.Context.create dev;
+                  n = Secidx.Dynamic_index.length t;
+                  sigma;
+                  size_bits = Secidx.Dynamic_index.size_bits t;
+                  query = (fun ~lo ~hi -> Secidx.Dynamic_index.query t ~lo ~hi);
+                  batch = Some (Secidx.Dynamic_index.query_batch t);
+                  integrity = None;
+                });
+          }) };
+    { u_name = "append";
+      u_kinds = [ `Append ];
+      u_start =
+        (fun dev ~sigma data ->
+          let t = Secidx.Append_index.build dev ~sigma data in
+          {
+            u_apply =
+              (function
+              | Wal.Op.Append { ch } -> Secidx.Append_index.append t ch
+              | op ->
+                  Format.kasprintf invalid_arg "append index: %a" Wal.Op.pp op);
+            u_instance =
+              (fun () ->
+                {
+                  Indexing.Instance.name = "append";
+                  device = dev;
+                  ctx = Indexing.Context.create dev;
+                  n = Secidx.Append_index.length t;
+                  sigma;
+                  size_bits = Secidx.Append_index.size_bits t;
+                  query = (fun ~lo ~hi -> Secidx.Append_index.query t ~lo ~hi);
+                  batch = Some (Secidx.Append_index.query_batch t);
+                  integrity = None;
+                });
+          }) };
+    { u_name = "wal";
+      u_kinds = [ `Set; `Append; `Delete ];
+      u_start =
+        (fun dev ~sigma data ->
+          let s =
+            Wal.Store.create ~index_device:dev Wal.Store.default_config ~sigma
+              ~data
+          in
+          {
+            u_apply = (fun op -> Wal.Store.update s op);
+            u_instance = (fun () -> Wal.Store.instance s);
+          }) };
   ]
 
 let campaign =

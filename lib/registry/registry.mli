@@ -22,6 +22,27 @@ type builder = {
 (** Every registered builder, in presentation order. *)
 val all : builder list
 
+(** A started updatable index: apply one operation (counted device
+    I/O, may raise [Secidx_error.Crashed] under an armed crash hook),
+    and snapshot the current state as an instance for querying. *)
+type updating = {
+  u_apply : Wal.Op.t -> unit;
+  u_instance : unit -> Indexing.Instance.t;
+}
+
+type updatable = {
+  u_name : string;  (** matches the [builder] name where both exist *)
+  u_kinds : Wal.Op.kind list;  (** operations the structure supports *)
+  u_start : Iosim.Device.t -> sigma:int -> int array -> updating;
+}
+
+(** Builders with an update path — the PR 8 update-path fault and
+    crash campaigns iterate these: [dynamic] (set/append/delete
+    through amortized rebuilding), [append] (append-only buffered
+    structure), [wal] (the crash-safe store; its WAL lives on an
+    internal second device). *)
+val updatable : updatable list
+
 (** The [b_campaign] subset, as (name, build) pairs. *)
 val campaign : (string * (Iosim.Device.t -> sigma:int -> int array -> Indexing.Instance.t)) list
 

@@ -1,0 +1,46 @@
+type t = { device : Iosim.Device.t; mutable next_seq : int }
+
+let create device =
+  if Iosim.Device.used_bits device <> 0 then
+    invalid_arg "Log.create: device not empty";
+  { device; next_seq = 0 }
+
+let device t = t.device
+let length t = t.next_seq
+
+(* One group = one contiguous alloc + one write_buf: the transfer is
+   charged per covering block, so k records (k * 130 bits) cost about
+   [k * 130 / B] block writes — the group-commit amortization.  The
+   alloc is never block-aligned: records must pack back to back for
+   the directory-free scan. *)
+let append t ops =
+  if ops <> [] then begin
+    let buf = Bitio.Bitbuf.create ~capacity:(List.length ops * Op.record_bits) () in
+    List.iteri (fun i op -> Op.encode buf ~seq:(t.next_seq + i) op) ops;
+    ignore (Iosim.Device.store t.device buf : Iosim.Device.region);
+    (* Only after the counted write returned: the group is durable and
+       acknowledged.  A crash inside [store] leaves [next_seq] behind,
+       but the whole log object dies with the process anyway — the
+       authoritative state is what [scan] reads back. *)
+    t.next_seq <- t.next_seq + List.length ops
+  end
+
+let scan device =
+  let used = Iosim.Device.used_bits device in
+  if used = 0 then ([], 0)
+  else begin
+    (* One sequential counted pass over the whole log extent — the
+       honest recovery read cost. *)
+    let buf =
+      Iosim.Device.read_region device { Iosim.Device.off = 0; len = used }
+    in
+    let rec go acc seq off =
+      if off + Op.record_bits > used then (List.rev acc, off)
+      else
+        match Op.decode buf ~off with
+        | Some (s, op) when s = seq ->
+            go (op :: acc) (seq + 1) (off + Op.record_bits)
+        | _ -> (List.rev acc, off)
+    in
+    go [] 0 0
+  end

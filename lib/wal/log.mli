@@ -1,0 +1,43 @@
+(** CRC-framed write-ahead log (PR 8).
+
+    The log owns an entire device: fixed-width {!Op} records are
+    packed back to back from bit 0, so a scan needs no directory —
+    it steps by [Op.record_bits], validating magic, CRC and sequence
+    continuity, and stops at the first record that fails (the torn or
+    never-persisted tail left by a crash).
+
+    {!append} is the durability point of the whole write path: when it
+    returns, every record of the group has been written through
+    counted device I/O, and a subsequent {!scan} (after any crash)
+    will recover it.  A group of [k] operations is one contiguous
+    multi-record transfer — group commit: the records share covering
+    blocks, so the per-update write cost falls as [1/k] toward the
+    buffered-update regime of the Yi tradeoff.
+
+    A crash ([Secidx_error.Crashed]) raised from inside [append] means
+    the group was {e not} acknowledged; whatever prefix of it landed
+    on intact blocks is still replayed by recovery (recovering more
+    than was acknowledged is sound — losing acknowledged records is
+    the failure the crash campaign gates on). *)
+
+type t
+
+(** [create device] starts a log on [device], which must be empty and
+    must not be shared with any other allocator. *)
+val create : Iosim.Device.t -> t
+
+val device : t -> Iosim.Device.t
+
+(** Records acknowledged so far (= the next sequence number). *)
+val length : t -> int
+
+(** Durably append a group of operations (one transfer, see above).
+    The empty list is a no-op. *)
+val append : t -> Op.t list -> unit
+
+(** [scan device] reads the log back in one sequential counted pass:
+    the longest valid prefix of records (magic, CRC and consecutive
+    sequence numbers all check out), in append order.  Also returns
+    the bit offset at which scanning stopped — the truncation point
+    recovery discards everything after. *)
+val scan : Iosim.Device.t -> Op.t list * int

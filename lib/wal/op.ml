@@ -1,0 +1,63 @@
+type t =
+  | Set of { pos : int; ch : int }
+  | Append of { ch : int }
+  | Delete of { pos : int }
+
+type kind = [ `Set | `Append | `Delete ]
+
+let kind = function Set _ -> `Set | Append _ -> `Append | Delete _ -> `Delete
+let equal (a : t) (b : t) = a = b
+
+let pp ppf = function
+  | Set { pos; ch } -> Format.fprintf ppf "set %d <- %d" pos ch
+  | Append { ch } -> Format.fprintf ppf "append %d" ch
+  | Delete { pos } -> Format.fprintf ppf "delete %d" pos
+
+(* magic:16 | seq:32 | kind:2 | pos:32 | ch:16 | crc:32 = 130 bits.
+   The magic is non-zero in its top byte so a record read from
+   never-written (all-zero) space can never validate. *)
+let magic = 0x5A1D
+let body_bits = 16 + 32 + 2 + 32 + 16
+let record_bits = body_bits + 32
+
+let fields = function
+  | Set { pos; ch } -> (0, pos, ch)
+  | Append { ch } -> (1, 0, ch)
+  | Delete { pos } -> (2, pos, 0)
+
+let encode buf ~seq op =
+  if seq < 0 then invalid_arg "Op.encode: seq";
+  let k, pos, ch = fields op in
+  if pos < 0 || ch < 0 || ch > 0xFFFF then invalid_arg "Op.encode: fields";
+  let start = Bitio.Bitbuf.length buf in
+  Bitio.Bitbuf.write_bits buf ~width:16 magic;
+  Bitio.Bitbuf.write_bits buf ~width:32 (seq land 0xFFFFFFFF);
+  Bitio.Bitbuf.write_bits buf ~width:2 k;
+  Bitio.Bitbuf.write_bits buf ~width:32 pos;
+  Bitio.Bitbuf.write_bits buf ~width:16 ch;
+  let crc =
+    Bitio.Crc.finish
+      (Bitio.Crc.of_bits (Bitio.Bitbuf.backing buf) ~pos:start ~len:body_bits)
+  in
+  Bitio.Bitbuf.write_bits buf ~width:32 crc
+
+let decode buf ~off =
+  if off < 0 || off + record_bits > Bitio.Bitbuf.length buf then None
+  else
+    let m = Bitio.Bitbuf.read_bits buf ~pos:off ~width:16 in
+    let seq = Bitio.Bitbuf.read_bits buf ~pos:(off + 16) ~width:32 in
+    let k = Bitio.Bitbuf.read_bits buf ~pos:(off + 48) ~width:2 in
+    let pos = Bitio.Bitbuf.read_bits buf ~pos:(off + 50) ~width:32 in
+    let ch = Bitio.Bitbuf.read_bits buf ~pos:(off + 82) ~width:16 in
+    let crc = Bitio.Bitbuf.read_bits buf ~pos:(off + 98) ~width:32 in
+    let expect =
+      Bitio.Crc.finish
+        (Bitio.Crc.of_bits (Bitio.Bitbuf.backing buf) ~pos:off ~len:body_bits)
+    in
+    if m <> magic || crc <> expect then None
+    else
+      match k with
+      | 0 -> Some (seq, Set { pos; ch })
+      | 1 -> Some (seq, Append { ch })
+      | 2 -> Some (seq, Delete { pos })
+      | _ -> None

@@ -1,0 +1,42 @@
+(** Update operations over the indexed string — the write-path
+    vocabulary shared by the WAL ({!Log}), the delta buffer and the
+    updatable index structures ([Core.Dynamic_index],
+    [Core.Append_index], {!Store}).
+
+    The string semantics follow §4 of the paper: [Set] rewrites the
+    character at an existing position, [Append] extends the string at
+    position [n], and [Delete] rewrites a position to the reserved
+    character [∞] that no range query matches (deleted positions never
+    appear in answers but keep their index). *)
+
+type t =
+  | Set of { pos : int; ch : int }
+  | Append of { ch : int }
+  | Delete of { pos : int }
+
+type kind = [ `Set | `Append | `Delete ]
+
+val kind : t -> kind
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+(** {2 Fixed-width record codec}
+
+    A logged operation occupies exactly {!record_bits} bits:
+
+    {v magic:16 | seq:32 | kind:2 | pos:32 | ch:16 | CRC-32:32 v}
+
+    The CRC covers the 98 bits before it.  [pos] is 0 for [Append]
+    (the position is resolved at apply time so replay assigns the same
+    one) and [ch] is 0 for [Delete]. *)
+
+val record_bits : int
+val magic : int
+
+(** Append the record for [op] with sequence number [seq] to [buf]. *)
+val encode : Bitio.Bitbuf.t -> seq:int -> t -> unit
+
+(** [decode buf ~off] parses one record at bit offset [off], checking
+    magic and CRC.  Returns [Some (seq, op)] or [None] on any
+    mismatch (a torn, zeroed or corrupt record). *)
+val decode : Bitio.Bitbuf.t -> off:int -> (int * t) option

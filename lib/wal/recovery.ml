@@ -1,0 +1,10 @@
+let scan = Log.scan
+
+let recover ?wal_device ?index_device config ~sigma ~data old_wal =
+  let ops, _trunc = Log.scan old_wal in
+  let store = Store.create ?wal_device ?index_device config ~sigma ~data in
+  (* One batch: the flush decision is per-op, so grouping doesn't
+     change the rebuilt structure, and re-logging the whole prefix is
+     one group-commit transfer. *)
+  Store.update_batch store ops;
+  (store, List.length ops)

@@ -1,0 +1,35 @@
+(** Crash recovery: rebuild a {!Store} from a surviving WAL device.
+
+    Recovery is replay-based and reads nothing from the crashed index
+    device: {!scan} extracts the longest valid record prefix from the
+    WAL (truncating at the first torn, corrupt or missing record), and
+    {!recover} re-executes those operations through the ordinary
+    update path on {e fresh} devices.  Because the store's structure
+    is a deterministic function of the operation sequence (see
+    {!Store}), the recovered store is bit-for-bit the store that a
+    crash-free execution of the surviving prefix would have produced —
+    and recovery itself is idempotent: recovering twice from the same
+    WAL yields identical stores.
+
+    The original WAL device is only read, never written, so a crash
+    {e during} recovery (the double-crash case) loses nothing: run
+    {!recover} again from the same device. *)
+
+(** [scan device] — the longest valid prefix of logged operations and
+    the truncation bit offset (re-export of {!Log.scan}). *)
+val scan : Iosim.Device.t -> Op.t list * int
+
+(** [recover ?wal_device ?index_device config ~sigma ~data old_wal]
+    scans [old_wal] and replays onto a fresh store built from the
+    original base [data] (devices created fresh unless supplied —
+    supply armed devices to test double crashes).  Returns the store
+    and the number of operations replayed.  The replayed operations
+    are re-logged, so the new WAL is itself crash-safe. *)
+val recover :
+  ?wal_device:Iosim.Device.t ->
+  ?index_device:Iosim.Device.t ->
+  Store.config ->
+  sigma:int ->
+  data:int array ->
+  Iosim.Device.t ->
+  Store.t * int

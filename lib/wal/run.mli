@@ -1,0 +1,70 @@
+(** One sealed, immutable run of the leveled store: a flushed delta
+    buffer, or the merge of several such runs.
+
+    A run is a {!Indexing.Stream_table} with [sigma + 2] streams —
+    the same compressed layout (and the same CRC framing, directory
+    and payload encodings) every static index in the repo uses:
+
+    - streams [0 .. sigma-1]: positions whose {e newest opinion in
+      this run} sets character [c];
+    - stream [sigma]: tombstones — positions whose newest opinion in
+      this run deletes them;
+    - stream [sigma + 1]: the written set — every position the run
+      has an opinion about (the union of all the above).
+
+    Query and merge both walk runs newest-first and use the written
+    set as a shadow: a position claimed by a newer run is invisible in
+    every older one.  The base image of the string is stored as a run
+    with empty tombstone and written streams; it is only sound as the
+    {e last} link of a chain (nothing shadows below it) and must never
+    be merged. *)
+
+type t
+
+val sigma : t -> int
+
+(** [build ?ctx ?layout device ~sigma ~chars ~tombstones ~written]
+    seals a run.  [chars] has length [sigma]; see above for the
+    stream meaning.  [layout] as in {!Indexing.Stream_table.build}. *)
+val build :
+  ?ctx:Indexing.Context.t ->
+  ?layout:Indexing.Stream_table.layout ->
+  Iosim.Device.t ->
+  sigma:int ->
+  chars:Cbitmap.Posting.t array ->
+  tombstones:Cbitmap.Posting.t ->
+  written:Cbitmap.Posting.t ->
+  t
+
+(** Positions this run sets to a character in [\[lo;hi\]] (bounds
+    already clamped by the caller).  Counted I/O: one k-way merged
+    pass over streams [lo..hi]. *)
+val matches : t -> lo:int -> hi:int -> Cbitmap.Posting.t
+
+(** The written set (stream [sigma + 1]); counted I/O. *)
+val written : t -> Cbitmap.Posting.t
+
+(** Tombstones (stream [sigma]); counted I/O. *)
+val tombstones : t -> Cbitmap.Posting.t
+
+(** Per-character positions (stream [ch]); counted I/O. *)
+val posting : t -> int -> Cbitmap.Posting.t
+
+(** [merge ?ctx ?layout device runs] seals the newest-first [runs]
+    into one run with identical query semantics: for every position
+    the newest opinion wins.  Reads every input stream once (counted),
+    then builds the output on [device].  Raises [Invalid_argument] on
+    an empty list or mismatched alphabets. *)
+val merge :
+  ?ctx:Indexing.Context.t ->
+  ?layout:Indexing.Stream_table.layout ->
+  Iosim.Device.t ->
+  t list ->
+  t
+
+(** The run's framed extents (directory + payload), for integrity
+    wiring. *)
+val frames : t -> Iosim.Frame.t list
+
+val size_bits : t -> int
+val payload_bits : t -> int

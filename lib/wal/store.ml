@@ -1,0 +1,249 @@
+module Posting = Cbitmap.Posting
+module St = Indexing.Stream_table
+
+type payload = Gap | Hybrid of { chunk : int }
+
+type config = {
+  flush_threshold : int;
+  fanout : int;
+  payload : payload;
+  retry_attempts : int;
+}
+
+let default_config =
+  { flush_threshold = 64; fanout = 2; payload = Gap; retry_attempts = 3 }
+
+type entry = Live of int | Dead
+
+type t = {
+  config : config;
+  sigma : int;
+  log : Log.t;
+  device : Iosim.Device.t;
+  ctx : Indexing.Context.t;
+  levels : Levels.t;
+  base : Run.t;
+  overlay : (int, entry) Hashtbl.t;
+  mutable n : int;
+  mutable delta_ops : int;
+  mutable phase : string;
+  mutable flushes : int;
+}
+
+let layout_of ~payload ~n =
+  match payload with
+  | Gap -> St.Gap
+  | Hybrid { chunk } -> St.Hybrid { universe = max n 1; chunk }
+
+let layout t = layout_of ~payload:t.config.payload ~n:t.n
+
+let create ?wal_device ?index_device config ~sigma ~data =
+  if config.flush_threshold < 1 then invalid_arg "Store.create: flush_threshold";
+  if config.fanout < 2 then invalid_arg "Store.create: fanout";
+  if config.retry_attempts < 1 then invalid_arg "Store.create: retry_attempts";
+  if sigma < 1 then invalid_arg "Store.create: sigma";
+  Array.iter
+    (fun c -> if c < 0 || c >= sigma then invalid_arg "Store.create: data")
+    data;
+  (match config.payload with
+  | Hybrid { chunk } when chunk < 1 -> invalid_arg "Store.create: chunk"
+  | _ -> ());
+  let index_device =
+    match index_device with
+    | Some d -> d
+    | None -> Iosim.Device.create ~block_bits:512 ~mem_bits:(8 * 512) ()
+  in
+  let wal_device =
+    match wal_device with
+    | Some d -> d
+    | None ->
+        let bb = Iosim.Device.block_bits index_device in
+        Iosim.Device.create ~block_bits:bb ~mem_bits:(4 * bb) ()
+  in
+  let ctx = Indexing.Context.create index_device in
+  let n = Array.length data in
+  let base =
+    Run.build ~ctx
+      ~layout:(layout_of ~payload:config.payload ~n)
+      index_device ~sigma
+      ~chars:(Indexing.Common.positions_by_char ~sigma data)
+      ~tombstones:Posting.empty ~written:Posting.empty
+  in
+  {
+    config;
+    sigma;
+    log = Log.create wal_device;
+    device = index_device;
+    ctx;
+    levels =
+      Levels.create ~ctx index_device ~sigma ~fanout:config.fanout
+        ~retry_attempts:config.retry_attempts;
+    base;
+    overlay = Hashtbl.create 64;
+    n;
+    delta_ops = 0;
+    phase = "idle";
+    flushes = 0;
+  }
+
+let config t = t.config
+let sigma t = t.sigma
+let n t = t.n
+let acked t = Log.length t.log
+let wal_device t = Log.device t.log
+let index_device t = t.device
+let ctx t = t.ctx
+let phase t = t.phase
+let flushes t = t.flushes
+let compactions t = Levels.compactions t.levels
+let degraded t = Levels.degraded t.levels
+let pending_compaction t = Levels.pending t.levels
+let level_counts t = Levels.level_counts t.levels
+let size_bits t = Run.size_bits t.base + Levels.size_bits t.levels
+let wal_bits t = Iosim.Device.used_bits (Log.device t.log)
+
+(* Seal the overlay into a level-0 run.  The overlay is cleared only
+   once the run is durably built; a crash mid-flush loses nothing
+   because every overlay op is already in the WAL. *)
+let flush t =
+  if t.delta_ops > 0 then begin
+    t.phase <- "flush";
+    let chars = Array.make t.sigma [] in
+    let dead = ref [] in
+    let written = ref [] in
+    Hashtbl.iter
+      (fun pos entry ->
+        written := pos :: !written;
+        match entry with
+        | Live ch -> chars.(ch) <- pos :: chars.(ch)
+        | Dead -> dead := pos :: !dead)
+      t.overlay;
+    let run =
+      Run.build ~ctx:t.ctx ~layout:(layout t) t.device ~sigma:t.sigma
+        ~chars:(Array.map Posting.of_list chars)
+        ~tombstones:(Posting.of_list !dead)
+        ~written:(Posting.of_list !written)
+    in
+    Hashtbl.reset t.overlay;
+    t.delta_ops <- 0;
+    t.flushes <- t.flushes + 1;
+    Levels.insert_run ~layout:(layout t)
+      ~on_compact:(fun () -> t.phase <- "compact")
+      t.levels run;
+    t.phase <- "idle"
+  end
+
+let apply_one t op =
+  (match op with
+  | Op.Set { pos; ch } -> Hashtbl.replace t.overlay pos (Live ch)
+  | Op.Append { ch } ->
+      Hashtbl.replace t.overlay t.n (Live ch);
+      t.n <- t.n + 1
+  | Op.Delete { pos } -> Hashtbl.replace t.overlay pos Dead);
+  t.delta_ops <- t.delta_ops + 1;
+  if t.delta_ops >= t.config.flush_threshold then flush t
+
+(* Validation happens entirely before logging: a record that reaches
+   the WAL is always applicable on replay. *)
+let validate t ops =
+  let n = ref t.n in
+  List.iter
+    (fun op ->
+      (match op with
+      | Op.Set { pos; ch } ->
+          if pos < 0 || pos >= !n then invalid_arg "Store.update: position";
+          if ch < 0 || ch >= t.sigma then invalid_arg "Store.update: char"
+      | Op.Append { ch } ->
+          if ch < 0 || ch >= t.sigma then invalid_arg "Store.update: char"
+      | Op.Delete { pos } ->
+          if pos < 0 || pos >= !n then invalid_arg "Store.update: position");
+      match op with Op.Append _ -> incr n | _ -> ())
+    ops
+
+let update_batch t ops =
+  if ops <> [] then begin
+    validate t ops;
+    t.phase <- "log";
+    Log.append t.log ops;
+    (* The batch is acknowledged from here on. *)
+    List.iter (apply_one t) ops;
+    t.phase <- "idle"
+  end
+
+let update t op = update_batch t [op]
+
+let overlay_matches t ~lo ~hi =
+  let acc = ref [] in
+  Hashtbl.iter
+    (fun pos entry ->
+      match entry with
+      | Live ch when ch >= lo && ch <= hi -> acc := pos :: !acc
+      | _ -> ())
+    t.overlay;
+  Posting.of_list !acc
+
+let overlay_written t =
+  Posting.of_list (Hashtbl.fold (fun pos _ acc -> pos :: acc) t.overlay [])
+
+(* Newest-first shadowed union: delta, then runs, then base.  The
+   base never shadows anything below it, so its (empty) written
+   stream is never read. *)
+let query t ~lo ~hi =
+  match Indexing.Common.clamp_range ~sigma:t.sigma ~lo ~hi with
+  | None -> Indexing.Answer.Direct Posting.empty
+  | Some (lo, hi) ->
+      let result = ref (overlay_matches t ~lo ~hi) in
+      let shadow = ref (overlay_written t) in
+      List.iter
+        (fun run ->
+          result :=
+            Posting.union !result
+              (Posting.diff (Run.matches run ~lo ~hi) !shadow);
+          shadow := Posting.union !shadow (Run.written run))
+        (Levels.runs_newest_first t.levels);
+      let base = Posting.diff (Run.matches t.base ~lo ~hi) !shadow in
+      Indexing.Answer.Direct (Posting.union !result base)
+
+let char_at t pos =
+  if pos < 0 || pos >= t.n then invalid_arg "Store.char_at";
+  match Hashtbl.find_opt t.overlay pos with
+  | Some (Live ch) -> ch
+  | Some Dead -> t.sigma
+  | None ->
+      let rec scan = function
+        | run :: rest ->
+            if Posting.mem (Run.written run) pos then
+              if Posting.mem (Run.tombstones run) pos then t.sigma
+              else begin
+                let found = ref (-1) in
+                for ch = 0 to t.sigma - 1 do
+                  if !found < 0 && Posting.mem (Run.posting run ch) pos then
+                    found := ch
+                done;
+                !found
+              end
+            else scan rest
+        | [] ->
+            let found = ref t.sigma in
+            for ch = 0 to t.sigma - 1 do
+              if !found = t.sigma && Posting.mem (Run.posting t.base ch) pos
+              then found := ch
+            done;
+            !found
+      in
+      scan (Levels.runs_newest_first t.levels)
+
+let frames t = Run.frames t.base @ Levels.frames t.levels
+
+let instance t =
+  {
+    Indexing.Instance.name = "wal";
+    device = t.device;
+    ctx = t.ctx;
+    n = t.n;
+    sigma = t.sigma;
+    size_bits = size_bits t;
+    query = (fun ~lo ~hi -> query t ~lo ~hi);
+    batch = None;
+    integrity = Some (Indexing.Integrity.of_frames (fun () -> frames t));
+  }

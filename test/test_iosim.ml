@@ -639,6 +639,7 @@ let test_model_sanity () =
       faults_injected = 0;
       faults_detected = 0;
       retries = 0;
+      backoff_ios = 0;
     }
     m.Model.stats
 

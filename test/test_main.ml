@@ -19,5 +19,6 @@ let () =
       ("integrity", Test_integrity.suite);
       ("obs", Test_obs.suite);
       ("batch", Test_batch.suite);
+      ("wal", Test_wal.suite);
       ("serve", Test_serve.suite);
     ]

@@ -373,8 +373,33 @@ let test_traced_query_has_phases () =
                (Obs.Trace.events ())))
   | [] -> Alcotest.fail "no instances"
 
+(* PR 8: the Yi tradeoff curve and its fitted-from-below checker. *)
+let test_yi_lower_envelope () =
+  (* more updates absorbed per I/O => weaker query lower bound *)
+  let q1 = Obs.Envelope.yi_query_ios ~block_bits:1024 ~updates_per_io:2. in
+  let q2 = Obs.Envelope.yi_query_ios ~block_bits:1024 ~updates_per_io:32. in
+  Alcotest.(check bool) "monotone in lambda" true (q1 > q2);
+  (* bigger blocks => stronger bound *)
+  let q3 = Obs.Envelope.yi_query_ios ~block_bits:4096 ~updates_per_io:32. in
+  Alcotest.(check bool) "monotone in B" true (q3 > q2);
+  (* lambda below 2 floors at 2 *)
+  let qf = Obs.Envelope.yi_query_ios ~block_bits:1024 ~updates_per_io:0.5 in
+  Alcotest.(check (float 1e-9)) "floored lambda" q1 qf;
+  let samples = [ (10., 5.); (6., 4.); (9., 3.) ] in
+  let c = Obs.Envelope.fit_min samples in
+  Alcotest.(check (float 1e-9)) "fit_min" 1.5 c;
+  Alcotest.(check int) "fit covers sample" 0
+    (List.length (Obs.Envelope.violations_below ~c ~slack:1.0 samples));
+  Alcotest.(check int) "dip detected" 1
+    (List.length
+       (Obs.Envelope.violations_below ~c ~slack:1.0 ((4., 3.) :: samples)));
+  Alcotest.(check int) "slack forgives" 0
+    (List.length
+       (Obs.Envelope.violations_below ~c ~slack:2.0 ((4., 3.) :: samples)))
+
 let suite =
   [
+    Alcotest.test_case "yi lower envelope" `Quick test_yi_lower_envelope;
     Alcotest.test_case "ring overflow" `Quick test_ring_overflow;
     Alcotest.test_case "overflow breaks pairing" `Quick
       test_overflow_breaks_pairing;
