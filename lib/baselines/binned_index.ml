@@ -50,7 +50,7 @@ let query_clamped t ~lo ~hi =
     end
   in
   Indexing.Answer.Direct
-    (Obs.Trace.with_span ~cat:"phase" "payload" (fun () ->
+    (Obs.Metrics.phase "payload" (fun () ->
          Cbitmap.Merge.union_to_posting streams))
 
 let query t ~lo ~hi =

@@ -188,7 +188,7 @@ let query_clamped t ~lo ~hi =
       else descend (descend_step t ~block lo_key) (level + 1)
     in
     let leaf =
-      Obs.Trace.with_span ~cat:"phase" "directory" (fun () ->
+      Obs.Metrics.phase "directory" (fun () ->
           descend t.root_block 1)
     in
     let last_leaf = t.first_leaf_block + t.leaf_count - 1 in
@@ -206,7 +206,7 @@ let query_clamped t ~lo ~hi =
         if not !past_end then scan (block + 1)
       end
     in
-    Obs.Trace.with_span ~cat:"phase" "payload" (fun () -> scan leaf);
+    Obs.Metrics.phase "payload" (fun () -> scan leaf);
     Indexing.Answer.Direct (Cbitmap.Posting.of_list !acc)
   end
 
@@ -230,7 +230,7 @@ let batched_clamped t cache ~lo ~hi =
       else descend (descend_step t ~block lo_key) (level + 1)
     in
     let leaf =
-      Obs.Trace.with_span ~cat:"phase" "directory" (fun () ->
+      Obs.Metrics.phase "directory" (fun () ->
           descend t.root_block 1)
     in
     let last_leaf = t.first_leaf_block + t.leaf_count - 1 in
@@ -248,7 +248,7 @@ let batched_clamped t cache ~lo ~hi =
         if not !past_end then scan (block + 1)
       end
     in
-    Obs.Trace.with_span ~cat:"phase" "payload" (fun () -> scan leaf);
+    Obs.Metrics.phase "payload" (fun () -> scan leaf);
     Indexing.Answer.Direct (Cbitmap.Posting.of_list !acc)
   end
 

@@ -74,7 +74,7 @@ let query_clamped t ~lo ~hi =
       pieces
   in
   Indexing.Answer.Direct
-    (Obs.Trace.with_span ~cat:"phase" "payload" (fun () ->
+    (Obs.Metrics.phase "payload" (fun () ->
          Cbitmap.Merge.union_to_posting (List.concat streams)))
 
 let query t ~lo ~hi =

@@ -129,7 +129,7 @@ let query_checked t ~lo ~hi =
   (* The A-array probe sizes the answer before touching any bitmap —
      the rank part of the paper's rank/select phase. *)
   let z =
-    Obs.Trace.with_span ~cat:"phase" "rank_select" (fun () ->
+    Obs.Metrics.phase "rank_select" (fun () ->
         read_a t (hi + 1) - read_a t lo)
   in
   if z = 0 then Indexing.Answer.Direct Cbitmap.Posting.empty
@@ -200,7 +200,7 @@ let batched_range t cache ~lo ~hi =
 
 let batched_checked t cache ~lo ~hi =
   let z =
-    Obs.Trace.with_span ~cat:"phase" "rank_select" (fun () ->
+    Obs.Metrics.phase "rank_select" (fun () ->
         read_a t (hi + 1) - read_a t lo)
   in
   if z = 0 then Indexing.Answer.Direct Cbitmap.Posting.empty

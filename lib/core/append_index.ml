@@ -378,7 +378,7 @@ let answer_range t ~lo ~hi =
     let canon, partial, spine =
       Frozen.decompose t.frozen ~klo:(lo, 0) ~khi:(hi + 1, 0)
     in
-    Obs.Trace.with_span ~cat:"phase" "directory" (fun () ->
+    Obs.Metrics.phase "directory" (fun () ->
         List.iter (touch_meta t) spine;
         List.iter (touch_meta t) canon);
     let stored v =
@@ -399,7 +399,7 @@ let answer_range t ~lo ~hi =
         needs
     in
     let main =
-      Obs.Trace.with_span ~cat:"phase" "payload" (fun () ->
+      Obs.Metrics.phase "payload" (fun () ->
           Cbitmap.Merge.union_to_posting streams)
     in
     (* Boundary leaves: read and filter by the current character. *)
@@ -431,7 +431,7 @@ let answer_range t ~lo ~hi =
 
 let query_checked t ~lo ~hi =
   let z = ref 0 in
-  Obs.Trace.with_span ~cat:"phase" "rank_select" (fun () ->
+  Obs.Metrics.phase "rank_select" (fun () ->
       for ch = lo to hi do
         z := !z + read_count t ch
       done);
@@ -486,7 +486,7 @@ let batched_range t cache ~lo ~hi =
     let canon, partial, spine =
       Frozen.decompose t.frozen ~klo:(lo, 0) ~khi:(hi + 1, 0)
     in
-    Obs.Trace.with_span ~cat:"phase" "directory" (fun () ->
+    Obs.Metrics.phase "directory" (fun () ->
         List.iter (touch_meta t) spine;
         List.iter (touch_meta t) canon);
     let stored v =
@@ -499,7 +499,7 @@ let batched_range t cache ~lo ~hi =
         canon
     in
     let main =
-      Obs.Trace.with_span ~cat:"phase" "payload" (fun () ->
+      Obs.Metrics.phase "payload" (fun () ->
           Cbitmap.Posting.union_many
             (List.filter_map
                (fun v ->
@@ -536,7 +536,7 @@ let batched_range t cache ~lo ~hi =
 
 let batched_checked t cache ~lo ~hi =
   let z = ref 0 in
-  Obs.Trace.with_span ~cat:"phase" "rank_select" (fun () ->
+  Obs.Metrics.phase "rank_select" (fun () ->
       for ch = lo to hi do
         z := !z + read_count t ch
       done);

@@ -228,7 +228,7 @@ let answer_range t ~lo ~hi =
 
 let query_checked t ~lo ~hi =
   let z = ref 0 in
-  Obs.Trace.with_span ~cat:"phase" "rank_select" (fun () ->
+  Obs.Metrics.phase "rank_select" (fun () ->
       for ch = lo to hi do
         z := !z + read_count t ch
       done);
@@ -307,7 +307,7 @@ let batched_range t cache ~lo ~hi =
 
 let batched_checked t cache ~lo ~hi =
   let z = ref 0 in
-  Obs.Trace.with_span ~cat:"phase" "rank_select" (fun () ->
+  Obs.Metrics.phase "rank_select" (fun () ->
       for ch = lo to hi do
         z := !z + read_count t ch
       done);

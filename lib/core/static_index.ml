@@ -243,7 +243,7 @@ let entry_bounds t ~lo ~hi =
 let plan_charged t ~s ~e =
   if s >= e then []
   else
-    Obs.Trace.with_span ~cat:"phase" "directory" (fun () ->
+    Obs.Metrics.phase "directory" (fun () ->
         let needs, spine, canon = plan_nodes t ~s ~e in
         List.iter (touch_node t) spine;
         List.iter (touch_node t) canon;
@@ -264,13 +264,13 @@ let query_entries t ~s ~e =
                 ~lo:first ~hi:last)
         runs
     in
-    Obs.Trace.with_span ~cat:"phase" "payload" (fun () ->
+    Obs.Metrics.phase "payload" (fun () ->
         Cbitmap.Merge.union_to_posting streams)
   end
 
 let query_checked t ~lo ~hi =
   let s, e =
-    Obs.Trace.with_span ~cat:"phase" "rank_select" (fun () ->
+    Obs.Metrics.phase "rank_select" (fun () ->
         (read_a t lo, read_a t (hi + 1)))
   in
   let z = e - s in
@@ -335,13 +335,13 @@ let batched_entries t cache ~s ~e =
               Indexing.Batch.Cache.get cache (storage, first + k)))
         runs
     in
-    Obs.Trace.with_span ~cat:"phase" "payload" (fun () ->
+    Obs.Metrics.phase "payload" (fun () ->
         Cbitmap.Posting.union_many postings)
   end
 
 let batched_checked t cache ~lo ~hi =
   let s, e =
-    Obs.Trace.with_span ~cat:"phase" "rank_select" (fun () ->
+    Obs.Metrics.phase "rank_select" (fun () ->
         (read_a t lo, read_a t (hi + 1)))
   in
   let z = e - s in

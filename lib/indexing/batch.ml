@@ -92,6 +92,12 @@ let run ~sigma ~exec ranges =
    posting.  Not bounded: a batch touches at most the structure's
    extent count, and postings are in-memory answers anyway. *)
 module Cache = struct
+  (* Always-on metrics (PR 9): aggregate decode-memo efficacy across
+     every structure's cache, the batch-layer analogue of the device
+     pool hit rate. *)
+  let m_requests = Obs.Metrics.counter "indexing_cache_requests_total"
+  let m_hits = Obs.Metrics.counter "indexing_cache_hits_total"
+
   type ('k, 'v) t = {
     table : ('k, 'v) Hashtbl.t;
     decode : 'k -> 'v;
@@ -104,8 +110,11 @@ module Cache = struct
 
   let get t k =
     t.requests <- t.requests + 1;
+    Obs.Metrics.incr m_requests;
     match Hashtbl.find_opt t.table k with
-    | Some v -> v
+    | Some v ->
+        Obs.Metrics.incr m_hits;
+        v
     | None ->
         t.decodes <- t.decodes + 1;
         let v = t.decode k in

@@ -1,3 +1,12 @@
+(* Always-on metrics (PR 9): query traffic and latency at the
+   instance boundary.  Latency uses the pluggable metrics clock
+   (logical ticks until a driver installs wallclock), so this layer
+   still links nothing beyond [obs]. *)
+let m_queries = Obs.Metrics.counter "indexing_queries_total"
+let m_batches = Obs.Metrics.counter "indexing_batches_total"
+let m_batch_queries = Obs.Metrics.counter "indexing_batch_queries_total"
+let m_query_seconds = Obs.Metrics.histogram "indexing_query_seconds"
+
 type t = {
   name : string;
   device : Iosim.Device.t;
@@ -13,17 +22,19 @@ type t = {
 let set_reference_decode t v = t.ctx.Context.reference_decode <- v
 
 let traced_query t ~lo ~hi =
-  if not !Obs.Trace.on then t.query ~lo ~hi
-  else
-    Obs.Trace.with_span ~cat:"query"
-      ~attrs:
-        [
-          ("index", Obs.Trace.Str t.name);
-          ("lo", Obs.Trace.Int lo);
-          ("hi", Obs.Trace.Int hi);
-        ]
-      "query"
-      (fun () -> t.query ~lo ~hi)
+  Obs.Metrics.incr m_queries;
+  Obs.Metrics.time m_query_seconds (fun () ->
+      if not !Obs.Trace.on then t.query ~lo ~hi
+      else
+        Obs.Trace.with_span ~cat:"query"
+          ~attrs:
+            [
+              ("index", Obs.Trace.Str t.name);
+              ("lo", Obs.Trace.Int lo);
+              ("hi", Obs.Trace.Int hi);
+            ]
+          "query"
+          (fun () -> t.query ~lo ~hi))
 
 let query_cold t ~lo ~hi =
   Iosim.Device.clear_pool t.device;
@@ -38,6 +49,8 @@ let query_posting_with_stats t ~lo ~hi =
 let query_posting t ~lo ~hi = fst (query_posting_with_stats t ~lo ~hi)
 
 let run_batch t ranges =
+  Obs.Metrics.incr m_batches;
+  Obs.Metrics.incr ~by:(Array.length ranges) m_batch_queries;
   let run () =
     match t.batch with
     | Some f -> f ranges
@@ -90,9 +103,7 @@ type outcome =
    answer. *)
 let verified_query ?(attempts = 3) t ~lo ~hi =
   let dev = t.device in
-  let scrub g =
-    Obs.Trace.with_span ~cat:"phase" "verify" (fun () -> g.Integrity.scrub ())
-  in
+  let scrub g = Obs.Metrics.phase "verify" (fun () -> g.Integrity.scrub ()) in
   let run () =
     match t.integrity with
     | None -> Ok (traced_query t ~lo ~hi)
@@ -101,8 +112,7 @@ let verified_query ?(attempts = 3) t ~lo ~hi =
         if corrupt = 0 then Ok (traced_query t ~lo ~hi)
         else begin
           let before = Iosim.Stats.ios (Iosim.Device.stats dev) in
-          Obs.Trace.with_span ~cat:"phase" "repair" (fun () ->
-              g.Integrity.repair ());
+          Obs.Metrics.phase "repair" (fun () -> g.Integrity.repair ());
           if scrub g <> 0 then Corrupt "repair did not converge"
           else begin
             let cost = Iosim.Stats.ios (Iosim.Device.stats dev) - before in

@@ -148,16 +148,16 @@ let stream_of_entry t (off, count) =
    merge span carries the "payload" decode I/O. *)
 let read_one t i =
   let entry =
-    Obs.Trace.with_span ~cat:"phase" "directory" (fun () -> dir_entry t i)
+    Obs.Metrics.phase "directory" (fun () -> dir_entry t i)
   in
-  Obs.Trace.with_span ~cat:"phase" "payload" (fun () ->
+  Obs.Metrics.phase "payload" (fun () ->
       Cbitmap.Merge.to_posting (stream_of_entry t entry))
 
 let streams t ~lo ~hi =
   if lo < 0 || hi >= t.nstreams || lo > hi then
     invalid_arg "Stream_table.streams";
   let entries =
-    Obs.Trace.with_span ~cat:"phase" "directory" (fun () ->
+    Obs.Metrics.phase "directory" (fun () ->
         List.init (hi - lo + 1) (fun k -> dir_entry t (lo + k)))
   in
   List.map (stream_of_entry t) entries
@@ -178,7 +178,7 @@ let payload_span t ~lo ~hi =
 
 let read_union t ~lo ~hi =
   let ss = streams t ~lo ~hi in
-  Obs.Trace.with_span ~cat:"phase" "payload" (fun () ->
+  Obs.Metrics.phase "payload" (fun () ->
       Cbitmap.Merge.union_to_posting ss)
 
 let frames t = [ t.dir_frame; t.payload_frame ]

@@ -15,6 +15,11 @@
    per-block bookkeeping the prefetch counters and the scan-resistance
    tests need ([prefetched], [reused]). *)
 
+(* Always-on metrics (PR 9): process-wide replacement-pressure view
+   beside the per-pool lifetime counters. *)
+let m_evictions = Obs.Metrics.counter "iosim_pool_evictions_total"
+let m_promotions = Obs.Metrics.counter "iosim_pool_promotions_total"
+
 type policy = [ `Lru | `Segmented ]
 type seg = Probation | Protected
 
@@ -113,6 +118,7 @@ let evict_node t n =
   unlink t n;
   Hashtbl.remove t.table n.blk;
   t.evictions <- t.evictions + 1;
+  Obs.Metrics.incr m_evictions;
   if n.reused then t.evicted_reused <- t.evicted_reused + 1;
   if !Obs.Trace.on then
     Obs.Trace.instant ~cat:"dev"
@@ -134,6 +140,7 @@ let promote t n =
   n.seg <- Protected;
   push_front t.prot n;
   t.promotions <- t.promotions + 1;
+  Obs.Metrics.incr m_promotions;
   if t.prot.len > t.protected_cap then
     match t.prot.tail with
     | Some d ->

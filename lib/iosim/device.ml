@@ -1,3 +1,18 @@
+(* Always-on metrics (PR 9): global, domain-striped counters beside
+   the per-device [Stats] record.  Stats stay the unit of differential
+   testing (exact, resettable per device); the metrics plane is the
+   process-wide view a scrape exports, cheap enough (one atomic add on
+   the caller's stripe) to stay compiled into the block hot path. *)
+let m_block_reads = Obs.Metrics.counter "iosim_block_reads_total"
+let m_block_writes = Obs.Metrics.counter "iosim_block_writes_total"
+let m_pool_hits = Obs.Metrics.counter "iosim_pool_hits_total"
+let m_seeks = Obs.Metrics.counter "iosim_seeks_total"
+let m_prefetches = Obs.Metrics.counter "iosim_prefetches_total"
+let m_prefetch_hits = Obs.Metrics.counter "iosim_prefetch_hits_total"
+let m_retries = Obs.Metrics.counter "iosim_retries_total"
+let m_backoff_ios = Obs.Metrics.counter "iosim_backoff_ios_total"
+let m_faults = Obs.Metrics.counter "iosim_faults_injected_total"
+
 type t = {
   block_bits : int;
   mutable data : Bytes.t;
@@ -97,8 +112,10 @@ let alloc ?(align_block = false) t len =
    (every run of contiguous transfers pays one seek at its start).
    Pool hits move no data, so they leave the head position alone. *)
 let note_seek t blk =
-  if blk <> t.last_block && blk <> t.last_block + 1 then
+  if blk <> t.last_block && blk <> t.last_block + 1 then begin
     t.stats.Stats.seeks <- t.stats.Stats.seeks + 1;
+    Obs.Metrics.incr m_seeks
+  end;
   t.last_block <- blk
 
 let block_event name blk =
@@ -113,6 +130,8 @@ let check_transient t blk =
   | Some f when Fault.read_fails f ~block:blk ->
       t.stats.Stats.block_reads <- t.stats.Stats.block_reads + 1;
       t.stats.Stats.faults_injected <- t.stats.Stats.faults_injected + 1;
+      Obs.Metrics.incr m_block_reads;
+      Obs.Metrics.incr m_faults;
       note_seek t blk;
       block_event "fault" blk;
       raise
@@ -124,12 +143,16 @@ let touch_read t blk =
   check_transient t blk;
   if Buffer_pool.access t.pool blk then begin
     t.stats.Stats.pool_hits <- t.stats.Stats.pool_hits + 1;
-    if Buffer_pool.consume_prefetch t.pool blk then
+    Obs.Metrics.incr m_pool_hits;
+    if Buffer_pool.consume_prefetch t.pool blk then begin
       t.stats.Stats.prefetch_hits <- t.stats.Stats.prefetch_hits + 1;
+      Obs.Metrics.incr m_prefetch_hits
+    end;
     block_event "hit" blk
   end
   else begin
     t.stats.Stats.block_reads <- t.stats.Stats.block_reads + 1;
+    Obs.Metrics.incr m_block_reads;
     note_seek t blk;
     block_event "read" blk
   end
@@ -137,12 +160,16 @@ let touch_read t blk =
 let touch_write t blk =
   if Buffer_pool.access t.pool blk then begin
     t.stats.Stats.pool_hits <- t.stats.Stats.pool_hits + 1;
+    Obs.Metrics.incr m_pool_hits;
     block_event "hit" blk
   end
   else begin
-    if t.read_before_write then
+    if t.read_before_write then begin
       t.stats.Stats.block_reads <- t.stats.Stats.block_reads + 1;
+      Obs.Metrics.incr m_block_reads
+    end;
     t.stats.Stats.block_writes <- t.stats.Stats.block_writes + 1;
+    Obs.Metrics.incr m_block_writes;
     note_seek t blk;
     block_event "write" blk
   end
@@ -157,16 +184,23 @@ let touch_range t ~pos ~len kind =
     if Buffer_pool.capacity t.pool = 0 && t.fault = None then begin
       let nblocks = last - first + 1 in
       (match kind with
-      | `Read -> t.stats.Stats.block_reads <- t.stats.Stats.block_reads + nblocks
+      | `Read ->
+          t.stats.Stats.block_reads <- t.stats.Stats.block_reads + nblocks;
+          Obs.Metrics.incr ~by:nblocks m_block_reads
       | `Write ->
-          if t.read_before_write then
+          if t.read_before_write then begin
             t.stats.Stats.block_reads <- t.stats.Stats.block_reads + nblocks;
-          t.stats.Stats.block_writes <- t.stats.Stats.block_writes + nblocks);
+            Obs.Metrics.incr ~by:nblocks m_block_reads
+          end;
+          t.stats.Stats.block_writes <- t.stats.Stats.block_writes + nblocks;
+          Obs.Metrics.incr ~by:nblocks m_block_writes);
       (* Same seek rule as the per-block loop, arithmetically: blocks
          inside the range are contiguous, so the only candidate seek
          is at [first]. *)
-      if first <> t.last_block && first <> t.last_block + 1 then
+      if first <> t.last_block && first <> t.last_block + 1 then begin
         t.stats.Stats.seeks <- t.stats.Stats.seeks + 1;
+        Obs.Metrics.incr m_seeks
+      end;
       t.last_block <- last;
       if !Obs.Trace.on then
         let name = match kind with `Read -> "read" | `Write -> "write" in
@@ -206,6 +240,7 @@ let check_crash t ~pos ~len ~persist =
       | None -> ()
       | Some keep ->
           t.stats.Stats.faults_injected <- t.stats.Stats.faults_injected + 1;
+          Obs.Metrics.incr m_faults;
           persist keep;
           Secidx_error.crashed
             "Device: process killed during write of %d blocks at bit %d \
@@ -281,6 +316,7 @@ let write_buf t region buf =
       (* Torn write: the transfer was issued (and charged above), but
          only the first [keep_blocks] blocks persist. *)
       t.stats.Stats.faults_injected <- t.stats.Stats.faults_injected + 1;
+      Obs.Metrics.incr m_faults;
       persist_prefix t region buf ~len ~keep_blocks
 
 let store ?align_block t buf =
@@ -381,6 +417,8 @@ let prefetch t ~pos ~len =
       if Buffer_pool.insert_prefetched t.pool blk then begin
         t.stats.Stats.block_reads <- t.stats.Stats.block_reads + 1;
         t.stats.Stats.prefetches <- t.stats.Stats.prefetches + 1;
+        Obs.Metrics.incr m_block_reads;
+        Obs.Metrics.incr m_prefetches;
         note_seek t blk;
         block_event "prefetch" blk
       end
@@ -409,6 +447,7 @@ let inject_bit_flips t ~seed ~count =
       flips;
     t.stats.Stats.faults_injected <-
       t.stats.Stats.faults_injected + List.length flips;
+    Obs.Metrics.incr ~by:(List.length flips) m_faults;
     flips
   end
 
@@ -430,12 +469,14 @@ let with_retries ?(attempts = 3) ?backoff t f =
     try f ()
     with Secidx_error.IO_error _ when k < attempts ->
       t.stats.Stats.retries <- t.stats.Stats.retries + 1;
+      Obs.Metrics.incr m_retries;
       (match backoff with
       | None -> ()
       | Some cost ->
           let c = cost ~attempt:k in
           if c < 0 then invalid_arg "Device.with_retries: negative backoff";
-          t.stats.Stats.backoff_ios <- t.stats.Stats.backoff_ios + c);
+          t.stats.Stats.backoff_ios <- t.stats.Stats.backoff_ios + c;
+          Obs.Metrics.incr ~by:c m_backoff_ios);
       go (k + 1)
   in
   go 1

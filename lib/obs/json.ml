@@ -121,3 +121,224 @@ let to_file ?minify path t =
   Fun.protect
     ~finally:(fun () -> close_out oc)
     (fun () -> to_channel ?minify oc t)
+
+(* --- parser (PR 9) ---
+
+   A small recursive-descent reader so [Obs.Report] and the trace lint
+   can ingest the artifacts this module wrote (BENCH_PR*.json, Chrome
+   traces) without growing a dependency.  It accepts standard JSON —
+   a superset of what the writer emits — and distinguishes [Int] from
+   [Float] by the presence of [.], [e] or [E], matching the writer's
+   convention (it prints every float with a decimal point or an
+   exponent). *)
+
+exception Parse_error of string
+
+type cursor = { s : string; mutable pos : int }
+
+let fail cur msg =
+  raise (Parse_error (Printf.sprintf "%s at offset %d" msg cur.pos))
+
+let peek cur = if cur.pos < String.length cur.s then Some cur.s.[cur.pos] else None
+
+let skip_ws cur =
+  while
+    cur.pos < String.length cur.s
+    &&
+    match cur.s.[cur.pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+  do
+    cur.pos <- cur.pos + 1
+  done
+
+let expect cur c =
+  match peek cur with
+  | Some x when x = c -> cur.pos <- cur.pos + 1
+  | _ -> fail cur (Printf.sprintf "expected %C" c)
+
+let literal cur word v =
+  let n = String.length word in
+  if
+    cur.pos + n <= String.length cur.s
+    && String.sub cur.s cur.pos n = word
+  then begin
+    cur.pos <- cur.pos + n;
+    v
+  end
+  else fail cur (Printf.sprintf "expected %s" word)
+
+(* Encode a decoded \uXXXX code point as UTF-8 (no surrogate-pair
+   handling — the writer never emits them). *)
+let add_utf8 b u =
+  if u < 0x80 then Buffer.add_char b (Char.chr u)
+  else if u < 0x800 then begin
+    Buffer.add_char b (Char.chr (0xC0 lor (u lsr 6)));
+    Buffer.add_char b (Char.chr (0x80 lor (u land 0x3F)))
+  end
+  else begin
+    Buffer.add_char b (Char.chr (0xE0 lor (u lsr 12)));
+    Buffer.add_char b (Char.chr (0x80 lor ((u lsr 6) land 0x3F)));
+    Buffer.add_char b (Char.chr (0x80 lor (u land 0x3F)))
+  end
+
+let parse_string cur =
+  expect cur '"';
+  let b = Buffer.create 16 in
+  let rec go () =
+    match peek cur with
+    | None -> fail cur "unterminated string"
+    | Some '"' -> cur.pos <- cur.pos + 1
+    | Some '\\' -> (
+        cur.pos <- cur.pos + 1;
+        match peek cur with
+        | None -> fail cur "unterminated escape"
+        | Some c ->
+            cur.pos <- cur.pos + 1;
+            (match c with
+            | '"' -> Buffer.add_char b '"'
+            | '\\' -> Buffer.add_char b '\\'
+            | '/' -> Buffer.add_char b '/'
+            | 'n' -> Buffer.add_char b '\n'
+            | 'r' -> Buffer.add_char b '\r'
+            | 't' -> Buffer.add_char b '\t'
+            | 'b' -> Buffer.add_char b '\b'
+            | 'f' -> Buffer.add_char b '\012'
+            | 'u' ->
+                if cur.pos + 4 > String.length cur.s then
+                  fail cur "truncated \\u escape";
+                let hex = String.sub cur.s cur.pos 4 in
+                cur.pos <- cur.pos + 4;
+                let u =
+                  try int_of_string ("0x" ^ hex)
+                  with _ -> fail cur "bad \\u escape"
+                in
+                add_utf8 b u
+            | _ -> fail cur "bad escape");
+            go ())
+    | Some c ->
+        cur.pos <- cur.pos + 1;
+        Buffer.add_char b c;
+        go ()
+  in
+  go ();
+  Buffer.contents b
+
+let parse_number cur =
+  let start = cur.pos in
+  let is_float = ref false in
+  let continue = ref true in
+  while !continue do
+    match peek cur with
+    | Some ('0' .. '9' | '-' | '+') -> cur.pos <- cur.pos + 1
+    | Some ('.' | 'e' | 'E') ->
+        is_float := true;
+        cur.pos <- cur.pos + 1
+    | _ -> continue := false
+  done;
+  let tok = String.sub cur.s start (cur.pos - start) in
+  if !is_float then
+    match float_of_string_opt tok with
+    | Some x -> Float x
+    | None -> fail cur "bad number"
+  else
+    match int_of_string_opt tok with
+    | Some i -> Int i
+    | None -> (
+        (* Magnitudes beyond the int range degrade to float. *)
+        match float_of_string_opt tok with
+        | Some x -> Float x
+        | None -> fail cur "bad number")
+
+let rec parse_value cur =
+  skip_ws cur;
+  match peek cur with
+  | None -> fail cur "unexpected end of input"
+  | Some '"' -> String (parse_string cur)
+  | Some '{' ->
+      cur.pos <- cur.pos + 1;
+      skip_ws cur;
+      if peek cur = Some '}' then begin
+        cur.pos <- cur.pos + 1;
+        Obj []
+      end
+      else begin
+        let fields = ref [] in
+        let rec members () =
+          skip_ws cur;
+          let k = parse_string cur in
+          skip_ws cur;
+          expect cur ':';
+          let v = parse_value cur in
+          fields := (k, v) :: !fields;
+          skip_ws cur;
+          match peek cur with
+          | Some ',' ->
+              cur.pos <- cur.pos + 1;
+              members ()
+          | Some '}' -> cur.pos <- cur.pos + 1
+          | _ -> fail cur "expected ',' or '}'"
+        in
+        members ();
+        Obj (List.rev !fields)
+      end
+  | Some '[' ->
+      cur.pos <- cur.pos + 1;
+      skip_ws cur;
+      if peek cur = Some ']' then begin
+        cur.pos <- cur.pos + 1;
+        List []
+      end
+      else begin
+        let items = ref [] in
+        let rec elements () =
+          let v = parse_value cur in
+          items := v :: !items;
+          skip_ws cur;
+          match peek cur with
+          | Some ',' ->
+              cur.pos <- cur.pos + 1;
+              elements ()
+          | Some ']' -> cur.pos <- cur.pos + 1
+          | _ -> fail cur "expected ',' or ']'"
+        in
+        elements ();
+        List (List.rev !items)
+      end
+  | Some 't' -> literal cur "true" (Bool true)
+  | Some 'f' -> literal cur "false" (Bool false)
+  | Some 'n' -> literal cur "null" Null
+  | Some ('-' | '0' .. '9') -> parse_number cur
+  | Some c -> fail cur (Printf.sprintf "unexpected %C" c)
+
+let of_string s =
+  let cur = { s; pos = 0 } in
+  match parse_value cur with
+  | v ->
+      skip_ws cur;
+      if cur.pos <> String.length s then Error "trailing garbage"
+      else Ok v
+  | exception Parse_error msg -> Error msg
+
+let of_file path =
+  match open_in_bin path with
+  | exception Sys_error msg -> Error msg
+  | ic ->
+      let s =
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      of_string s
+
+(* --- accessors --- *)
+
+let member k = function Obj fields -> List.assoc_opt k fields | _ -> None
+
+let rec path keys t =
+  match keys with
+  | [] -> Some t
+  | k :: rest -> ( match member k t with Some v -> path rest v | None -> None)
+
+let to_float_opt = function
+  | Int i -> Some (float_of_int i)
+  | Float x -> Some x
+  | _ -> None

@@ -20,3 +20,20 @@ val to_channel : ?minify:bool -> out_channel -> t -> unit
 (** [to_string] plus a trailing newline. *)
 
 val to_file : ?minify:bool -> string -> t -> unit
+
+val of_string : string -> (t, string) result
+(** Parse standard JSON (PR 9) — a superset of what this writer emits,
+    so [Obs.Report] and the trace lint can read back BENCH_PR*.json
+    and Chrome traces.  Numbers with [.], [e] or [E] parse as [Float],
+    others as [Int] (overflowing magnitudes degrade to [Float]). *)
+
+val of_file : string -> (t, string) result
+
+val member : string -> t -> t option
+(** Field lookup on an [Obj]; [None] on anything else. *)
+
+val path : string list -> t -> t option
+(** Nested {!member}: [path ["a"; "b"] t] is [t.a.b]. *)
+
+val to_float_opt : t -> float option
+(** [Int]/[Float] as a float; [None] otherwise. *)

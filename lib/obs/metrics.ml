@@ -1,0 +1,271 @@
+(* Always-on metrics registry (PR 9).
+
+   Dependency-free (stdlib [Atomic]/[Domain]/[Mutex] only), designed
+   so instrumentation can stay compiled-in on every hot path:
+
+   - Counters are striped: [stripes] independent [int Atomic.t] cells,
+     and an increment touches only the cell indexed by the calling
+     domain's id, so concurrent shard workers never contend on one
+     cache line.  [counter_value] sums the stripes at scrape time —
+     each stripe is itself atomic, so a scrape concurrent with
+     increments reads a value between the counts before and after,
+     never a torn one.
+
+   - Gauges are a single [float Atomic.t]: [set_gauge] is a plain
+     atomic store, [add_gauge] a CAS loop (gauges sit on control
+     paths — queue depth, level occupancy — not per-block paths).
+
+   - Histograms reuse {!Histogram} (the PR 6 log-linear latency
+     histogram, one implementation and one quantile routine for the
+     whole repo) with one mutex-protected cell per stripe; [observe]
+     locks only the calling domain's stripe, and {!snapshot} merges
+     the stripes.
+
+   Metric handles are meant to be created once ([let c = counter
+   "..."] at module initialization) and used directly — creation takes
+   the registry mutex, operations on a handle never do.  Registration
+   is idempotent by name, so two modules naming the same counter share
+   cells.
+
+   The clock behind {!time} is pluggable like the tracer's: the
+   default is a deterministic atomic logical clock (1 µs per reading)
+   so tests scrape stable values; the bench and the serving layer
+   install wallclock.  [lib/obs] still links nothing, so layers that
+   cannot see [Unix] (wal, indexing) get real latencies for free once
+   any driver installs the clock. *)
+
+(* Power of two at least the domain counts the serve layer uses, so
+   [Domain.self () land mask] spreads workers across distinct cells. *)
+let stripes = 16
+let mask = stripes - 1
+let stripe () = (Domain.self () :> int) land mask
+
+type counter = { c_name : string; cells : int Atomic.t array }
+type gauge = { g_name : string; g_cell : float Atomic.t }
+
+type histogram = {
+  h_name : string;
+  h_lo : float;
+  h_hi : float;
+  h_per_decade : int;
+  locks : Mutex.t array;
+  hcells : Histogram.t array;
+}
+
+type metric = C of counter | G of gauge | H of histogram
+
+let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
+let reg_mutex = Mutex.create ()
+
+let register name build exist =
+  Mutex.protect reg_mutex (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some m -> (
+          match exist m with
+          | Some v -> v
+          | None ->
+              invalid_arg
+                (Printf.sprintf "Metrics: %S already registered as another kind"
+                   name))
+      | None ->
+          let v, m = build () in
+          Hashtbl.add registry name m;
+          v)
+
+let counter name =
+  register name
+    (fun () ->
+      let c = { c_name = name; cells = Array.init stripes (fun _ -> Atomic.make 0) } in
+      (c, C c))
+    (function C c -> Some c | _ -> None)
+
+let incr ?(by = 1) c = ignore (Atomic.fetch_and_add c.cells.(stripe ()) by)
+
+let counter_value c =
+  Array.fold_left (fun acc cell -> acc + Atomic.get cell) 0 c.cells
+
+let gauge name =
+  register name
+    (fun () ->
+      let g = { g_name = name; g_cell = Atomic.make 0.0 } in
+      (g, G g))
+    (function G g -> Some g | _ -> None)
+
+let set_gauge g v = Atomic.set g.g_cell v
+
+let add_gauge g dv =
+  let rec go () =
+    let v = Atomic.get g.g_cell in
+    if not (Atomic.compare_and_set g.g_cell v (v +. dv)) then go ()
+  in
+  go ()
+
+let gauge_value g = Atomic.get g.g_cell
+
+let histogram ?(lo = 1e-7) ?(hi = 100.0) ?(per_decade = 25) name =
+  register name
+    (fun () ->
+      let h =
+        {
+          h_name = name;
+          h_lo = lo;
+          h_hi = hi;
+          h_per_decade = per_decade;
+          locks = Array.init stripes (fun _ -> Mutex.create ());
+          hcells =
+            Array.init stripes (fun _ ->
+                Histogram.create ~lo ~hi ~per_decade ());
+        }
+      in
+      (h, H h))
+    (function H h -> Some h | _ -> None)
+
+let observe h v =
+  let i = stripe () in
+  Mutex.protect h.locks.(i) (fun () -> Histogram.add h.hcells.(i) v)
+
+(* Lock the stripes one at a time: each cell is internally consistent,
+   and a scrape racing an observe may or may not include that sample —
+   the same read-point semantics as counters. *)
+let snapshot h =
+  Histogram.merge
+    (Array.to_list
+       (Array.mapi
+          (fun i cell ->
+            Mutex.protect h.locks.(i) (fun () ->
+                Histogram.merge [ cell ]))
+          h.hcells))
+
+(* --- clock + timers --- *)
+
+let logical = Atomic.make 0
+let default_clock () = float_of_int (1 + Atomic.fetch_and_add logical 1) *. 1e-6
+let clock = ref default_clock
+let set_clock f = clock := f
+let reset_clock () = clock := default_clock
+let now () = !clock ()
+
+let time h f =
+  let t0 = now () in
+  Fun.protect ~finally:(fun () -> observe h (max 0.0 (now () -. t0))) f
+
+(* --- phase spans --- *)
+
+(* [phase] replaces the PR 4 [Trace.with_span ~cat:"phase"] call sites
+   across the index structures: it always counts and times the phase
+   in the registry, and still emits the trace span when tracing is on,
+   so the PR 4 per-phase I/O attribution keeps working unchanged.
+
+   Phase names arrive as strings on a per-query path, so the lookup
+   must not take the registry mutex: an immutable assoc list is
+   published through an [Atomic] and searched lock-free; a miss
+   registers the counter/histogram pair (idempotent) and CAS-publishes
+   the extended list.  The set of phase names is tiny and static
+   (directory / rank_select / payload / verify / repair / wal
+   phases), so the list scan is a handful of pointer compares. *)
+type phase_cell = { p_count : counter; p_seconds : histogram }
+
+let phases = Atomic.make ([] : (string * phase_cell) list)
+
+let rec phase_cell name =
+  let l = Atomic.get phases in
+  match List.assoc_opt name l with
+  | Some p -> p
+  | None ->
+      let p =
+        {
+          p_count = counter (Printf.sprintf "phase_%s_total" name);
+          p_seconds = histogram (Printf.sprintf "phase_%s_seconds" name);
+        }
+      in
+      if Atomic.compare_and_set phases l ((name, p) :: l) then p
+      else phase_cell name
+
+let phase name f =
+  let p = phase_cell name in
+  incr p.p_count;
+  if !Trace.on then
+    Trace.with_span ~cat:"phase" name (fun () -> time p.p_seconds f)
+  else time p.p_seconds f
+
+(* --- scrape --- *)
+
+let all () =
+  Mutex.protect reg_mutex (fun () ->
+      Hashtbl.fold (fun name m acc -> (name, m) :: acc) registry [])
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let names () = List.map fst (all ())
+
+let reset () =
+  List.iter
+    (fun (_, m) ->
+      match m with
+      | C c -> Array.iter (fun cell -> Atomic.set cell 0) c.cells
+      | G g -> Atomic.set g.g_cell 0.0
+      | H h ->
+          Array.iteri
+            (fun i _ ->
+              Mutex.protect h.locks.(i) (fun () ->
+                  h.hcells.(i) <-
+                    Histogram.create ~lo:h.h_lo ~hi:h.h_hi
+                      ~per_decade:h.h_per_decade ()))
+            h.hcells)
+    (all ());
+  Atomic.set logical 0
+
+let to_json () =
+  Json.Obj
+    (List.map
+       (fun (name, m) ->
+         match m with
+         | C c -> (name, Json.Int (counter_value c))
+         | G g -> (name, Json.Float (gauge_value g))
+         | H h -> (name, Histogram.to_json (snapshot h)))
+       (all ()))
+
+(* Prometheus text exposition format.  Histograms export the classic
+   cumulative [le] series plus [_sum]/[_count]; names pass through a
+   conservative sanitizer so phase names with punctuation stay legal. *)
+let sanitize name =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> c
+      | _ -> '_')
+    name
+
+let prom_float x =
+  if Float.is_nan x then "NaN"
+  else if x = Float.infinity then "+Inf"
+  else if x = Float.neg_infinity then "-Inf"
+  else Printf.sprintf "%.9g" x
+
+let to_prometheus () =
+  let b = Buffer.create 4096 in
+  List.iter
+    (fun (name, m) ->
+      let n = sanitize name in
+      match m with
+      | C c ->
+          Buffer.add_string b (Printf.sprintf "# TYPE %s counter\n" n);
+          Buffer.add_string b (Printf.sprintf "%s %d\n" n (counter_value c))
+      | G g ->
+          Buffer.add_string b (Printf.sprintf "# TYPE %s gauge\n" n);
+          Buffer.add_string b
+            (Printf.sprintf "%s %s\n" n (prom_float (gauge_value g)))
+      | H h ->
+          let s = snapshot h in
+          Buffer.add_string b (Printf.sprintf "# TYPE %s histogram\n" n);
+          let cum = ref 0 in
+          Histogram.iter_buckets s (fun ~le ~count ->
+              cum := !cum + count;
+              Buffer.add_string b
+                (Printf.sprintf "%s_bucket{le=\"%s\"} %d\n" n (prom_float le)
+                   !cum));
+          Buffer.add_string b
+            (Printf.sprintf "%s_sum %s\n" n (prom_float (Histogram.total s)));
+          Buffer.add_string b
+            (Printf.sprintf "%s_count %d\n" n (Histogram.count s)))
+    (all ());
+  Buffer.contents b

@@ -1,0 +1,78 @@
+(** Always-on metrics registry (PR 9): atomic counters, gauges and
+    log-linear latency histograms ({!Histogram} cells), striped per
+    domain and merged at scrape time, exported as JSON and Prometheus
+    text format.
+
+    Handles are meant to be created once (at module initialization)
+    and used directly: creation takes the registry mutex, operations
+    on a handle never do.  Registration is idempotent by name; asking
+    for an existing name with a different metric kind raises
+    [Invalid_argument].  A scrape concurrent with updates reads a
+    value between the before and after counts — never a torn one
+    (counters and gauges are atomics; histogram stripes are
+    mutex-protected). *)
+
+type counter
+type gauge
+type histogram
+
+val counter : string -> counter
+
+val incr : ?by:int -> counter -> unit
+(** One [Atomic.fetch_and_add] on the calling domain's stripe — safe
+    and contention-free on per-block hot paths. *)
+
+val counter_value : counter -> int
+(** Sum of the per-domain stripes. *)
+
+val gauge : string -> gauge
+val set_gauge : gauge -> float -> unit
+val add_gauge : gauge -> float -> unit
+val gauge_value : gauge -> float
+
+val histogram : ?lo:float -> ?hi:float -> ?per_decade:int -> string -> histogram
+(** Same bucket defaults as {!Histogram.create}. *)
+
+val observe : histogram -> float -> unit
+(** Record a sample into the calling domain's stripe (one short
+    mutex section). *)
+
+val snapshot : histogram -> Histogram.t
+(** Merge of the per-domain stripes at this instant. *)
+
+val set_clock : (unit -> float) -> unit
+(** Clock behind {!now}/{!time}.  Default: a deterministic atomic
+    logical clock (1 µs per reading, shared by all domains) so tests
+    scrape stable values; drivers install wallclock.  A replacement
+    must be safe to call from any domain. *)
+
+val reset_clock : unit -> unit
+val now : unit -> float
+
+val time : histogram -> (unit -> 'a) -> 'a
+(** [time h f] runs [f] and records its duration (clock delta) into
+    [h], even if [f] raises. *)
+
+val phase : string -> (unit -> 'a) -> 'a
+(** [phase name f] — the PR 9 replacement for the PR 4
+    [Trace.with_span ~cat:"phase" name] idiom at every index phase
+    site: always bumps [phase_<name>_total] and times [f] into
+    [phase_<name>_seconds], and still emits the trace span (category
+    ["phase"]) when tracing is on, so per-phase I/O attribution from
+    span probe deltas keeps working unchanged. *)
+
+val names : unit -> string list
+(** Registered metric names, sorted. *)
+
+val reset : unit -> unit
+(** Zero every registered metric (registrations survive) and rewind
+    the default logical clock — how the bench isolates scenarios. *)
+
+val to_json : unit -> Json.t
+(** One object: counters as ints, gauges as floats, histograms as
+    {!Histogram.to_json} objects; keys sorted. *)
+
+val to_prometheus : unit -> string
+(** Prometheus text exposition format: [# TYPE] lines, counter/gauge
+    samples, and cumulative [le] bucket series with [_sum]/[_count]
+    for histograms. *)

@@ -1,4 +1,4 @@
-(* Ring-buffered span/event tracer (PR 4).
+(* Ring-buffered span/event tracer (PR 4; multi-domain since PR 9).
 
    Zero-cost-when-off contract: every call site guards on [!on] (a
    single bool load) before building attrs, and [with_span] runs the
@@ -7,15 +7,31 @@
    PR1/PR2 gated hot paths stay untouched (the bench re-verifies their
    speedup gates with tracing disabled).
 
-   Events land in a fixed-capacity ring: when full, the oldest events
-   are overwritten and counted in [dropped].  Spans are reconstructed
-   from Begin/End pairs after the fact, so a long query can overflow
-   the ring without slowing down or aborting — the tail of the trace
-   survives, which is the part a phase histogram wants anyway.
+   Multi-domain (PR 9): each domain records into its own private ring
+   (discovered via [Domain.DLS], registered once in a mutex-protected
+   list), so shard workers on other domains trace without ever sharing
+   mutable ring state.  The only cross-domain coordination on the
+   emission path is one [Atomic.fetch_and_add] on the global sequence
+   counter, which gives every event a totally-ordered seq; [events ()]
+   merges the per-domain rings by that seq.  [enable]/[clear] bump an
+   epoch so rings recorded before the reset are silently abandoned —
+   a domain's next emission re-registers a fresh ring.  Exports are
+   meant to run after worker domains have joined; a domain emitting
+   concurrently with [events ()] can at worst contribute a partially
+   missing tail, never a torn event (rings are written by exactly one
+   domain).
+
+   Events land in a fixed-capacity ring per domain: when full, the
+   oldest events of that domain are overwritten and counted in
+   [dropped].  Spans are reconstructed from Begin/End pairs after the
+   fact — per domain, so worker spans never cross-pair — and a long
+   query can overflow the ring without slowing down or aborting; the
+   tail of the trace survives, which is the part a phase histogram
+   wants anyway.
 
    Clock and I/O probe are pluggable.  The default clock is a
-   deterministic logical clock (monotone counter, 1 µs per event) so
-   tests and CI produce stable traces; the bench installs
+   deterministic logical clock (atomic monotone counter, 1 µs per
+   event) so tests and CI produce stable traces; the bench installs
    [Unix.gettimeofday] for real wallclock and wires the probe to
    [Iosim.Stats.ios] of the device under test, which turns span
    deltas into per-phase I/O costs. *)
@@ -31,12 +47,14 @@ type event = {
   name : string;
   cat : string;
   io : int;  (** probe reading when the event was emitted *)
+  dom : int;  (** id of the domain that emitted the event *)
   attrs : (string * attr) list;
 }
 
 type span = {
   span_name : string;
   span_cat : string;
+  span_dom : int;  (** domain the span ran on *)
   t0 : float;
   t1 : float;
   io_cost : int;  (** probe delta between Begin and End *)
@@ -47,17 +65,37 @@ type span = {
 let on = ref false
 
 let dummy =
-  { seq = -1; ts = 0.; kind = Instant; name = ""; cat = ""; io = 0; attrs = [] }
+  {
+    seq = -1;
+    ts = 0.;
+    kind = Instant;
+    name = "";
+    cat = "";
+    io = 0;
+    dom = 0;
+    attrs = [];
+  }
 
-let ring : event array ref = ref [||]
+(* One ring per emitting domain.  [emitted]/[depth] are written only
+   by the owning domain; the registry list cell is published under
+   [reg_mutex] and read by exporters. *)
+type dring = {
+  r_dom : int;
+  r_epoch : int;
+  ring : event array;
+  mutable emitted : int;  (* this domain's emission count *)
+  mutable depth : int;  (* this domain's open-span depth *)
+}
+
 let cap = ref 0
-let emitted = ref 0
-let depth_ = ref 0
-let logical = ref 0.
+let epoch = Atomic.make 0
+let seq_ctr = Atomic.make 0
+let registry : dring list ref = ref []
+let reg_mutex = Mutex.create ()
+let logical = Atomic.make 0
 
 let default_clock () =
-  logical := !logical +. 1e-6;
-  !logical
+  float_of_int (1 + Atomic.fetch_and_add logical 1) *. 1e-6
 
 let clock = ref default_clock
 let probe = ref (fun () -> 0)
@@ -65,93 +103,146 @@ let set_clock f = clock := f
 let set_io_probe f = probe := f
 let reset_io_probe () = probe := fun () -> 0
 
-(* Domain confinement (PR 6): the ring, the depth counter and the
-   logical clock are unsynchronized mutable state, owned by the domain
-   that called [enable] (re-recorded on [clear]).  Emissions from any
-   other domain are dropped at the guard — shard workers run with
-   tracing effectively off, which is also the zero-cost contract their
-   hot path wants — instead of racing on [emitted]/[depth_]. *)
-let owner = ref (Domain.self () :> int)
-let owned () = (Domain.self () :> int) = !owner
+(* The domain-local slot caches this domain's current-epoch ring so
+   the emission fast path is: one DLS read, one epoch compare. *)
+let slot : dring option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let my_ring () =
+  let s = Domain.DLS.get slot in
+  let ep = Atomic.get epoch in
+  match !s with
+  | Some r when r.r_epoch = ep -> r
+  | _ ->
+      let r =
+        {
+          r_dom = (Domain.self () :> int);
+          r_epoch = ep;
+          ring = Array.make !cap dummy;
+          emitted = 0;
+          depth = 0;
+        }
+      in
+      Mutex.protect reg_mutex (fun () -> registry := r :: !registry);
+      s := Some r;
+      r
 
 let clear () =
-  owner := (Domain.self () :> int);
-  emitted := 0;
-  depth_ := 0;
-  logical := 0.;
-  Array.fill !ring 0 (Array.length !ring) dummy
+  Atomic.incr epoch;
+  Atomic.set seq_ctr 0;
+  Atomic.set logical 0;
+  Mutex.protect reg_mutex (fun () -> registry := [])
 
 let enable ?(capacity = 1 lsl 16) () =
   if capacity < 1 then invalid_arg "Trace.enable: capacity";
-  ring := Array.make capacity dummy;
   cap := capacity;
   clear ();
   on := true
 
 let disable () = on := false
 let enabled () = !on
-let depth () = !depth_
-let dropped () = max 0 (!emitted - !cap)
+
+let depth () =
+  match !(Domain.DLS.get slot) with
+  | Some r when r.r_epoch = Atomic.get epoch -> r.depth
+  | _ -> 0
+
+(* Current-epoch rings, registration order irrelevant to callers. *)
+let rings () = Mutex.protect reg_mutex (fun () -> !registry)
+
+let dropped () =
+  List.fold_left (fun acc r -> acc + max 0 (r.emitted - !cap)) 0 (rings ())
 
 let emit kind name cat attrs =
-  if !on && !cap > 0 && owned () then begin
-    let seq = !emitted in
-    incr emitted;
-    let e = { seq; ts = !clock (); kind; name; cat; io = !probe (); attrs } in
-    !ring.(seq mod !cap) <- e
+  if !on && !cap > 0 then begin
+    let r = my_ring () in
+    let seq = Atomic.fetch_and_add seq_ctr 1 in
+    let e =
+      {
+        seq;
+        ts = !clock ();
+        kind;
+        name;
+        cat;
+        io = !probe ();
+        dom = r.r_dom;
+        attrs;
+      }
+    in
+    r.ring.(r.emitted mod !cap) <- e;
+    r.emitted <- r.emitted + 1
   end
 
 let begin_span ?(cat = "span") ?(attrs = []) name =
-  if owned () then begin
+  if !on then begin
     emit Begin name cat attrs;
-    incr depth_
+    let r = my_ring () in
+    r.depth <- r.depth + 1
   end
 
 let end_span ?(cat = "span") ?(attrs = []) name =
-  if owned () then begin
-    decr depth_;
+  if !on then begin
+    let r = my_ring () in
+    r.depth <- r.depth - 1;
     emit End name cat attrs
   end
 
 let instant ?(cat = "event") ?(attrs = []) name = emit Instant name cat attrs
 
 let with_span ?cat ?attrs name f =
-  if (not !on) || not (owned ()) then f ()
+  if not !on then f ()
   else begin
     begin_span ?cat ?attrs name;
     Fun.protect ~finally:(fun () -> end_span ?cat name) f
   end
 
-let events () =
-  let n = !emitted and c = !cap in
+let ring_events r =
+  let n = r.emitted and c = !cap in
   if c = 0 || n = 0 then []
   else begin
     let count = min n c in
     let first = n - count in
-    List.init count (fun i -> !ring.((first + i) mod c))
+    List.init count (fun i -> r.ring.((first + i) mod c))
   end
 
-(* Pair Begin/End events via a stack.  A Begin whose End was emitted
-   but overwritten (or never emitted) stays on the stack; an End whose
-   Begin scrolled out of the ring has nothing to pop.  Both count as
-   unmatched rather than producing a bogus span. *)
+let events () =
+  List.concat_map ring_events (rings ())
+  |> List.sort (fun a b -> compare a.seq b.seq)
+
+(* Pair Begin/End events via one stack per domain (a worker's End must
+   never pop a Begin from another domain).  A Begin whose End was
+   emitted but overwritten (or never emitted) stays on its stack; an
+   End whose Begin scrolled out of the ring has nothing to pop.  Both
+   count as unmatched rather than producing a bogus span. *)
 let reconstruct () =
-  let stack = ref [] in
+  let stacks : (int, event list ref) Hashtbl.t = Hashtbl.create 8 in
+  let stack_of dom =
+    match Hashtbl.find_opt stacks dom with
+    | Some s -> s
+    | None ->
+        let s = ref [] in
+        Hashtbl.add stacks dom s;
+        s
+  in
   let out = ref [] in
   let orphan_ends = ref 0 in
   List.iter
     (fun e ->
       match e.kind with
       | Instant -> ()
-      | Begin -> stack := e :: !stack
+      | Begin ->
+          let s = stack_of e.dom in
+          s := e :: !s
       | End -> (
-          match !stack with
+          let s = stack_of e.dom in
+          match !s with
           | b :: tl when b.name = e.name ->
-              stack := tl;
+              s := tl;
               out :=
                 {
                   span_name = e.name;
                   span_cat = b.cat;
+                  span_dom = e.dom;
                   t0 = b.ts;
                   t1 = e.ts;
                   io_cost = e.io - b.io;
@@ -161,7 +252,10 @@ let reconstruct () =
                 :: !out
           | _ -> incr orphan_ends))
     (events ());
-  (List.rev !out, List.length !stack + !orphan_ends)
+  let leftovers =
+    Hashtbl.fold (fun _ s acc -> acc + List.length !s) stacks 0
+  in
+  (List.rev !out, leftovers + !orphan_ends)
 
 let spans () = fst (reconstruct ())
 let unmatched () = snd (reconstruct ())
@@ -175,7 +269,9 @@ let attr_json = function
   | Bool b -> Json.Bool b
 
 (* Chrome trace_event format: ts is in microseconds; "B"/"E" duration
-   events and "i" instants, one synthetic process/thread. *)
+   events and "i" instants, one synthetic process with the emitting
+   domain id as the thread id — shard workers show up as their own
+   tracks. *)
 let event_json e =
   let ph, scope =
     match e.kind with
@@ -190,7 +286,7 @@ let event_json e =
        ("ph", Json.String ph);
        ("ts", Json.Float (e.ts *. 1e6));
        ("pid", Json.Int 1);
-       ("tid", Json.Int 1);
+       ("tid", Json.Int e.dom);
      ]
     @ scope
     @ [

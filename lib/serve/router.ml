@@ -19,6 +19,13 @@
    before it.  Shard device counters are read by [shard_stats] only
    after such a handshake, i.e. at quiescence. *)
 
+(* Always-on metrics (PR 9): mailbox backlog across all workers — the
+   serving layer's congestion signal.  +1 when a batch is posted, -1
+   when a worker dequeues it; a scrape mid-flight reads the number of
+   posted-but-not-yet-started batches. *)
+let g_queue_depth = Obs.Metrics.gauge "serve_queue_depth"
+let m_scatters = Obs.Metrics.counter "serve_scatters_total"
+
 module Latch = struct
   type t = { m : Mutex.t; c : Condition.t; mutable left : int }
 
@@ -82,6 +89,7 @@ let rec worker_loop (shard, mailbox, m, c) =
   match task with
   | Stop -> ()
   | Batch { ranges; slot; latch } ->
+      Obs.Metrics.add_gauge g_queue_depth (-1.0);
       slot := Some (Shard.run_batch shard ranges);
       Latch.arrive latch;
       worker_loop (shard, mailbox, m, c)
@@ -134,11 +142,13 @@ let query_batch t ranges =
       match t.mode with
       | Sequential -> Array.map (fun s -> Shard.run_batch s ranges) t.shards
       | Domains ->
+          Obs.Metrics.incr m_scatters;
           let latch = Latch.create (Array.length t.workers) in
           let slots =
             Array.map
               (fun w ->
                 let slot = ref None in
+                Obs.Metrics.add_gauge g_queue_depth 1.0;
                 post w (Batch { ranges; slot; latch });
                 slot)
               t.workers

@@ -15,6 +15,12 @@
    what lets each shard be owned by one domain with no locking on the
    query path. *)
 
+(* Always-on metrics (PR 9): per-batch service accounting on the
+   worker's own domain — the stripe the scrape merges is the worker's,
+   so shard parallelism shows up without any locking here. *)
+let m_batches = Obs.Metrics.counter "serve_shard_batches_total"
+let m_service_seconds = Obs.Metrics.histogram "serve_shard_service_seconds"
+
 type t = {
   ordinal : int;
   base : int;  (** global position of local position 0 *)
@@ -63,11 +69,28 @@ let run_batch t ranges =
   match t.instance with
   | None -> Array.make (Array.length ranges) [||]
   | Some inst ->
-      let answers = Indexing.Instance.query_batch_warm inst ranges in
-      Array.map
-        (fun a ->
-          let local =
-            Cbitmap.Posting.to_array (Indexing.Answer.to_posting ~n:t.len a)
-          in
-          Array.map (fun p -> p + t.base) local)
-        answers
+      let work () =
+        Obs.Metrics.incr m_batches;
+        Obs.Metrics.time m_service_seconds (fun () ->
+            let answers = Indexing.Instance.query_batch_warm inst ranges in
+            Array.map
+              (fun a ->
+                let local =
+                  Cbitmap.Posting.to_array
+                    (Indexing.Answer.to_posting ~n:t.len a)
+                in
+                Array.map (fun p -> p + t.base) local)
+              answers)
+      in
+      (* The span is emitted from the calling domain — a router worker
+         in [Domains] mode — so shard batches land on their own tid
+         track in the exported Chrome trace (PR 9 multi-domain). *)
+      if not !Obs.Trace.on then work ()
+      else
+        Obs.Trace.with_span ~cat:"serve"
+          ~attrs:
+            [
+              ("shard", Obs.Trace.Int t.ordinal);
+              ("batch", Obs.Trace.Int (Array.length ranges));
+            ]
+          "shard_batch" work

@@ -1,3 +1,12 @@
+(* Always-on metrics (PR 9): compaction throughput and backlog.  The
+   gauges reflect the most recently maintained [Levels.t] — the bench
+   and the serving write path run one store at a time, which is the
+   scrape scope that matters. *)
+let m_compactions = Obs.Metrics.counter "wal_compactions_total"
+let m_degraded = Obs.Metrics.counter "wal_compactions_degraded_total"
+let g_pending = Obs.Metrics.gauge "wal_pending_compaction"
+let g_runs = Obs.Metrics.gauge "wal_level_runs"
+
 type t = {
   device : Iosim.Device.t;
   ctx : Indexing.Context.t;
@@ -55,17 +64,23 @@ let maintain ?layout ?(on_compact = fun () -> ()) t =
         with
         | merged ->
             t.compactions <- t.compactions + 1;
+            Obs.Metrics.incr m_compactions;
             t.levels.(i) <- [];
             t.levels.(i + 1) <- merged :: t.levels.(i + 1);
             go (i + 1)
         | exception Secidx_error.IO_error _ ->
             t.degraded <- t.degraded + 1;
+            Obs.Metrics.incr m_degraded;
             t.pending <- true
       end
       else go (i + 1)
     else t.pending <- false
   in
-  go 0
+  go 0;
+  Obs.Metrics.set_gauge g_pending (if t.pending then 1.0 else 0.0);
+  Obs.Metrics.set_gauge g_runs
+    (float_of_int
+       (Array.fold_left (fun acc l -> acc + List.length l) 0 t.levels))
 
 let insert_run ?layout ?on_compact t run =
   if Run.sigma run <> t.sigma then invalid_arg "Levels.insert_run: sigma";

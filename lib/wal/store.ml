@@ -1,6 +1,20 @@
 module Posting = Cbitmap.Posting
 module St = Indexing.Stream_table
 
+(* Always-on metrics (PR 9): write-path health the scrape exports —
+   group-commit batch shape and latency, flush cadence.  The latency
+   histogram uses the pluggable metrics clock (this library cannot see
+   Unix), so values are logical ticks until a driver installs
+   wallclock. *)
+let m_appends = Obs.Metrics.counter "wal_appends_total"
+let m_group_commits = Obs.Metrics.counter "wal_group_commits_total"
+let m_flushes = Obs.Metrics.counter "wal_flushes_total"
+
+let m_batch_size =
+  Obs.Metrics.histogram ~lo:1.0 ~hi:1e6 ~per_decade:10 "wal_group_batch_size"
+
+let m_commit_seconds = Obs.Metrics.histogram "wal_group_commit_seconds"
+
 type payload = Gap | Hybrid of { chunk : int }
 
 type config = {
@@ -127,6 +141,7 @@ let flush t =
     Hashtbl.reset t.overlay;
     t.delta_ops <- 0;
     t.flushes <- t.flushes + 1;
+    Obs.Metrics.incr m_flushes;
     Levels.insert_run ~layout:(layout t)
       ~on_compact:(fun () -> t.phase <- "compact")
       t.levels run;
@@ -164,7 +179,10 @@ let update_batch t ops =
   if ops <> [] then begin
     validate t ops;
     t.phase <- "log";
-    Log.append t.log ops;
+    Obs.Metrics.incr m_group_commits;
+    Obs.Metrics.incr ~by:(List.length ops) m_appends;
+    Obs.Metrics.observe m_batch_size (float_of_int (List.length ops));
+    Obs.Metrics.time m_commit_seconds (fun () -> Log.append t.log ops);
     (* The batch is acknowledged from here on. *)
     List.iter (apply_one t) ops;
     t.phase <- "idle"

@@ -1,47 +1,5 @@
-(** Fixed-size log-linear latency histogram (PR 6).
+(** Alias of {!Obs.Histogram} (the implementation moved there in PR 9
+    so the metrics registry shares it); kept so existing
+    [Workload.Histogram] call sites and the PR 6 docs stay valid. *)
 
-    Geometric buckets, [per_decade] per factor of ten between [lo] and
-    [hi], plus underflow and overflow buckets.  Constant memory
-    regardless of sample count; {!percentile} reports bucket upper
-    edges, so answers are conservative with relative error
-    [10^(1/per_decade) - 1] (under 10% at the default resolution). *)
-
-type t
-
-(** Defaults: [lo = 1e-7] (0.1 µs), [hi = 100.0] seconds,
-    [per_decade = 25]. *)
-val create : ?lo:float -> ?hi:float -> ?per_decade:int -> unit -> t
-
-(** Record one non-negative sample (seconds). *)
-val add : t -> float -> unit
-
-val count : t -> int
-val total : t -> float
-
-(** NaN when empty, like the three below. *)
-val mean : t -> float
-
-val min_value : t -> float
-
-(** Exact recorded extremes, not bucket edges. *)
-val max_value : t -> float
-
-(** [percentile t 0.99] is the p99 sample value (upper bucket edge);
-    [q] in [0;1].  NaN when empty. *)
-val percentile : t -> float -> float
-
-(** Bucket-wise sum.  All inputs must share one configuration; raises
-    [Invalid_argument] on an empty list or mismatched configurations.
-    How per-shard latency records combine into the run-wide report. *)
-val merge : t list -> t
-
-(** Count, mean, exact min/max and the requested percentiles (default
-    p50/p90/p95/p99) as a JSON object. *)
-val to_json : ?percentiles:float list -> t -> Obs.Json.t
-
-(**/**)
-
-(** Exposed for tests. *)
-val nbuckets : t -> int
-
-val index : t -> float -> int
+include module type of Obs.Histogram with type t = Obs.Histogram.t

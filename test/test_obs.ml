@@ -397,6 +397,251 @@ let test_yi_lower_envelope () =
     (List.length
        (Obs.Envelope.violations_below ~c ~slack:2.0 ((4., 3.) :: samples)))
 
+(* ---- metrics registry (PR 9) ---- *)
+
+let test_metrics_basics () =
+  let c = Obs.Metrics.counter "test_basics_total" in
+  let c' = Obs.Metrics.counter "test_basics_total" in
+  Obs.Metrics.incr c;
+  Obs.Metrics.incr ~by:4 c';
+  (* registration is idempotent by name: both handles hit one cell *)
+  Alcotest.(check int) "idempotent handle" 5 (Obs.Metrics.counter_value c);
+  Alcotest.check_raises "kind mismatch"
+    (Invalid_argument
+       "Metrics: \"test_basics_total\" already registered as another kind")
+    (fun () -> ignore (Obs.Metrics.gauge "test_basics_total"));
+  let g = Obs.Metrics.gauge "test_basics_gauge" in
+  Obs.Metrics.set_gauge g 2.5;
+  Obs.Metrics.add_gauge g (-1.0);
+  Alcotest.(check (float 1e-9)) "gauge" 1.5 (Obs.Metrics.gauge_value g);
+  let h = Obs.Metrics.histogram "test_basics_seconds" in
+  Obs.Metrics.observe h 1e-3;
+  ignore (Obs.Metrics.time h (fun () -> ()));
+  let snap = Obs.Metrics.snapshot h in
+  Alcotest.(check int) "histogram count" 2 (Obs.Histogram.count snap);
+  Alcotest.(check bool) "registered names" true
+    (List.mem "test_basics_total" (Obs.Metrics.names ()));
+  (* reset zeroes values but registrations survive *)
+  Obs.Metrics.reset ();
+  Alcotest.(check int) "counter reset" 0 (Obs.Metrics.counter_value c);
+  Alcotest.(check (float 1e-9)) "gauge reset" 0.0 (Obs.Metrics.gauge_value g);
+  Alcotest.(check int) "histogram reset" 0
+    (Obs.Histogram.count (Obs.Metrics.snapshot h));
+  Alcotest.(check bool) "names survive reset" true
+    (List.mem "test_basics_seconds" (Obs.Metrics.names ()))
+
+(* The satellite hammer: N domains x M increments on one counter and
+   one histogram; a scrape concurrent with the updates must read a
+   monotone, never-torn prefix of the total, and the final scrape must
+   equal the sum of the per-domain increments exactly. *)
+let test_metrics_hammer () =
+  let c = Obs.Metrics.counter "test_hammer_total" in
+  let h = Obs.Metrics.histogram "test_hammer_seconds" in
+  let doms = 4 and per_dom = 25_000 in
+  let workers =
+    List.init doms (fun _ ->
+        Domain.spawn (fun () ->
+            for _ = 1 to per_dom do
+              Obs.Metrics.incr c;
+              Obs.Metrics.observe h 1e-3
+            done))
+  in
+  let prev = ref 0 and torn = ref false in
+  for _ = 1 to 200 do
+    let v = Obs.Metrics.counter_value c in
+    if v < !prev || v > doms * per_dom then torn := true;
+    prev := v
+  done;
+  List.iter Domain.join workers;
+  Alcotest.(check bool) "concurrent scrapes monotone in-range" false !torn;
+  Alcotest.(check int) "counter total exact" (doms * per_dom)
+    (Obs.Metrics.counter_value c);
+  Alcotest.(check int) "histogram total exact" (doms * per_dom)
+    (Obs.Histogram.count (Obs.Metrics.snapshot h))
+
+let test_metrics_phase () =
+  Obs.Metrics.reset ();
+  let r = Obs.Metrics.phase "testphase" (fun () -> 41 + 1) in
+  Alcotest.(check int) "phase returns" 42 r;
+  Alcotest.(check int) "phase counter" 1
+    (Obs.Metrics.counter_value (Obs.Metrics.counter "phase_testphase_total"));
+  let snap =
+    Obs.Metrics.snapshot (Obs.Metrics.histogram "phase_testphase_seconds")
+  in
+  Alcotest.(check int) "phase histogram" 1 (Obs.Histogram.count snap);
+  (* with tracing on, the phase still emits its span *)
+  with_tracing (fun () ->
+      ignore (Obs.Metrics.phase "testphase" (fun () -> ()));
+      let spans = Obs.Trace.spans () in
+      Alcotest.(check int) "span emitted" 1 (List.length spans);
+      Alcotest.(check string) "span cat" "phase"
+        (List.hd spans).Obs.Trace.span_cat)
+
+let test_prometheus_export () =
+  Obs.Metrics.reset ();
+  Obs.Metrics.incr ~by:3 (Obs.Metrics.counter "test_prom_total");
+  Obs.Metrics.observe (Obs.Metrics.histogram "test_prom_seconds") 0.5;
+  let text = Obs.Metrics.to_prometheus () in
+  let has s =
+    let ls = String.length s and lt = String.length text in
+    let rec go i = i + ls <= lt && (String.sub text i ls = s || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "type line" true
+    (has "# TYPE test_prom_total counter");
+  Alcotest.(check bool) "counter sample" true (has "test_prom_total 3");
+  Alcotest.(check bool) "+Inf bucket" true
+    (has "test_prom_seconds_bucket{le=\"+Inf\"} 1");
+  Alcotest.(check bool) "sum" true (has "test_prom_seconds_sum 0.5");
+  Alcotest.(check bool) "count" true (has "test_prom_seconds_count 1")
+
+(* ---- multi-domain tracing (PR 9) ---- *)
+
+let test_multidomain_trace () =
+  with_tracing (fun () ->
+      Obs.Trace.with_span ~cat:"test" "main" (fun () ->
+          let ws =
+            List.init 2 (fun i ->
+                Domain.spawn (fun () ->
+                    Obs.Trace.with_span ~cat:"test"
+                      (Printf.sprintf "worker%d" i)
+                      (fun () -> Obs.Trace.instant "tick")))
+          in
+          List.iter Domain.join ws);
+      let spans = Obs.Trace.spans () in
+      Alcotest.(check int) "three spans" 3 (List.length spans);
+      Alcotest.(check int) "balanced" 0 (Obs.Trace.unmatched ());
+      let doms =
+        List.sort_uniq compare
+          (List.map (fun s -> s.Obs.Trace.span_dom) spans)
+      in
+      Alcotest.(check int) "three domains" 3 (List.length doms);
+      (* worker spans carry their own domain, not the main one *)
+      let main_dom =
+        (List.find (fun s -> s.Obs.Trace.span_name = "main") spans)
+          .Obs.Trace.span_dom
+      in
+      List.iter
+        (fun s ->
+          if s.Obs.Trace.span_name <> "main" then
+            Alcotest.(check bool) "worker dom distinct" true
+              (s.Obs.Trace.span_dom <> main_dom))
+        spans;
+      (* the chrome export puts each domain on its own tid track *)
+      match Obs.Trace.to_chrome_json () with
+      | Obs.Json.Obj kvs -> (
+          match List.assoc "traceEvents" kvs with
+          | Obs.Json.List evs ->
+              let tids =
+                List.sort_uniq compare
+                  (List.filter_map
+                     (function
+                       | Obs.Json.Obj fields -> List.assoc_opt "tid" fields
+                       | _ -> None)
+                     evs)
+              in
+              Alcotest.(check int) "three tid tracks" 3 (List.length tids)
+          | _ -> Alcotest.fail "traceEvents not a list")
+      | _ -> Alcotest.fail "chrome export not an object")
+
+(* ---- JSON parser (PR 9) ---- *)
+
+let test_json_parser () =
+  let src = "{\"a\": [1, -2.5e1, \"x\\u0041\\n\", true, null], \"b\": {\"c\": 3}}" in
+  (match Obs.Json.of_string src with
+  | Error e -> Alcotest.fail e
+  | Ok j ->
+      Alcotest.(check (option (float 1e-9))) "path" (Some 3.0)
+        (Option.bind (Obs.Json.path [ "b"; "c" ] j) Obs.Json.to_float_opt);
+      (match Obs.Json.member "a" j with
+      | Some (Obs.Json.List [ Obs.Json.Int 1; Obs.Json.Float f; Obs.Json.String s;
+                              Obs.Json.Bool true; Obs.Json.Null ]) ->
+          Alcotest.(check (float 1e-9)) "float" (-25.0) f;
+          Alcotest.(check string) "escapes" "xA\n" s
+      | _ -> Alcotest.fail "list shape");
+      (* writer -> parser round trip *)
+      match Obs.Json.of_string (Obs.Json.to_string j) with
+      | Ok j' -> Alcotest.(check bool) "round trip" true (j = j')
+      | Error e -> Alcotest.fail e);
+  (match Obs.Json.of_string "{\"a\": 1} trailing" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "trailing garbage accepted");
+  match Obs.Json.of_string "{\"a\": }" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bad token accepted"
+
+(* ---- cross-PR report + trace lint (PR 9) ---- *)
+
+let test_report_scan () =
+  let open Obs.Json in
+  let good = Filename.temp_file "bench_good" ".json" in
+  to_file good
+    (Obj
+       [
+         ("pr", Int 42);
+         ("label", String "synthetic");
+         ("smoke", Bool true);
+         ("envelope", Obj [ ("c_fit", Float 1.5); ("violations", Int 0) ]);
+         ( "gate",
+           Obj
+             [
+               ("mismatches", Int 0);
+               ("speedup", Obj [ ("value", Float 3.0); ("min", Float 2.0) ]);
+               ("pass", Bool true);
+             ] );
+       ]);
+  let r = Obs.Report.scan good in
+  Alcotest.(check (list string)) "clean" [] r.Obs.Report.failures;
+  Alcotest.(check int) "pr" 42 r.Obs.Report.pr;
+  Alcotest.(check bool) "headline extracted" true
+    (List.mem_assoc "envelope.c_fit" r.Obs.Report.metrics);
+  let bad = Filename.temp_file "bench_bad" ".json" in
+  to_file bad
+    (Obj
+       [
+         ("pr", Int 43);
+         ("label", String "synthetic");
+         ("violations", Int 2);
+         ("low", Obj [ ("value", Float 1.0); ("min", Float 2.0) ]);
+         ("gate", Obj [ ("pass", Bool false) ]);
+       ]);
+  let rb = Obs.Report.scan bad in
+  Alcotest.(check int) "three failures" 3
+    (List.length rb.Obs.Report.failures);
+  let run = Obs.Report.run [ good; bad ] in
+  Alcotest.(check bool) "run fails" false (Obs.Report.pass run);
+  Alcotest.(check bool) "missing file is a failure" false
+    (Obs.Report.pass (Obs.Report.run [ "no_such_bench.json" ]));
+  Sys.remove good;
+  Sys.remove bad
+
+let test_trace_lint () =
+  (* a real multi-domain export lints clean *)
+  let path = Filename.temp_file "trace_ok" ".json" in
+  with_tracing (fun () ->
+      Obs.Trace.with_span "a" (fun () ->
+          let w =
+            Domain.spawn (fun () -> Obs.Trace.with_span "b" (fun () -> ()))
+          in
+          Domain.join w);
+      Obs.Trace.write_chrome path);
+  let l = Obs.Report.lint_trace path in
+  Alcotest.(check bool) "clean lint" true (Obs.Report.lint_pass l);
+  Alcotest.(check int) "two domains" 2 l.Obs.Report.domains;
+  Alcotest.(check int) "balanced" 0 l.Obs.Report.lint_unmatched;
+  Sys.remove path;
+  (* a hand-made unbalanced trace does not *)
+  let bad = Filename.temp_file "trace_bad" ".json" in
+  let oc = open_out bad in
+  output_string oc
+    "{\"traceEvents\": [{\"name\": \"x\", \"ph\": \"B\", \"ts\": 1, \
+     \"pid\": 1, \"tid\": 7}]}";
+  close_out oc;
+  let lb = Obs.Report.lint_trace bad in
+  Alcotest.(check bool) "unbalanced fails" false (Obs.Report.lint_pass lb);
+  Alcotest.(check int) "one unmatched" 1 lb.Obs.Report.lint_unmatched;
+  Sys.remove bad
+
 let suite =
   [
     Alcotest.test_case "yi lower envelope" `Quick test_yi_lower_envelope;
@@ -424,5 +669,14 @@ let suite =
       test_tracing_differential;
     Alcotest.test_case "traced query has phases" `Quick
       test_traced_query_has_phases;
+    Alcotest.test_case "metrics basics" `Quick test_metrics_basics;
+    Alcotest.test_case "metrics multi-domain hammer" `Quick
+      test_metrics_hammer;
+    Alcotest.test_case "metrics phase" `Quick test_metrics_phase;
+    Alcotest.test_case "prometheus export" `Quick test_prometheus_export;
+    Alcotest.test_case "multi-domain trace" `Quick test_multidomain_trace;
+    Alcotest.test_case "json parser" `Quick test_json_parser;
+    Alcotest.test_case "report scan" `Quick test_report_scan;
+    Alcotest.test_case "trace lint" `Quick test_trace_lint;
     qcheck qcheck_span_balance;
   ]

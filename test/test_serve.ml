@@ -209,7 +209,47 @@ let test_stats_imbalance () =
   check "all idle" 1.0 [ with_ios 0 0; with_ios 0 0 ];
   check "even" 1.0 [ with_ios 5 5; with_ios 10 0 ];
   check "one-sided" 2.0 [ with_ios 10 0; with_ios 0 0 ];
-  check "skewed" 1.5 [ with_ios 30 0; with_ios 10 0; with_ios 20 0 ]
+  check "skewed" 1.5 [ with_ios 30 0; with_ios 10 0; with_ios 20 0 ];
+  (* single shard is trivially balanced whatever its load *)
+  check "single shard" 1.0 [ with_ios 123 45 ];
+  (* an empty (zero-count) shard drags the mean: max/mean = k *)
+  check "empty shard among three" 3.0
+    [ with_ios 10 0; with_ios 0 0; with_ios 0 0 ]
+
+(* Counter-overflow edges: merge and imbalance must stay exact (no
+   float detour, no wraparound) with counters near max_int. *)
+let test_stats_merge_extremes () =
+  (* single-shard merge is the identity on every field *)
+  let one = Iosim.Stats.create () in
+  List.iteri (fun i (_, _, set) -> set one (i + 1)) Iosim.Stats.fields;
+  Alcotest.(check bool) "singleton merge identity" true
+    (Iosim.Stats.equal (Iosim.Stats.merge [ one ]) one);
+  (* two shards holding max_int/2 each sum exactly, without overflow *)
+  let half = max_int / 2 in
+  let big () =
+    let s = Iosim.Stats.create () in
+    List.iter (fun (_, _, set) -> set s half) Iosim.Stats.fields;
+    s
+  in
+  let merged = Iosim.Stats.merge [ big (); big () ] in
+  List.iter
+    (fun (name, get, _) ->
+      Alcotest.(check int) (name ^ " huge sum") (2 * half) (get merged))
+    Iosim.Stats.fields;
+  (* imbalance over huge per-shard I/O counts stays finite and exact:
+     ios = block_reads + block_writes per shard must not wrap *)
+  let quarter = max_int / 4 in
+  let with_ios r w =
+    let s = Iosim.Stats.create () in
+    s.Iosim.Stats.block_reads <- r;
+    s.Iosim.Stats.block_writes <- w;
+    s
+  in
+  Alcotest.(check (float 1e-9)) "huge imbalance" 1.0
+    (Iosim.Stats.imbalance
+       [ with_ios quarter quarter; with_ios quarter quarter ]);
+  Alcotest.(check (float 1e-6)) "huge one-sided" 2.0
+    (Iosim.Stats.imbalance [ with_ios quarter quarter; with_ios 0 0 ])
 
 let test_histogram () =
   let h = Workload.Histogram.create () in
@@ -347,6 +387,8 @@ let suite =
       test_router_shard_stats;
     Alcotest.test_case "stats merge = sum" `Quick test_stats_merge_unit;
     Alcotest.test_case "stats imbalance" `Quick test_stats_imbalance;
+    Alcotest.test_case "stats merge extremes" `Quick
+      test_stats_merge_extremes;
     Alcotest.test_case "latency histogram" `Quick test_histogram;
     Alcotest.test_case "traffic schedule" `Quick test_traffic_schedule;
     Alcotest.test_case "alias sampler" `Quick test_alias_sampler;
