@@ -70,6 +70,7 @@ let instance ?code device ~sigma ~w x =
     sigma;
     size_bits = size_bits t;
     query = (fun ~lo ~hi -> query t ~lo ~hi);
+    count = None;
     batch = None;
     integrity =
       Some

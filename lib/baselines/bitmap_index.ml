@@ -89,6 +89,7 @@ let instance device ~sigma x =
     sigma;
     size_bits = size_bits t;
     query = (fun ~lo ~hi -> query t ~lo ~hi);
+    count = None;
     batch = None;
     integrity =
       Some

@@ -58,6 +58,7 @@ let instance ?code device ~sigma x =
     sigma;
     size_bits = size_bits t;
     query = (fun ~lo ~hi -> query t ~lo ~hi);
+    count = None;
     batch = Some (query_batch t);
     integrity = Some (Indexing.Stream_table.integrity t.table);
   }

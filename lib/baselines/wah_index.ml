@@ -88,6 +88,7 @@ let instance device ~sigma x =
     sigma;
     size_bits = size_bits t;
     query = (fun ~lo ~hi -> query t ~lo ~hi);
+    count = None;
     batch = Some (query_batch t);
     integrity =
       Some (Indexing.Integrity.of_frames (fun () -> Array.to_list t.frames));

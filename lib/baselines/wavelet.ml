@@ -241,6 +241,7 @@ let instance device ~sigma x =
     sigma;
     size_bits = size_bits t;
     query = (fun ~lo ~hi -> query t ~lo ~hi);
+    count = None;
     (* Answers are computed from the in-memory rank/select mirrors
        (device touches only account the I/O cost), so device faults
        cannot corrupt them: nothing to scrub. *)

@@ -145,6 +145,14 @@ let query t ~lo ~hi =
   | None -> Indexing.Answer.Direct Cbitmap.Posting.empty
   | Some (lo, hi) -> query_checked t ~lo ~hi
 
+(* COUNT-only fast path (PR 10): two A-array probes, zero payload. *)
+let count t ~lo ~hi =
+  match Indexing.Common.clamp_range ~sigma:t.sigma ~lo ~hi with
+  | None -> 0
+  | Some (lo, hi) ->
+      Obs.Metrics.phase "rank_select" (fun () ->
+          read_a t (hi + 1) - read_a t lo)
+
 (* ---- batched execution (PR 5): as [query_checked] per unique query,
    with node bitmaps decoded at most once per batch.  Cover pieces
    resolve to (level, stream range) exactly as [piece_streams] does;
@@ -254,6 +262,7 @@ let instance ?complement ?schedule ?payload device ~sigma x =
     sigma;
     size_bits = size_bits t;
     query = (fun ~lo ~hi -> query t ~lo ~hi);
+    count = Some (fun ~lo ~hi -> count t ~lo ~hi);
     batch = Some (query_batch t);
     integrity = Some (integrity t);
   }

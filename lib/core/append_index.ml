@@ -626,6 +626,7 @@ let instance ?c ?complement ?buffered ?payload device ~sigma x =
     sigma;
     size_bits = size_bits t;
     query = (fun ~lo ~hi -> query t ~lo ~hi);
+    count = None;
     batch = Some (query_batch t);
     integrity = Some (integrity t);
   }

@@ -22,8 +22,8 @@ let hash_posting fam p =
   Cbitmap.Posting.of_list
     (Cbitmap.Posting.fold (fun acc v -> Split.hash fam v :: acc) [] p)
 
-let build ?(seed = 0x5ec1d) ?c ?code device ~sigma x =
-  let base = Static_index.build ?c ?code device ~sigma x in
+let build ?(seed = 0x5ec1d) ?c ?code ?payload device ~sigma x =
+  let base = Static_index.build ?c ?code ?payload device ~sigma x in
   let tree = Static_index.tree base in
   let n = tree.Wbb.n in
   let k = max 1 (Bitio.Codes.floor_log2 (max 2 (Bitio.Codes.floor_log2 (max 2 n)))) in
@@ -74,6 +74,8 @@ let choose_j t ~epsilon ~z =
     in
     go 1
   end
+
+let level t ~epsilon ~z = choose_j t ~epsilon ~z
 
 let query t ~epsilon ~lo ~hi =
   let s, e = Static_index.entry_bounds t.base ~lo ~hi in

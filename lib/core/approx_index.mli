@@ -29,10 +29,14 @@ type answer =
       z : int;  (** exact answer cardinality, known from A *)
     }
 
+(** [payload] selects the base index's stream-table payload layout
+    (see {!Static_index.build}); the hashed sets always use the gap
+    layout, whose universe is the hash range rather than [n]. *)
 val build :
   ?seed:int ->
   ?c:int ->
   ?code:Cbitmap.Gap_codec.code ->
+  ?payload:[ `Gap | `Hybrid ] ->
   Iosim.Device.t ->
   sigma:int ->
   int array ->
@@ -42,6 +46,13 @@ val build :
 val k : t -> int
 
 val base : t -> Static_index.t
+
+(** The hash level [j] a query of exact size [z] at [epsilon] would
+    use — the smallest [j] with [2^(2^j) > z/ε]; [> k t] means the
+    query degenerates to exact.  Exposed so the cost-based planner
+    (PR 10) can price a prefilter ([z · 2^j] hashed payload bits)
+    without issuing it. *)
+val level : t -> epsilon:float -> z:int -> int
 
 val query : t -> epsilon:float -> lo:int -> hi:int -> answer
 

@@ -594,6 +594,7 @@ let instance ?c device ~sigma x =
         match Indexing.Common.clamp_range ~sigma ~lo ~hi with
         | None -> Indexing.Answer.Direct Cbitmap.Posting.empty
         | Some (lo, hi) -> Indexing.Answer.Direct (range_query t ~lo ~hi));
+    count = None;
     batch = None;
     integrity = Some (integrity t);
   }

@@ -370,6 +370,7 @@ let instance ?c ?complement device ~sigma x =
     sigma;
     size_bits = size_bits t;
     query = (fun ~lo ~hi -> query t ~lo ~hi);
+    count = None;
     batch = Some (query_batch t);
     integrity = Some (integrity t);
   }

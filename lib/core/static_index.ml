@@ -288,6 +288,19 @@ let query t ~lo ~hi =
   | None -> Indexing.Answer.Direct Cbitmap.Posting.empty
   | Some (lo, hi) -> query_checked t ~lo ~hi
 
+(* COUNT-only fast path (PR 10): the exact answer cardinality is the
+   difference of two A-array entries — two directory probes, no
+   descent, zero payload bits decoded. *)
+let count t ~lo ~hi =
+  match Indexing.Common.clamp_range ~sigma:t.tree.Wbb.sigma ~lo ~hi with
+  | None -> 0
+  | Some (lo, hi) ->
+      let s, e =
+        Obs.Metrics.phase "rank_select" (fun () ->
+            (read_a t lo, read_a t (hi + 1)))
+      in
+      e - s
+
 (* ---- batched execution (PR 5) ----
 
    Same plan as [query_checked] query by query — identical descent,
@@ -402,6 +415,7 @@ let instance ?c ?complement ?schedule ?code ?payload device ~sigma x =
     sigma;
     size_bits = size_bits t;
     query = (fun ~lo ~hi -> query t ~lo ~hi);
+    count = Some (fun ~lo ~hi -> count t ~lo ~hi);
     batch = Some (query_batch t);
     integrity = Some (integrity t);
   }

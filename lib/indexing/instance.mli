@@ -16,6 +16,13 @@ type t = {
   sigma : int;
   size_bits : int;  (** space used by the structure, in bits *)
   query : lo:int -> hi:int -> Answer.t;
+  count : (lo:int -> hi:int -> int) option;
+      (** COUNT-only fast path (PR 10): the exact number of matching
+          positions computed from the structure's directories alone —
+          the static index reads two A-array entries and decodes zero
+          payload bits.  Must agree with [Answer.cardinal] of [query]
+          on every range.  [None] means {!query_count} falls back to a
+          full query. *)
   batch : ((int * int) array -> Answer.t array) option;
       (** Structure-specific batched execution: answers [ranges]
           slot-for-slot, decoding each touched extent once for the
@@ -48,6 +55,13 @@ val query_posting_with_stats :
     the returned stats are the whole batch's, which is what the
     amortization claims of PR 5 price. *)
 val query_batch : t -> (int * int) array -> Answer.t array * Iosim.Stats.t
+
+(** COUNT-only query, cold (pool cleared, counters reset): the number
+    of positions in [lo, hi], through the structure's [count] hook
+    when it has one (directory probes only — zero payload bits for
+    the static index) and a full query otherwise.  The stats are just
+    this count's. *)
+val query_count : t -> lo:int -> hi:int -> int * Iosim.Stats.t
 
 (** Warm batch for the serving path (PR 6): same planning and answers
     as {!query_batch}, but the pool is not cleared and the counters

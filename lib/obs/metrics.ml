@@ -124,6 +124,17 @@ let observe h v =
   let i = stripe () in
   Mutex.protect h.locks.(i) (fun () -> Histogram.add h.hcells.(i) v)
 
+(* Estimate-vs-actual error histograms (PR 10).  The sample is the
+   ratio (1 + actual) / (1 + estimate): 1.0 means a perfect estimate,
+   10.0 a 10x under-estimate, 0.1 a 10x over-estimate; the +1 keeps
+   zero-valued counts (empty answers, empty candidate sets) finite.
+   Ratio-scaled buckets so the log-linear cells resolve both tails. *)
+let error_histogram name = histogram ~lo:1e-4 ~hi:1e4 ~per_decade:10 name
+
+let observe_ratio h ~est ~actual =
+  if est < 0.0 || actual < 0.0 then invalid_arg "Metrics.observe_ratio";
+  observe h ((1.0 +. actual) /. (1.0 +. est))
+
 (* Lock the stripes one at a time: each cell is internally consistent,
    and a scrape racing an observe may or may not include that sample —
    the same read-point semantics as counters. *)

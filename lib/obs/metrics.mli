@@ -37,6 +37,16 @@ val observe : histogram -> float -> unit
 (** Record a sample into the calling domain's stripe (one short
     mutex section). *)
 
+val error_histogram : string -> histogram
+(** Estimate-vs-actual error histogram (PR 10): ratio-scaled buckets
+    ([lo = 1e-4], [hi = 1e4], 10 per decade) for samples recorded with
+    {!observe_ratio}.  A mass concentrated at 1.0 means estimates
+    track actuals; tails above/below 1.0 are under-/over-estimates. *)
+
+val observe_ratio : histogram -> est:float -> actual:float -> unit
+(** Record [(1 + actual) / (1 + est)] — finite for zero-valued counts;
+    raises [Invalid_argument] on negative inputs. *)
+
 val snapshot : histogram -> Histogram.t
 (** Merge of the per-domain stripes at this instant. *)
 

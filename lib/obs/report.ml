@@ -57,6 +57,7 @@ let zero_keys =
     "unmatched_spans";
     "event_counter_mismatches";
     "double_crash_failures";
+    "payload_phases";
   ]
 
 (* Keys whose numeric values are worth a row in the trajectory table:
@@ -73,6 +74,7 @@ let headline_keys =
     "mixed_hybrid_over_best";
     "gamma_decode_speedup_tracing_off";
     "counter_overhead_pct";
+    "planner_io_reduction";
   ]
 
 let is_pass_key k = k = "pass" || String.length k > 5 && Filename.check_suffix k "_pass"

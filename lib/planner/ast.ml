@@ -1,0 +1,140 @@
+(* Query AST + normalization (PR 10).
+
+   Normalization does all the shape analysis the optimizer and the
+   COUNT fast path rely on, with plain list math and zero I/O:
+
+   - every predicate lowers to a set of inclusive ranges over its
+     column's alphabet ([Point v] is [v,v]; [Member vs] sorts, dedupes
+     and coalesces consecutive values; [Range] clamps like
+     {!Indexing.Common.clamp_range});
+   - several predicates on one column intersect (a conjunction), so
+     downstream phases see each column exactly once;
+   - a column whose ranges cover the whole alphabet is dropped as
+     trivial, and a column whose ranges clamp to nothing marks the
+     conjunction [empty].
+
+   The invariant handed to the planner: each surviving column has a
+   non-empty, disjoint, ascending, non-adjacent range list that is a
+   strict subset of [0, sigma).  Disjoint + non-adjacent means
+   per-range directory probes sum to the exact per-column answer
+   cardinality — the property both the selectivity estimator and the
+   COUNT-only fast path are built on. *)
+
+type pred =
+  | Range of { column : string; lo : int; hi : int }
+  | Point of { column : string; value : int }
+  | Member of { column : string; values : int list }
+
+type kind = Rows | Count
+type query = { preds : pred list; kind : kind }
+
+type normal = {
+  columns : (string * (int * int) list) list;
+  empty : bool;
+  kind : kind;
+}
+
+let range column ~lo ~hi = Range { column; lo; hi }
+let point column value = Point { column; value }
+let member column values = Member { column; values }
+let conj ?(kind = Rows) preds = { preds; kind }
+
+let of_conditions ?(kind = Rows) conds =
+  conj ~kind
+    (List.map
+       (fun (c : Ridint.Table.condition) -> range c.column ~lo:c.lo ~hi:c.hi)
+       conds)
+
+let column_of = function
+  | Range { column; _ } | Point { column; _ } | Member { column; _ } -> column
+
+(* Sorted values -> disjoint ascending ranges, coalescing consecutive
+   values ([3;4;5;9] -> [(3,5); (9,9)]). *)
+let coalesce_values vs =
+  let rec go acc = function
+    | [] -> List.rev acc
+    | v :: rest -> (
+        match acc with
+        | (s, e) :: tl when v = e + 1 -> go ((s, v) :: tl) rest
+        | _ -> go ((v, v) :: acc) rest)
+  in
+  go [] vs
+
+(* One predicate -> disjoint ascending clamped ranges (possibly []). *)
+let ranges_of_pred ~sigma = function
+  | Range { lo; hi; _ } -> (
+      match Indexing.Common.clamp_range ~sigma ~lo ~hi with
+      | None -> []
+      | Some (lo, hi) -> [ (lo, hi) ])
+  | Point { value; _ } ->
+      if value < 0 || value >= sigma then [] else [ (value, value) ]
+  | Member { values; _ } ->
+      List.filter (fun v -> v >= 0 && v < sigma) values
+      |> List.sort_uniq compare |> coalesce_values
+
+(* Intersection of two disjoint ascending range lists. *)
+let inter_ranges a b =
+  let rec go acc a b =
+    match (a, b) with
+    | [], _ | _, [] -> List.rev acc
+    | (s1, e1) :: ta, (s2, e2) :: tb ->
+        let s = max s1 s2 and e = min e1 e2 in
+        let acc = if s <= e then (s, e) :: acc else acc in
+        if e1 < e2 then go acc ta b else go acc a tb
+  in
+  go [] a b
+
+(* Merge adjacent ranges so per-range cardinalities stay additive and
+   probes are not duplicated ([(3,5); (6,9)] -> [(3,9)]). *)
+let merge_adjacent rs =
+  let rec go acc = function
+    | [] -> List.rev acc
+    | (s, e) :: rest -> (
+        match acc with
+        | (s0, e0) :: tl when s <= e0 + 1 -> go ((s0, max e e0) :: tl) rest
+        | _ -> go ((s, e) :: acc) rest)
+  in
+  go [] rs
+
+let normalize ~sigma_of q =
+  (* Group by column, preserving first-appearance order. *)
+  let order = ref [] in
+  let tbl : (string, pred list) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun p ->
+      let c = column_of p in
+      (match Hashtbl.find_opt tbl c with
+      | None ->
+          order := c :: !order;
+          Hashtbl.add tbl c [ p ]
+      | Some ps -> Hashtbl.replace tbl c (p :: ps)))
+    q.preds;
+  let empty = ref false in
+  let columns =
+    List.rev !order
+    |> List.filter_map (fun c ->
+           let sigma = sigma_of c in
+           let full = [ (0, sigma - 1) ] in
+           let rs =
+             List.fold_left
+               (fun acc p -> inter_ranges acc (ranges_of_pred ~sigma p))
+               full
+               (List.rev (Hashtbl.find tbl c))
+             |> merge_adjacent
+           in
+           match rs with
+           | [] ->
+               empty := true;
+               None
+           | [ (0, e) ] when e = sigma - 1 -> None (* trivial: whole alphabet *)
+           | rs -> Some (c, rs))
+  in
+  { columns = (if !empty then [] else columns); empty = !empty; kind = q.kind }
+
+let matches nq value_of =
+  (not nq.empty)
+  && List.for_all
+       (fun (c, rs) ->
+         let v = value_of c in
+         List.exists (fun (s, e) -> s <= v && v <= e) rs)
+       nq.columns

@@ -102,6 +102,7 @@ let updatable =
                   sigma;
                   size_bits = Secidx.Dynamic_index.size_bits t;
                   query = (fun ~lo ~hi -> Secidx.Dynamic_index.query t ~lo ~hi);
+                  count = None;
                   batch = Some (Secidx.Dynamic_index.query_batch t);
                   integrity = None;
                 });
@@ -127,6 +128,7 @@ let updatable =
                   sigma;
                   size_bits = Secidx.Append_index.size_bits t;
                   query = (fun ~lo ~hi -> Secidx.Append_index.query t ~lo ~hi);
+                  count = None;
                   batch = Some (Secidx.Append_index.query_batch t);
                   integrity = None;
                 });

@@ -4,12 +4,20 @@ type indexed_column = {
   col : column;
   index : Secidx.Static_index.t;
   approx : Secidx.Approx_index.t option;
+  field_off : int;  (** bit offset of this column's field within a packed row *)
+  field_width : int;
 }
 
 type t = {
   device : Iosim.Device.t;
   nrows : int;
   cols : indexed_column array;
+  row_bits : int;  (** bits per packed row; meaningful when rows stored *)
+  rows_region : Iosim.Device.region option;
+      (** The heap file (PR 10): every row's column values packed
+          side by side, so "accessing the associated data" to filter
+          approximate candidates away (§3) is a counted device read
+          rather than a free in-memory lookup. *)
 }
 
 type condition = { column : string; lo : int; hi : int }
@@ -17,6 +25,8 @@ type condition = { column : string; lo : int; hi : int }
 let rows t = t.nrows
 let columns t = Array.map (fun ic -> ic.col) t.cols
 let device t = t.device
+let stores_rows t = t.rows_region <> None
+let row_bits t = if stores_rows t then t.row_bits else 0
 
 let validate cols =
   match cols with
@@ -30,47 +40,120 @@ let validate cols =
         rest;
       n
 
-let create ?c device cols =
-  let nrows = validate cols in
-  let cols =
-    Array.of_list
-      (List.map
-         (fun col ->
-           {
-             col;
-             index = Secidx.Static_index.build ?c device ~sigma:col.sigma col.values;
-             approx = None;
-           })
-         cols)
+(* Pack the rows on the device, row-major: row [r]'s field for column
+   [i] sits at [off + r*row_bits + field_off.(i)].  Block-aligned so a
+   verification read of row [r] touches exactly the covering block. *)
+let store_rows_region device cols nrows =
+  let widths =
+    List.map (fun c -> Indexing.Common.bits_for (max 2 c.sigma)) cols
   in
-  { device; nrows; cols }
+  let row_bits = List.fold_left ( + ) 0 widths in
+  let buf = Bitio.Bitbuf.create ~capacity:(nrows * row_bits) () in
+  for r = 0 to nrows - 1 do
+    List.iter2
+      (fun c w -> Bitio.Bitbuf.write_bits buf ~width:w c.values.(r))
+      cols widths
+  done;
+  let region =
+    Iosim.Device.with_component device "rows" (fun () ->
+        Iosim.Device.store ~align_block:true device buf)
+  in
+  (row_bits, region)
 
-let create_approx ?seed ?c device cols =
-  let nrows = validate cols in
-  let cols =
-    Array.of_list
-      (List.map
-         (fun col ->
-           let approx =
-             Secidx.Approx_index.build ?seed ?c device ~sigma:col.sigma
-               col.values
+let build_cols ?seed ?c ?payload ~approx device cols =
+  let widths =
+    List.map (fun c -> Indexing.Common.bits_for (max 2 c.sigma)) cols
+  in
+  let offs = ref 0 in
+  let offsets =
+    List.map
+      (fun w ->
+        let o = !offs in
+        offs := o + w;
+        o)
+      widths
+  in
+  Array.of_list
+    (List.map2
+       (fun col (field_off, field_width) ->
+         if approx then begin
+           let a =
+             Secidx.Approx_index.build ?seed ?c ?payload device
+               ~sigma:col.sigma col.values
            in
            (* The approximate index embeds its own exact base index;
               reuse it instead of building a second copy. *)
-           { col; index = Secidx.Approx_index.base approx; approx = Some approx })
-         cols)
+           {
+             col;
+             index = Secidx.Approx_index.base a;
+             approx = Some a;
+             field_off;
+             field_width;
+           }
+         end
+         else
+           {
+             col;
+             index =
+               Secidx.Static_index.build ?c ?payload device ~sigma:col.sigma
+                 col.values;
+             approx = None;
+             field_off;
+             field_width;
+           })
+       cols
+       (List.combine offsets widths))
+
+let create_gen ?seed ?c ?payload ?(store_rows = false) ~approx device cols =
+  let nrows = validate cols in
+  let built = build_cols ?seed ?c ?payload ~approx device cols in
+  let row_bits, rows_region =
+    if store_rows && nrows > 0 then
+      let rb, rg = store_rows_region device cols nrows in
+      (rb, Some rg)
+    else (0, None)
   in
-  { device; nrows; cols }
+  { device; nrows; cols = built; row_bits; rows_region }
+
+let create ?c ?payload ?store_rows device cols =
+  create_gen ?c ?payload ?store_rows ~approx:false device cols
+
+let create_approx ?seed ?c ?payload ?store_rows device cols =
+  create_gen ?seed ?c ?payload ?store_rows ~approx:true device cols
 
 let find_col t name =
   match Array.find_opt (fun ic -> ic.col.name = name) t.cols with
   | Some ic -> ic
   | None -> invalid_arg ("Table: unknown column " ^ name)
 
+let col_index t name = (find_col t name).index
+let col_approx t name = (find_col t name).approx
+let col_sigma t name = (find_col t name).col.sigma
+
+(* Read one cell of the heap file — the §3 "access to the associated
+   data".  Counted device I/O when the rows are stored; the in-memory
+   column array otherwise (the seed behaviour, free verification). *)
+let read_cell t ic row =
+  match t.rows_region with
+  | None -> ic.col.values.(row)
+  | Some rg ->
+      Iosim.Device.read_bits t.device
+        ~pos:(rg.Iosim.Device.off + (row * t.row_bits) + ic.field_off)
+        ~width:ic.field_width
+
+let cell t ~column ~row = read_cell t (find_col t column) row
+
 let check_condition t cond row =
   let ic = find_col t cond.column in
   let v = ic.col.values.(row) in
   v >= cond.lo && v <= cond.hi
+
+(* Charged variant of {!check_condition} over a disjoint range list —
+   what the planner's verification step uses. *)
+let check_cell_ranges t ~column ~row ranges =
+  let ic = find_col t column in
+  let v = read_cell t ic row in
+  List.exists (fun (lo, hi) -> v >= lo && v <= hi) ranges
 
 let naive t conds =
   let acc = ref [] in
@@ -136,6 +219,22 @@ let query_approx t ~epsilon conds =
               candidates
           in
           (Cbitmap.Posting.of_list verified, checked))
+
+(* Per-query device counters (PR 10 satellite): run [f] cold — pool
+   cleared, counters reset — and return its result with the stats of
+   just that run, so per-plan cost comparisons are measurable.  The
+   seed [query]/[query_approx] ran against whatever counter state the
+   caller left behind and discarded the device counters entirely. *)
+let with_stats t f =
+  Iosim.Device.clear_pool t.device;
+  Iosim.Device.reset_stats t.device;
+  let r = f () in
+  (r, Iosim.Stats.snapshot (Iosim.Device.stats t.device))
+
+let query_with_stats t conds = with_stats t (fun () -> query t conds)
+
+let query_approx_with_stats t ~epsilon conds =
+  with_stats t (fun () -> query_approx t ~epsilon conds)
 
 let query_at_least t ~k conds =
   if k <= 0 then invalid_arg "Table.query_at_least";

@@ -15,12 +15,37 @@ val rows : t -> int
 val columns : t -> column array
 
 (** Build one static secondary index (Theorem 2) per column, all on
-    the given device. *)
-val create : ?c:int -> Iosim.Device.t -> column list -> t
+    the given device.  [payload] selects each index's stream-table
+    payload layout (see {!Secidx.Static_index.build}).  [store_rows]
+    (default [false]) also packs the rows themselves on the device —
+    the "associated data" of §3 — so candidate verification is a
+    counted device read instead of a free in-memory lookup; the
+    cost-based planner (PR 10) prices its prefilter decisions against
+    those reads. *)
+val create :
+  ?c:int ->
+  ?payload:[ `Gap | `Hybrid ] ->
+  ?store_rows:bool ->
+  Iosim.Device.t ->
+  column list ->
+  t
 
 (** Also build approximate indexes (Theorem 3) for every column. *)
 val create_approx :
-  ?seed:int -> ?c:int -> Iosim.Device.t -> column list -> t
+  ?seed:int ->
+  ?c:int ->
+  ?payload:[ `Gap | `Hybrid ] ->
+  ?store_rows:bool ->
+  Iosim.Device.t ->
+  column list ->
+  t
+
+(** Whether {!create} packed the rows on the device. *)
+val stores_rows : t -> bool
+
+(** Bits per packed heap-file row ([0] when rows are not stored) —
+    the geometry the planner's verification pricing needs. *)
+val row_bits : t -> int
 
 (** A conjunctive condition: per-column inclusive value range. *)
 type condition = { column : string; lo : int; hi : int }
@@ -48,6 +73,45 @@ val query_at_least : t -> k:int -> condition list -> Cbitmap.Posting.t
 
 val size_bits : t -> int
 val device : t -> Iosim.Device.t
+
+(** {2 Planner-facing column access (PR 10)} *)
+
+(** The column's exact index.  Raises [Invalid_argument] on an
+    unknown column name, like every by-name lookup here. *)
+val col_index : t -> string -> Secidx.Static_index.t
+
+(** The column's approximate index ([None] unless built with
+    {!create_approx}). *)
+val col_approx : t -> string -> Secidx.Approx_index.t option
+
+val col_sigma : t -> string -> int
+
+(** One cell of the associated data: the value of [column] at [row].
+    A counted device read when the table {!stores_rows}; the in-memory
+    column array otherwise. *)
+val cell : t -> column:string -> row:int -> int
+
+(** Does [column]'s value at [row] fall in one of the (disjoint)
+    inclusive [ranges]?  Reads the cell via {!cell}, so verification
+    cost is charged when the rows are stored. *)
+val check_cell_ranges :
+  t -> column:string -> row:int -> (int * int) list -> bool
+
+(** {2 Per-query device counters (PR 10 satellite)}
+
+    Cold variants of {!query} / {!query_approx}: pool cleared and
+    counters reset first, the snapshot of just this query's stats
+    returned — the measurable per-plan costs the seed versions
+    discarded. *)
+
+val query_with_stats :
+  t -> condition list -> Cbitmap.Posting.t * Iosim.Stats.t
+
+val query_approx_with_stats :
+  t ->
+  epsilon:float ->
+  condition list ->
+  (Cbitmap.Posting.t * int) * Iosim.Stats.t
 
 (** Approximate partial match (§1 + §3): rows matching at least [k]
     of the conditions, computed from approximate per-condition answers

@@ -262,6 +262,7 @@ let instance t =
     sigma = t.sigma;
     size_bits = size_bits t;
     query = (fun ~lo ~hi -> query t ~lo ~hi);
+    count = None;
     batch = None;
     integrity = Some (Indexing.Integrity.of_frames (fun () -> frames t));
   }

@@ -139,5 +139,34 @@ let markov ?burst ~seed ~n ~sigma ~stay () =
       fill_bursts rng ~burst:b ~n ~sigma ~run data);
   { sigma; data }
 
+(* Correlated multi-column data (PR 10): every column shares the burst
+   boundaries of one latent clustered column.  Per burst, the latent
+   character is drawn from the Zipf(theta) marginal; each column then
+   either copies it (probability rho) or draws a fresh character from
+   the same marginal for the whole burst.  Columns are therefore
+   individually clustered-and-skewed, and jointly correlated: at rho=0
+   they are independent, at rho=1 identical — the non-independent
+   selectivity case a planner's product estimator gets wrong. *)
+let correlated_columns ?(burst = Uniform_burst) ?(theta = 0.0) ~seed ~n ~sigma
+    ~cols ~rho ~run () =
+  if run < 1 || cols < 1 then invalid_arg "Gen.correlated_columns";
+  if rho < 0.0 || rho > 1.0 then invalid_arg "Gen.correlated_columns: rho";
+  let rng = Rng.create ~seed in
+  let table = Alias.create (zipf_weights ~sigma ~theta) in
+  let data = Array.init cols (fun _ -> Array.make n 0) in
+  let i = ref 0 in
+  while !i < n do
+    let len = min (burst_length burst ~run rng) (n - !i) in
+    let latent = Alias.draw table rng in
+    for j = 0 to cols - 1 do
+      let c =
+        if Rng.float rng < rho then latent else Alias.draw table rng
+      in
+      Array.fill data.(j) !i len c
+    done;
+    i := !i + len
+  done;
+  Array.to_list (Array.map (fun d -> { sigma; data = d }) data)
+
 let h0 t = Cbitmap.Entropy.h0 ~sigma:t.sigma t.data
 let counts t = Cbitmap.Entropy.counts ~sigma:t.sigma t.data

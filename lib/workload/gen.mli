@@ -72,6 +72,28 @@ val clustered :
 val markov :
   ?burst:burst -> seed:int -> n:int -> sigma:int -> stay:float -> unit -> t
 
+(** Correlated multi-column data (PR 10): [cols] strings sharing the
+    burst boundaries of one latent clustered column.  Per burst the
+    latent character is drawn from the Zipf [theta] marginal (default
+    0.0 = uniform); each column copies it with probability [rho] or
+    draws a fresh character from the same marginal for the whole
+    burst.  [rho = 0] gives independent columns, [rho = 1] identical
+    ones — the knob that makes a planner's independence-product
+    selectivity estimate measurably wrong.  Deterministic given
+    [seed]; raises [Invalid_argument] on [run < 1], [cols < 1] or
+    [rho] outside [0;1]. *)
+val correlated_columns :
+  ?burst:burst ->
+  ?theta:float ->
+  seed:int ->
+  n:int ->
+  sigma:int ->
+  cols:int ->
+  rho:float ->
+  run:int ->
+  unit ->
+  t list
+
 (** 0th-order entropy (bits/symbol) of a generated string. *)
 val h0 : t -> float
 

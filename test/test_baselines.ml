@@ -286,6 +286,7 @@ let prop_multires_custom_widths =
         sigma;
         size_bits = Baselines.Multires_index.size_bits t;
         query = (fun ~lo ~hi -> Baselines.Multires_index.query t ~lo ~hi);
+        count = None;
         batch = None;
         integrity = None;
       })

@@ -14,6 +14,7 @@ let () =
       ("secidx-buffered-bitmap", Test_buffered_bitmap.suite);
       ("secidx-dynamic", Test_secidx_dynamic.suite);
       ("ridint", Test_ridint.suite);
+      ("planner", Test_planner.suite);
       ("succinct", Test_succinct.suite);
       ("robustness", Test_robustness.suite);
       ("integrity", Test_integrity.suite);
